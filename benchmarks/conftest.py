@@ -1,0 +1,35 @@
+"""Shared fixtures: workloads compiled once per benchmark session."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import CompiledWorkload, compile_workload
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def results_path(name: str) -> str:
+    return os.path.join(RESULTS_DIR, name)
+
+
+@pytest.fixture(scope="session")
+def linux(request) -> CompiledWorkload:
+    return compile_workload("linux")
+
+
+@pytest.fixture(scope="session")
+def postgresql(request) -> CompiledWorkload:
+    return compile_workload("postgresql")
+
+
+@pytest.fixture(scope="session")
+def httpd(request) -> CompiledWorkload:
+    return compile_workload("httpd")
+
+
+@pytest.fixture(scope="session")
+def all_workloads(linux, postgresql, httpd):
+    return [linux, postgresql, httpd]

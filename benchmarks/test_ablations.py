@@ -1,0 +1,84 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* old/new discipline vs full rejoin (Algorithm 1's reason to exist)
+* merge-time batch dedup vs heap merge vs naive per-edge scan (§4.2)
+* DDM-delta scheduling vs round-robin (§4.3)
+"""
+
+import numpy as np
+
+from repro.bench import (
+    ablation_dedup_merge,
+    ablation_oldnew,
+    ablation_scheduler,
+    render_table,
+    rows_from_dicts,
+    save_and_print,
+)
+from repro.grammar import pointsto_grammar_extended, reachability_grammar
+from benchmarks.conftest import results_path
+
+
+def test_ablation_oldnew(benchmark, httpd):
+    rows = benchmark.pedantic(
+        ablation_oldnew,
+        args=(httpd.pointer, pointsto_grammar_extended()),
+        rounds=1,
+        iterations=1,
+    )
+    full, oldnew = rows
+    assert full["final_edges"] == oldnew["final_edges"], "same closure"
+    # The old/new discipline must not produce MORE join output than the
+    # full rejoin (which re-derives everything every iteration).
+    assert oldnew["join_output_edges"] <= full["join_output_edges"]
+    text = render_table(
+        "Ablation: old/new edge discipline (Algorithm 1) vs full rejoin",
+        ["variant", "seconds", "iterations", "join output", "final edges"],
+        rows_from_dicts(
+            rows,
+            ["variant", "seconds", "iterations", "join_output_edges", "final_edges"],
+        ),
+    )
+    save_and_print(text, results_path("ablation_oldnew.txt"))
+
+
+def test_ablation_dedup(benchmark):
+    rng = np.random.default_rng(7)
+    arrays = [
+        np.unique(rng.integers(0, 40_000, size=1500).astype(np.int64))
+        for _ in range(24)
+    ]
+    rows = benchmark.pedantic(
+        ablation_dedup_merge, args=(arrays,), rounds=1, iterations=1
+    )
+    by_variant = {r["variant"]: r["seconds"] for r in rows}
+    assert (
+        by_variant["vectorized sorted merge"]
+        < by_variant["per-edge linear scan (naive)"]
+    )
+    text = render_table(
+        "Ablation: duplicate-eliminating merge strategies",
+        ["variant", "seconds"],
+        rows_from_dicts(rows, ["variant", "seconds"]),
+    )
+    save_and_print(text, results_path("ablation_dedup.txt"))
+
+
+def test_ablation_scheduler(benchmark, postgresql):
+    rows = benchmark.pedantic(
+        ablation_scheduler,
+        args=(postgresql.pointer, pointsto_grammar_extended()),
+        rounds=1,
+        iterations=1,
+    )
+    ddm, rr = rows
+    assert ddm["final_edges"] == rr["final_edges"], "schedulers agree on the closure"
+    assert ddm["supersteps"] <= rr["supersteps"]
+    text = render_table(
+        "Ablation: DDM-delta scheduling vs round-robin",
+        ["scheduler", "supersteps", "seconds", "I/O (s)", "final edges"],
+        rows_from_dicts(
+            rows, ["scheduler", "supersteps", "seconds", "io_s", "final_edges"]
+        ),
+    )
+    save_and_print(text, results_path("ablation_scheduler.txt"))

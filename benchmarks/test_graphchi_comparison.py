@@ -1,0 +1,37 @@
+"""§5.4 — the GraphChi-like vertex-centric system on a DTC workload.
+
+Shape contract (paper): without duplicate checking the vertex-centric
+run diverges (GraphChi "would never terminate on our workloads"); the
+naive buffer-only duplicate check still diverges; Graspan's merge-time
+dedup converges on the same input.
+"""
+
+from repro.bench import graphchi_rows, render_table, rows_from_dicts, save_and_print
+from benchmarks.conftest import results_path
+
+
+def test_graphchi_comparison(benchmark, httpd):
+    rows = benchmark.pedantic(graphchi_rows, args=(httpd,), rounds=1, iterations=1)
+    by_system = {r["system"]: r for r in rows}
+    assert by_system["vertex-centric (dedup=none)"]["status"] in (
+        "diverged",
+        "timeout",
+    )
+    assert by_system["vertex-centric (dedup=buffer)"]["status"] in (
+        "diverged",
+        "timeout",
+    )
+    assert by_system["Graspan (merge dedup)"]["status"] == "ok"
+    full = by_system["vertex-centric (dedup=full)"]
+    graspan = by_system["Graspan (merge dedup)"]
+    if full["status"] == "ok":
+        assert full["total_edges"] == graspan["total_edges"]
+    text = render_table(
+        "GraphChi comparison (dataflow graph): duplicate handling decides "
+        "termination",
+        ["system", "status", "edges added", "total edges", "seconds"],
+        rows_from_dicts(
+            rows, ["system", "status", "edges_added", "total_edges", "seconds"]
+        ),
+    )
+    save_and_print(text, results_path("graphchi.txt"))

@@ -1,0 +1,17 @@
+"""Table 1 — the checker taxonomy (descriptive registry self-check)."""
+
+from repro.bench import render_table, rows_from_dicts, save_and_print, table1_rows
+from benchmarks.conftest import results_path
+
+
+def test_table1_checkers(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    assert len(rows) == 8
+    text = render_table(
+        "Table 1: checkers, targets, and baseline limitations",
+        ["checker", "target", "baseline limitation", "has baseline"],
+        rows_from_dicts(
+            rows, ["checker", "target", "baseline_limitation", "has_baseline"]
+        ),
+    )
+    save_and_print(text, results_path("table1.txt"))

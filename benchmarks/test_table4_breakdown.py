@@ -1,0 +1,27 @@
+"""Table 4 — Linux bug breakdown by module.
+
+Shape contract (paper): `drivers` carries the largest share of both the
+NULL-deref bugs and the unnecessary NULL tests.
+"""
+
+from repro.bench import render_table, rows_from_dicts, save_and_print, table4_rows
+from benchmarks.conftest import results_path
+
+
+def test_table4_breakdown(benchmark, linux):
+    rows = benchmark.pedantic(table4_rows, args=(linux,), rounds=1, iterations=1)
+    per_module = [r for r in rows if r["module"] != "Total"]
+    assert per_module, "expected at least one module with findings"
+    top_untest = max(per_module, key=lambda r: r["untests"])
+    assert top_untest["module"] == "drivers", (
+        "drivers should dominate unnecessary NULL tests, got "
+        f"{top_untest['module']}"
+    )
+    total = next(r for r in rows if r["module"] == "Total")
+    assert total["null_derefs"] > 0 and total["untests"] > 0
+    text = render_table(
+        "Table 4: linux-like breakdown by module",
+        ["module", "NULL derefs (GR)", "of which FP", "unnecessary NULL tests"],
+        rows_from_dicts(rows, ["module", "null_derefs", "null_fps", "untests"]),
+    )
+    save_and_print(text, results_path("table4.txt"))

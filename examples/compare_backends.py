@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Backend shoot-out: Graspan vs a worklist solver vs a Datalog engine.
+
+Reproduces the Table 6 experience interactively: the same pointer
+analysis on the same program graph, through three backends under the
+same nominal memory budget.  Graspan spills to disk and finishes; the
+in-memory baselines hit the wall as the workload grows.
+
+Usage:  python examples/compare_backends.py [workload] [scale]
+        workload in {httpd, postgresql, linux}, default postgresql
+"""
+
+import sys
+import tempfile
+import time
+
+from repro.baselines import run_datalog, run_oda
+from repro.engine import GraspanEngine
+from repro.frontend import pointer_graph
+from repro.grammar import pointsto_grammar_extended
+from repro.workloads import workload_by_name
+
+MEMORY_BUDGET = 2 * 1024 * 1024  # the same nominal bytes for everyone
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "postgresql"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    workload = workload_by_name(name, scale=scale)
+    graph = pointer_graph(workload.compile())
+    grammar = pointsto_grammar_extended()
+    print(f"{workload.name}: pointer graph with {graph.num_edges} edges\n")
+
+    # Graspan: the budget buys two resident partitions; the rest of the
+    # graph lives on disk.
+    max_edges = MEMORY_BUDGET // (2 * 24)
+    with tempfile.TemporaryDirectory() as workdir:
+        engine = GraspanEngine(
+            grammar, max_edges_per_partition=max_edges, workdir=workdir
+        )
+        started = time.perf_counter()
+        stats = engine.run(graph).stats
+        graspan_s = time.perf_counter() - started
+    print(f"graspan : ok       {graspan_s:7.2f}s   "
+          f"{stats.final_edges} edges, {stats.num_supersteps} supersteps, "
+          f"{stats.final_partitions} partitions")
+
+    oda = run_oda(graph, grammar, memory_budget_bytes=MEMORY_BUDGET,
+                  time_budget_seconds=120)
+    print(f"ODA     : {oda.status:8} {oda.seconds:7.2f}s   "
+          f"{oda.facts} facts before stopping")
+
+    datalog = run_datalog(graph, grammar, memory_budget_bytes=MEMORY_BUDGET,
+                          time_budget_seconds=120)
+    print(f"datalog : {datalog.status:8} {datalog.seconds:7.2f}s   "
+          f"{datalog.tuples} tuples before stopping")
+
+    if oda.status != "ok" or datalog.status != "ok":
+        print("\nThe in-memory backends cannot hold the dynamic transitive "
+              "closure; Graspan's out-of-core partitioning is the difference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Define your own analysis: Graspan's programming model from scratch (§3).
+
+The paper's pitch is that a new interprocedural analysis costs two
+artifacts: a graph and a grammar.  This example builds both by hand for
+a *lock-flow* analysis nobody shipped with the library — "which lock
+objects can reach which critical sections" — and runs it out-of-core on
+a generated graph, printing the engine statistics (partitions,
+supersteps, repartitions).
+
+Usage:  python examples/custom_analysis.py
+"""
+
+import random
+import tempfile
+
+from repro.graph import MemGraph
+from repro.grammar import Grammar
+from repro.engine import GraspanEngine
+
+# ---------------------------------------------------------------------
+# 1. The grammar.  Labels: a lock object is born at an allocation (ML),
+#    handles flow through assignments (AH), and a critical section is
+#    entered through an acquire edge (AQ).  One nonterminal per fact:
+#
+#        lockFlow  ::= ML | lockFlow AH       (object reaches a handle)
+#        guardedBy ::= lockFlow AQ            (object guards a section)
+#
+#    Registered through the paper's addConstraint API; every production
+#    already has <= 2 RHS terms, so no normalization kicks in.
+# ---------------------------------------------------------------------
+grammar = Grammar()
+for terminal in ("ML", "AH", "AQ"):
+    grammar.label(terminal)
+grammar.add_constraint("lockFlow", "ML")
+grammar.add_constraint("lockFlow", "lockFlow", "AH")
+grammar.add_constraint("guardedBy", "lockFlow", "AQ")
+frozen = grammar.freeze()
+
+# ---------------------------------------------------------------------
+# 2. The graph.  Synthesize a lock-passing web: lock objects handed
+#    through chains of handles into critical sections.  In a real tool
+#    this comes from your compiler frontend (cf. repro.frontend).
+# ---------------------------------------------------------------------
+rng = random.Random(42)
+NUM_LOCKS, CHAINS_PER_LOCK, CHAIN_LEN, NUM_SECTIONS = 60, 8, 12, 40
+
+edges = []
+vertex = 0
+lock_objects = []
+sections = [("section", i) for i in range(NUM_SECTIONS)]
+next_id = NUM_LOCKS + NUM_SECTIONS
+ML, AH, AQ = (frozen.label_id(x) for x in ("ML", "AH", "AQ"))
+
+for lock in range(NUM_LOCKS):
+    for _ in range(CHAINS_PER_LOCK):
+        handle = next_id
+        next_id += 1
+        edges.append((lock, handle, ML))
+        for _ in range(CHAIN_LEN - 1):
+            nxt = next_id
+            next_id += 1
+            edges.append((handle, nxt, AH))
+            handle = nxt
+        section = NUM_LOCKS + rng.randrange(NUM_SECTIONS)
+        edges.append((handle, section, AQ))
+
+graph = MemGraph.from_edges(edges, label_names=frozen.names)
+print(f"input graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+# ---------------------------------------------------------------------
+# 3. Run it out-of-core with deliberately tiny partitions, to show the
+#    full machinery (partitioning, DDM scheduling, repartitioning).
+# ---------------------------------------------------------------------
+with tempfile.TemporaryDirectory() as workdir:
+    engine = GraspanEngine(
+        frozen,
+        max_edges_per_partition=graph.num_edges // 4,
+        workdir=workdir,
+    )
+    # load_resident() pulls the final partitions into memory so the
+    # results stay queryable after the temporary workdir disappears.
+    computation = engine.run(graph).load_resident()
+
+stats = computation.stats
+print(f"closure: {stats.original_edges} -> {stats.final_edges} edges "
+      f"({stats.growth_factor:.1f}x)")
+print(f"supersteps: {stats.num_supersteps}, partitions: "
+      f"{stats.initial_partitions} -> {stats.final_partitions} "
+      f"({stats.repartition_count} repartitions)")
+print(f"time: compute {stats.timers.get('compute'):.2f}s, "
+      f"io {stats.timers.get('io'):.2f}s")
+
+guarded = list(computation.iter_edges_with_label("guardedBy"))
+by_section = {}
+for lock, section in guarded:
+    by_section.setdefault(section, set()).add(lock)
+print(f"\nguardedBy facts: {len(guarded)}")
+multi = {s: locks for s, locks in by_section.items() if len(locks) > 1}
+print(f"critical sections reachable by more than one lock object: "
+      f"{len(multi)} (lock-aliasing hazards a name-based checker misses)")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Bug hunt on a kernel-shaped codebase: the paper's §5.1 workflow.
+
+Generates the linux-like workload (layered call DAG, Linux module
+taxonomy, injected interprocedural defects), runs the pointer/alias and
+dataflow analyses, then runs every Table 1 checker in both baseline and
+Graspan-augmented mode and prints the Table 3 / Table 4 style summary.
+
+Usage:  python examples/kernel_bug_hunt.py [scale]
+        (scale defaults to 0.3; 1.0 takes a few minutes)
+"""
+
+import sys
+import time
+
+from repro.checkers import ALL_CHECKERS, check_program
+from repro.workloads import linux_like
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    print(f"generating linux-like workload (scale={scale})...")
+    workload = linux_like(scale=scale)
+    print(f"  {workload.loc} LoC, {len(workload.ground_truth)} injected findings")
+
+    print("compiling (parse -> lower -> context-sensitive inlining)...")
+    pg = workload.compile()
+    print(f"  {pg.inline_count} inlines, {pg.num_vertices} vertices, "
+          f"{pg.num_edges} edges")
+
+    print("running analyses + checkers (baseline and Graspan-augmented)...")
+    started = time.perf_counter()
+    result = check_program(pg)
+    print(f"  done in {time.perf_counter() - started:.1f}s\n")
+
+    header = f"{'checker':8} | {'BL RE':>5} {'BL FP':>5} | {'GR RE':>5} {'GR FP':>5} {'GR new-true':>11}"
+    print(header)
+    print("-" * len(header))
+    for cls in ALL_CHECKERS:
+        bl = result.score(workload.ground_truth, "baseline", cls.name)
+        gr = result.score(workload.ground_truth, "augmented", cls.name)
+        print(
+            f"{cls.name:8} | {bl.reported:5} {bl.false_positives:5} | "
+            f"{gr.reported:5} {gr.false_positives:5} {gr.true_positives:11}"
+        )
+
+    print("\nNULL findings by module (drivers should dominate, Table 4):")
+    breakdown = result.module_breakdown("augmented", "UNTest")
+    for module, count in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"  {module:10} {'#' * min(count, 60)} {count}")
+
+    print("\nexample reports:")
+    for report in result.all_reports("augmented")[:5]:
+        print(f"  [{report.checker}] {report.module}/{report.function}:"
+              f"{report.line}: {report.message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: analyze a small C program with Graspan.
+
+Runs the full pipeline on a classic interprocedural NULL bug:
+MiniC source -> context-sensitive program graphs -> pointer/alias
+analysis -> NULL dataflow analysis -> queries, all through the public
+API.  Takes well under a second.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import (
+    NullDataflowAnalysis,
+    PointsToAnalysis,
+    compile_program,
+)
+
+SOURCE = """
+/* A NULL born two calls deep -- the pattern intraprocedural
+ * checkers miss (paper, Figure 3). */
+
+void *find_entry(int key) {
+    int *entry;
+    entry = NULL;
+    if (key > 0) { entry = malloc(32); }
+    return entry;
+}
+
+void *lookup(int key) {
+    int *hit;
+    hit = find_entry(key);
+    return hit;
+}
+
+void handler(void) {
+    int *req;
+    int *safe;
+    req = lookup(0);
+    *req = 1;                    /* potential NULL dereference! */
+    safe = lookup(1);
+    if (safe) { *safe = 2; }     /* this one is guarded */
+}
+"""
+
+
+def main() -> None:
+    # 1. Frontend: parse, lower, build the call graph, and inline every
+    #    function once per calling context (aggressive cloning, §3).
+    pg = compile_program(SOURCE, module="example")
+    print(f"program graph: {pg.num_vertices} vertices, {pg.num_edges} edges, "
+          f"{pg.inline_count} inlines, {pg.namer.num_contexts} contexts")
+
+    # 2. Pointer/alias analysis: grammar-guided transitive closure on the
+    #    expression graph (objectFlow edges = points-to facts).
+    pts = PointsToAnalysis().run(pg)
+    print(f"points-to facts: {pts.num_points_to_facts}, "
+          f"alias facts: {pts.num_alias_facts}")
+    print("handler::req may point to:", sorted(pts.var_points_to("handler", "req")))
+
+    # 3. NULL dataflow analysis, built on the pointer results (§5).
+    nulls = NullDataflowAnalysis().run(pg, pointsto=pts)
+    for var in ("req", "safe"):
+        verdict = "MAY be NULL" if nulls.may_receive("handler", var) else "never NULL"
+        contexts = nulls.contexts_reaching("handler", var)
+        print(f"handler::{var}: {verdict}"
+              + (f" (in {len(contexts)} context(s))" if contexts else ""))
+
+    assert nulls.may_receive("handler", "req")
+    assert nulls.may_receive("handler", "safe")  # flow-insensitive: same callee
+    print("\nThe dereference of `req` is unguarded -> a real bug a depth-0 "
+          "checker cannot see.")
+
+
+if __name__ == "__main__":
+    main()

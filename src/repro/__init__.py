@@ -1,0 +1,81 @@
+"""Graspan reproduction: a disk-based edge-pair-centric graph system for
+interprocedural static analysis (ASPLOS 2017).
+
+Layer map (bottom-up):
+
+* :mod:`repro.grammar` — analysis grammars (``add_constraint`` API,
+  binarization, the built-in pointer/alias and NULL-dataflow grammars)
+* :mod:`repro.graph` — packed sorted edge arrays, in-memory graphs, disk
+  edge-list formats
+* :mod:`repro.partition` — vertex intervals (VIT), partitions, the
+  destination distribution map (DDM), preprocessing, repartitioning
+* :mod:`repro.engine` — the edge-pair-centric computation (Algorithm 1),
+  the DDM-delta scheduler, in-memory and out-of-core drivers
+* :mod:`repro.frontend` — the MiniC compiler frontend: parsing, lowering,
+  call graphs, context-sensitive inlining, program-graph generation
+* :mod:`repro.analysis` — the pointer/alias and NULL/taint dataflow
+  analyses as a user-facing API
+* :mod:`repro.checkers` — Table 1's checkers, baseline and augmented
+* :mod:`repro.baselines` — ODA, a Datalog engine, a GraphChi-like system
+* :mod:`repro.workloads` — generated evaluation codebases with ground truth
+* :mod:`repro.bench` — the per-table/figure reproduction harness
+
+Quickstart::
+
+    from repro import compile_program, PointsToAnalysis, NullDataflowAnalysis
+
+    pg = compile_program(open("prog.c").read())
+    pts = PointsToAnalysis().run(pg)
+    nulls = NullDataflowAnalysis().run(pg, pointsto=pts)
+    print(nulls.may_receive("main", "p"))
+"""
+
+from repro.analysis import (
+    EscapeAnalysis,
+    EscapeResult,
+    NullDataflowAnalysis,
+    PointsToAnalysis,
+    PointsToResult,
+    SourceFlowResult,
+    TaintDataflowAnalysis,
+)
+from repro.engine import GraspanComputation, GraspanEngine, naive_closure
+from repro.frontend import compile_program, dataflow_graph, parse, pointer_graph
+from repro.grammar import (
+    Grammar,
+    FrozenGrammar,
+    nullflow_grammar,
+    pointsto_grammar,
+    pointsto_grammar_extended,
+)
+from repro.graph import MemGraph
+from repro.checkers import check_program, run_analyses, run_checkers
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "compile_program",
+    "parse",
+    "pointer_graph",
+    "dataflow_graph",
+    "Grammar",
+    "FrozenGrammar",
+    "pointsto_grammar",
+    "pointsto_grammar_extended",
+    "nullflow_grammar",
+    "MemGraph",
+    "GraspanEngine",
+    "GraspanComputation",
+    "naive_closure",
+    "PointsToAnalysis",
+    "PointsToResult",
+    "NullDataflowAnalysis",
+    "TaintDataflowAnalysis",
+    "SourceFlowResult",
+    "EscapeAnalysis",
+    "EscapeResult",
+    "check_program",
+    "run_analyses",
+    "run_checkers",
+]

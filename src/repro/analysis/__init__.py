@@ -1,0 +1,33 @@
+"""The paper's two interprocedural analyses, as a library API.
+
+Typical use::
+
+    from repro.frontend import compile_program
+    from repro.analysis import PointsToAnalysis, NullDataflowAnalysis
+
+    pg = compile_program(source)
+    pts = PointsToAnalysis().run(pg)
+    nulls = NullDataflowAnalysis().run(pg, pointsto=pts)
+    nulls.may_receive("caller", "q")   # may q be NULL in some context?
+"""
+
+from repro.analysis.pointsto import PointsToAnalysis, PointsToResult
+from repro.analysis.dataflow import (
+    NullDataflowAnalysis,
+    SourceFlowResult,
+    SourceTrackingAnalysis,
+    TaintDataflowAnalysis,
+)
+from repro.analysis.escape import EscapeAnalysis, EscapeInfo, EscapeResult
+
+__all__ = [
+    "PointsToAnalysis",
+    "PointsToResult",
+    "NullDataflowAnalysis",
+    "TaintDataflowAnalysis",
+    "SourceTrackingAnalysis",
+    "SourceFlowResult",
+    "EscapeAnalysis",
+    "EscapeInfo",
+    "EscapeResult",
+]

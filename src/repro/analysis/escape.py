@@ -1,0 +1,138 @@
+"""Escape analysis: a third grammar-backed client of the engine.
+
+The paper positions Graspan as a backend for *many* interprocedural
+analyses (§3 lists polymorphic flow, shape, information-flow analyses as
+CFL-reachability instances).  This module demonstrates the claim with a
+classic: **escape analysis** — does a heap object outlive the function
+that allocated it?  Knowing it does not enables stack allocation,
+lock elision, and scalar replacement.
+
+No new closure is needed: the pointer analysis' ``objectFlow`` edges
+already encode every (object, variable) flow, and full context-sensitive
+inlining makes frames explicit — each clone *is* a frame, and the clone
+tree *is* the call tree.  An object allocated in clone ``c`` of function
+``f`` escapes iff it flows to
+
+* a **global** vertex (visible after ``f`` returns),
+* a vertex in a **strict ancestor** context (the value traveled up past
+  ``f``'s frame — the inlined form of "returned to a caller"), or a
+  vertex in an unrelated branch of the clone tree (which implies an
+  ancestor hop anyway; kept for conservatism),
+* a **dereference** vertex (stored into some heap cell; field-insensitive
+  like the rest of the system, so any heap store is treated as escaping),
+* a **same-context vertex of a different function** (only possible inside
+  a collapsed recursion group, where frame lifetimes are merged).
+
+Flowing *down* into callee clones is not an escape: those frames die
+before the allocator's does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.analysis.pointsto import PointsToResult
+from repro.frontend.graphgen import ProgramGraphs
+
+
+@dataclass(frozen=True)
+class EscapeInfo:
+    """Verdict for one allocation-site clone."""
+
+    object_vid: int
+    function: str
+    context: int
+    symbol: str  # e.g. "alloc@12.1"
+    escapes: bool
+    reasons: Tuple[str, ...]  # subset of {"global", "caller", "heap", "recursion"}
+
+
+class EscapeResult:
+    """Escape verdicts for every allocation-site clone."""
+
+    def __init__(self, infos: List[EscapeInfo]) -> None:
+        self._infos = infos
+        self._by_site: Dict[Tuple[str, str], List[EscapeInfo]] = {}
+        for info in infos:
+            self._by_site.setdefault((info.function, info.symbol), []).append(info)
+
+    def __iter__(self):
+        return iter(self._infos)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self._infos)
+
+    @property
+    def num_escaping(self) -> int:
+        return sum(1 for i in self._infos if i.escapes)
+
+    def escapes(self, function: str, symbol: str) -> bool:
+        """Does the named allocation site escape in *any* context?"""
+        infos = self._by_site.get((function, symbol))
+        if infos is None:
+            raise KeyError(f"no allocation site {symbol!r} in {function!r}")
+        return any(i.escapes for i in infos)
+
+    def stack_allocatable(self, function: str) -> List[str]:
+        """Allocation sites of ``function`` that never escape — the
+        classic optimization payoff."""
+        out = []
+        for (func, symbol), infos in sorted(self._by_site.items()):
+            if func == function and not any(i.escapes for i in infos):
+                out.append(symbol)
+        return out
+
+    def summary_by_function(self) -> Dict[str, Tuple[int, int]]:
+        """function -> (escaping clones, total clones)."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for info in self._infos:
+            esc, total = out.get(info.function, (0, 0))
+            out[info.function] = (esc + int(info.escapes), total + 1)
+        return out
+
+
+@dataclass
+class EscapeAnalysis:
+    """Classify allocation sites using pointer-analysis object flows."""
+
+    def run(self, pg: ProgramGraphs, pointsto: PointsToResult) -> EscapeResult:
+        namer = pg.namer
+        # reasons per object, accumulated over its objectFlow targets
+        reasons: Dict[int, Set[str]] = {}
+        obj_src, var_dst = pointsto.computation.edges_with_label_arrays("OF")
+        for obj, var in zip(obj_src, var_dst):
+            obj, var = int(obj), int(var)
+            if not namer.symbol(obj).startswith("alloc@"):
+                continue  # function objects (fn:*) are not heap allocations
+            acc = reasons.setdefault(obj, set())
+            var_function = namer.function(var)
+            if var_function == "":
+                acc.add("global")
+                continue
+            if namer.is_deref_symbol(var):
+                acc.add("heap")
+                continue
+            obj_ctx = namer.context(obj)
+            var_ctx = namer.context(var)
+            if var_ctx == obj_ctx:
+                if var_function != namer.function(obj):
+                    acc.add("recursion")
+                continue  # same frame: stays local
+            if namer.is_context_ancestor(obj_ctx, var_ctx):
+                continue  # flowed *down* into a callee: dies first
+            acc.add("caller")
+
+        infos = [
+            EscapeInfo(
+                object_vid=obj,
+                function=namer.function(obj),
+                context=namer.context(obj),
+                symbol=namer.symbol(obj),
+                escapes=bool(reason_set),
+                reasons=tuple(sorted(reason_set)),
+            )
+            for obj, reason_set in sorted(reasons.items())
+        ]
+        return EscapeResult(infos)

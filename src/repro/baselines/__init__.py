@@ -1,0 +1,23 @@
+"""The systems the paper compares against, rebuilt at model scale (§5.3-5.4)."""
+
+from repro.baselines.oda import ODAResult, run_oda
+from repro.baselines.datalog import (
+    DatalogEngine,
+    DatalogResult,
+    Rule,
+    grammar_to_rules,
+    run_datalog,
+)
+from repro.baselines.vertexcentric import VertexCentricResult, run_vertexcentric
+
+__all__ = [
+    "ODAResult",
+    "run_oda",
+    "DatalogEngine",
+    "DatalogResult",
+    "Rule",
+    "grammar_to_rules",
+    "run_datalog",
+    "VertexCentricResult",
+    "run_vertexcentric",
+]

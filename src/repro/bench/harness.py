@@ -1,0 +1,106 @@
+"""Benchmark harness plumbing: scaling knobs, table rendering, run records.
+
+Every experiment in :mod:`repro.bench.tables` returns plain row dicts so
+tests can assert on them; :func:`render_table` turns them into the ASCII
+tables the ``benchmarks/`` suite prints and saves.  ``REPRO_BENCH_SCALE``
+scales every workload (default 1.0); CI or curious users can turn it up.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Environment variable scaling all benchmark workloads.
+SCALE_ENV = "REPRO_BENCH_SCALE"
+
+
+def bench_scale(default: float = 1.0) -> float:
+    raw = os.environ.get(SCALE_ENV)
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"{SCALE_ENV} must be positive, got {raw}")
+    return value
+
+
+@dataclass
+class Measured:
+    """A value plus how long it took to produce."""
+
+    value: object
+    seconds: float
+
+
+def measure(fn: Callable[[], object]) -> Measured:
+    start = time.perf_counter()
+    value = fn()
+    return Measured(value=value, seconds=time.perf_counter() - start)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: Optional[str] = None,
+) -> str:
+    """Render an ASCII table in the style of the paper's tables."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    rule = "-+-".join("-" * width for width in widths)
+    out = [f"== {title} ==", line(cells[0]), rule]
+    out.extend(line(row) for row in cells[1:])
+    if note:
+        out.append(f"({note})")
+    return "\n".join(out)
+
+
+def rows_from_dicts(
+    dicts: Sequence[Dict[str, object]], keys: Sequence[str]
+) -> List[List[object]]:
+    return [[d.get(k, "") for k in keys] for d in dicts]
+
+
+#: Glyphs for ASCII sparklines, lowest to highest.
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a series as a fixed-width ASCII sparkline.
+
+    Used to draw Figure 4's per-superstep curves in a terminal.  Values
+    are bucketed to ``width`` columns (max within each bucket) and
+    scaled to the glyph ramp.
+    """
+    if not values:
+        return ""
+    values = [max(0.0, float(v)) for v in values]
+    if len(values) > width:
+        bucket = len(values) / width
+        values = [
+            max(values[int(i * bucket) : max(int((i + 1) * bucket), int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    peak = max(values)
+    if peak == 0:
+        return _SPARK_GLYPHS[0] * len(values)
+    scale = len(_SPARK_GLYPHS) - 1
+    return "".join(
+        _SPARK_GLYPHS[min(scale, round(v / peak * scale))] for v in values
+    )
+
+
+def save_and_print(text: str, path: Optional[str] = None) -> None:
+    """Print a rendered table and append it to a results file."""
+    print("\n" + text + "\n")
+    if path is not None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "a") as f:
+            f.write(text + "\n\n")

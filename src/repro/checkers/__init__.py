@@ -1,0 +1,53 @@
+"""Static checkers: Table 1's seven, baseline and Graspan-augmented, plus UNTest."""
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.checkers.block import BlockChecker
+from repro.checkers.free import FreeChecker
+from repro.checkers.lock import LockChecker
+from repro.checkers.null import NullChecker
+from repro.checkers.pnull import PNullChecker
+from repro.checkers.range import RangeChecker
+from repro.checkers.size import SizeChecker
+from repro.checkers.untest import UNTestChecker
+from repro.checkers.diffing import (
+    FindingsDiff,
+    diff_reports,
+    diff_runs,
+    load_findings,
+    save_findings,
+)
+from repro.checkers.driver import (
+    ALL_CHECKERS,
+    CheckerRunResult,
+    CheckerScore,
+    GroundTruthBug,
+    check_program,
+    run_analyses,
+    run_checkers,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "BugReport",
+    "Checker",
+    "BlockChecker",
+    "FreeChecker",
+    "LockChecker",
+    "NullChecker",
+    "PNullChecker",
+    "RangeChecker",
+    "SizeChecker",
+    "UNTestChecker",
+    "ALL_CHECKERS",
+    "CheckerRunResult",
+    "CheckerScore",
+    "GroundTruthBug",
+    "check_program",
+    "run_analyses",
+    "run_checkers",
+    "FindingsDiff",
+    "diff_reports",
+    "diff_runs",
+    "save_findings",
+    "load_findings",
+]

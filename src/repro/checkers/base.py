@@ -1,0 +1,133 @@
+"""Checker framework: reports, shared context, and scan helpers.
+
+Each checker from Table 1 is implemented twice, mirroring the paper's
+evaluation: a **baseline** pattern-matching version with the documented
+heuristics and limitations, and a **Graspan-augmented** version that
+consults the interprocedural pointer/alias and dataflow analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.dataflow import SourceFlowResult
+from repro.analysis.pointsto import PointsToResult
+from repro.frontend.graphgen import ProgramGraphs
+from repro.frontend.lower import LoweredFunction, LStmt
+
+
+@dataclass(frozen=True)
+class BugReport:
+    """One warning produced by a checker."""
+
+    checker: str
+    function: str
+    module: str
+    line: int
+    variable: Optional[str]
+    message: str
+    interprocedural: bool = False  # True when the Graspan analyses found it
+
+    def match_key(self) -> Tuple[str, str, Optional[str]]:
+        """The key ground-truth scoring matches on."""
+        return (self.checker, self.function, self.variable)
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a checker may consult."""
+
+    pg: ProgramGraphs
+    pointsto: Optional[PointsToResult] = None
+    nullflow: Optional[SourceFlowResult] = None
+    taintflow: Optional[SourceFlowResult] = None
+
+    @property
+    def lowered(self):
+        return self.pg.lowered
+
+    def functions(self) -> Iterable[LoweredFunction]:
+        return self.pg.lowered.functions.values()
+
+    def require(self, *names: str) -> None:
+        for name in names:
+            if getattr(self, name) is None:
+                raise ValueError(
+                    f"this checker's augmented mode needs the {name} analysis result"
+                )
+
+
+class Checker:
+    """Base class; subclasses set ``name`` and override the two modes."""
+
+    name: str = "?"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        raise NotImplementedError
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared scan helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def deref_sites(func: LoweredFunction) -> List[Tuple[int, str, LStmt]]:
+        """(index, base-variable, stmt) of every dereference in order."""
+        sites = []
+        for i, stmt in enumerate(func.stmts):
+            if stmt.kind == "load":
+                sites.append((i, stmt.rhs, stmt))
+            elif stmt.kind == "store":
+                sites.append((i, stmt.lhs, stmt))
+        return sites
+
+    @staticmethod
+    def is_protected(func: LoweredFunction, index: int, var: str) -> bool:
+        """Is the statement at ``index`` protected by a NULL check on ``var``?
+
+        Protection means an enclosing non-NULL guard, or any earlier test
+        on the variable in the same function (the ``if (!p) return;``
+        idiom leaves later statements outside the guard's scope but
+        clearly checked).
+        """
+        stmt = func.stmts[index]
+        for guard in stmt.guards:
+            if guard.var == var and guard.nonnull:
+                return True
+        for earlier in func.stmts[:index]:
+            if earlier.kind == "test" and earlier.rhs == var:
+                return True
+        return False
+
+    @staticmethod
+    def reassigned_between(
+        func: LoweredFunction, start: int, end: int, var: str
+    ) -> bool:
+        """Was ``var`` written by any statement in ``(start, end)``?"""
+        for stmt in func.stmts[start + 1 : end]:
+            if stmt.lhs == var and stmt.kind in (
+                "copy",
+                "load",
+                "alloc",
+                "null",
+                "const",
+                "call",
+                "binop",
+                "addrof",
+                "funcref",
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def dedup(reports: Sequence[BugReport]) -> List[BugReport]:
+        seen: Set[Tuple] = set()
+        out: List[BugReport] = []
+        for report in reports:
+            key = (report.checker, report.function, report.variable, report.line)
+            if key not in seen:
+                seen.add(key)
+                out.append(report)
+        return out

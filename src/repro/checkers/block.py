@@ -1,0 +1,133 @@
+"""Block: blocking calls inside critical sections (Table 1, row 1).
+
+Baseline heuristic: only *direct* calls to the blocking primitive
+(``sleep``) between a ``lock``/``unlock`` pair are reported.  Blocking
+hidden behind a wrapper function or invoked through a function pointer
+is missed (false negatives).
+
+Graspan augmentation: (1) close the "blocks" property over the call
+graph so wrappers are caught, and (2) resolve function-pointer calls
+with the pointer analysis — function references are modeled as
+``fn:<name>`` objects, so points-to on the pointer variable recovers the
+possible callees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.frontend.ast import BLOCKING_BUILTINS
+
+
+class BlockChecker(Checker):
+    name = "Block"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            depth = 0
+            for stmt in func.stmts:
+                if stmt.kind == "lock":
+                    depth += 1
+                elif stmt.kind == "unlock":
+                    depth = max(0, depth - 1)
+                elif (
+                    stmt.kind == "call"
+                    and depth > 0
+                    and stmt.callee in BLOCKING_BUILTINS
+                ):
+                    reports.append(
+                        BugReport(
+                            checker=self.name,
+                            function=func.name,
+                            module=func.module,
+                            line=stmt.line,
+                            variable=stmt.callee,
+                            message=f"direct call to blocking {stmt.callee}() "
+                            "while holding a lock",
+                        )
+                    )
+        return self.dedup(reports)
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("pointsto")
+        blocking = self._blocking_closure(ctx)
+        reports = list(self.check_baseline(ctx))
+        for func in ctx.functions():
+            local_vars = set(func.params) | set(func.locals)
+            depth = 0
+            for stmt in func.stmts:
+                if stmt.kind == "lock":
+                    depth += 1
+                elif stmt.kind == "unlock":
+                    depth = max(0, depth - 1)
+                elif stmt.kind == "call" and depth > 0:
+                    callee = stmt.callee
+                    if callee in blocking:
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=stmt.line,
+                                variable=callee,
+                                message=f"call to {callee}(), which transitively "
+                                "blocks, while holding a lock",
+                                interprocedural=True,
+                            )
+                        )
+                    elif callee in local_vars or callee in ctx.pg.lowered.global_vars:
+                        targets = self._pointer_targets(ctx, func.name, callee)
+                        hit = sorted(targets & blocking)
+                        if hit:
+                            reports.append(
+                                BugReport(
+                                    checker=self.name,
+                                    function=func.name,
+                                    module=func.module,
+                                    line=stmt.line,
+                                    variable=callee,
+                                    message=(
+                                        f"indirect call through {callee!r} may "
+                                        f"invoke blocking {hit[0]}() while "
+                                        "holding a lock"
+                                    ),
+                                    interprocedural=True,
+                                )
+                            )
+        return self.dedup(reports)
+
+    @staticmethod
+    def _blocking_closure(ctx: AnalysisContext) -> Set[str]:
+        """Defined functions that may (transitively) call ``sleep``."""
+        direct: Set[str] = set()
+        for func in ctx.functions():
+            for stmt in func.stmts:
+                if stmt.kind == "call" and stmt.callee in BLOCKING_BUILTINS:
+                    direct.add(func.name)
+        callgraph = ctx.pg.callgraph
+        blocking = set(direct)
+        changed = True
+        while changed:
+            changed = False
+            for caller, sites in callgraph.callees.items():
+                if caller in blocking:
+                    continue
+                if any(site.callee in blocking for site in sites):
+                    blocking.add(caller)
+                    changed = True
+        return blocking
+
+    @staticmethod
+    def _pointer_targets(
+        ctx: AnalysisContext, function: str, pointer_var: str
+    ) -> Set[str]:
+        targets: Set[str] = set()
+        namer = ctx.pg.namer
+        vids = namer.vertices_for(function, pointer_var)
+        if not vids:  # a global function pointer
+            vids = namer.vertices_for("", "@" + pointer_var)
+        for vid in vids:
+            targets |= ctx.pointsto.function_pointer_targets(vid)
+        return targets

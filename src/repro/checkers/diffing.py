@@ -1,0 +1,98 @@
+"""Report diffing: what changed since the last analysis run?
+
+The paper's motivating workflow is daily development — "developers can
+check their code on a regular basis" (§1.3).  What a developer acts on
+day-to-day is the *delta*: findings introduced or fixed since the last
+run, not the full report.  This module diffs two checker runs (or their
+serialized forms) into introduced/fixed/persisting buckets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple, Union
+
+from repro.checkers.base import BugReport
+from repro.checkers.driver import CheckerRunResult
+
+PathLike = Union[str, Path]
+
+Key = Tuple[str, str, str]  # (checker, function, variable)
+
+
+def _keys(reports: Iterable[BugReport]) -> Set[Key]:
+    return {
+        (r.checker, r.function, r.variable or "") for r in reports
+    }
+
+
+@dataclass
+class FindingsDiff:
+    """Delta between two runs of the same checker battery."""
+
+    introduced: List[Key] = field(default_factory=list)
+    fixed: List[Key] = field(default_factory=list)
+    persisting: List[Key] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the change introduced no new findings."""
+        return not self.introduced
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.introduced)} introduced, "
+            f"-{len(self.fixed)} fixed, "
+            f"{len(self.persisting)} persisting"
+        )
+
+
+def diff_reports(
+    before: Iterable[BugReport], after: Iterable[BugReport]
+) -> FindingsDiff:
+    """Diff two flat report lists by (checker, function, variable)."""
+    old, new = _keys(before), _keys(after)
+    return FindingsDiff(
+        introduced=sorted(new - old),
+        fixed=sorted(old - new),
+        persisting=sorted(old & new),
+    )
+
+
+def diff_runs(
+    before: CheckerRunResult,
+    after: CheckerRunResult,
+    mode: str = "augmented",
+) -> FindingsDiff:
+    """Diff two full checker runs in the given mode."""
+    return diff_reports(before.all_reports(mode), after.all_reports(mode))
+
+
+# ---------------------------------------------------------------------------
+# persistence: snapshot a run so tomorrow's run can diff against it
+# ---------------------------------------------------------------------------
+
+
+def save_findings(reports: Iterable[BugReport], path: PathLike) -> None:
+    """Serialize reports to JSON (a findings snapshot for later diffing)."""
+    payload = [
+        {
+            "checker": r.checker,
+            "function": r.function,
+            "module": r.module,
+            "line": r.line,
+            "variable": r.variable,
+            "message": r.message,
+            "interprocedural": r.interprocedural,
+        }
+        for r in reports
+    ]
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_findings(path: PathLike) -> List[BugReport]:
+    """Load a findings snapshot written by :func:`save_findings`."""
+    payload = json.loads(Path(path).read_text())
+    return [BugReport(**entry) for entry in payload]

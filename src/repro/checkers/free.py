@@ -1,0 +1,80 @@
+"""Free: use-after-free and double-free (Table 1, row 5).
+
+Baseline heuristic: after ``free(x)``, any later use of a variable *with
+the same name* is flagged.  Aliases escape it entirely — ``free(x)``
+followed by a dereference of ``y`` where ``y`` aliases ``x`` is missed
+(false negatives by name matching).
+
+Graspan augmentation: the pointer/alias analysis identifies uses through
+*any* alias of the freed pointer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+
+
+class FreeChecker(Checker):
+    name = "Free"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            frees = [
+                (i, s.rhs, s) for i, s in enumerate(func.stmts) if s.kind == "free"
+            ]
+            for i, freed, _ in frees:
+                if not freed:
+                    continue
+                for j, stmt in enumerate(func.stmts[i + 1 :], start=i + 1):
+                    if self.reassigned_between(func, i, j + 1, freed):
+                        break  # fresh value; later uses are fine
+                    uses = stmt.kind in ("load",) and stmt.rhs == freed
+                    uses = uses or (stmt.kind == "store" and stmt.lhs == freed)
+                    double = stmt.kind == "free" and stmt.rhs == freed
+                    if uses or double:
+                        what = "double free of" if double else "use after free of"
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=stmt.line,
+                                variable=freed,
+                                message=f"{what} {freed!r}",
+                            )
+                        )
+        return self.dedup(reports)
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("pointsto")
+        reports = list(self.check_baseline(ctx))
+        for func in ctx.functions():
+            frees = [(i, s.rhs) for i, s in enumerate(func.stmts) if s.kind == "free"]
+            for i, freed in frees:
+                if not freed:
+                    continue
+                for j, base, deref in self.deref_sites(func):
+                    if j <= i or base == freed or base.startswith("%"):
+                        continue
+                    if not ctx.pointsto.vars_may_alias(
+                        func.name, freed, func.name, base
+                    ):
+                        continue
+                    reports.append(
+                        BugReport(
+                            checker=self.name,
+                            function=func.name,
+                            module=func.module,
+                            line=deref.line,
+                            variable=base,
+                            message=(
+                                f"use of {base!r}, which may alias {freed!r} "
+                                f"freed at line {func.stmts[i].line}"
+                            ),
+                            interprocedural=True,
+                        )
+                    )
+        return self.dedup(reports)

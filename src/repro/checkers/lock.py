@@ -1,0 +1,87 @@
+"""Lock: double acquisition and unreleased locks (Table 1, row 4).
+
+Baseline heuristic: locks are identified *by variable name* — ``lock(l)``
+while ``l`` is already held is a double acquire; a lock still held at
+function exit was not restored.  Two different names for the same lock
+object defeat it.
+
+Graspan augmentation: the alias analysis equates lock variables that may
+point to the same lock object, catching aliased double acquisition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+
+
+class LockChecker(Checker):
+    name = "Lock"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        return self._scan(ctx, aliases=False)
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("pointsto")
+        return self._scan(ctx, aliases=True)
+
+    def _scan(self, ctx: AnalysisContext, aliases: bool) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            held: List[str] = []
+            for stmt in func.stmts:
+                if stmt.kind == "lock" and stmt.rhs:
+                    conflict = self._conflicting(ctx, func.name, held, stmt.rhs, aliases)
+                    if conflict is not None:
+                        same_name = conflict == stmt.rhs
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=stmt.line,
+                                variable=stmt.rhs,
+                                message=(
+                                    f"double acquisition of lock {stmt.rhs!r}"
+                                    + (
+                                        ""
+                                        if same_name
+                                        else f" (aliases held lock {conflict!r})"
+                                    )
+                                ),
+                                interprocedural=not same_name,
+                            )
+                        )
+                    held.append(stmt.rhs)
+                elif stmt.kind == "unlock" and stmt.rhs in held:
+                    held.remove(stmt.rhs)
+            for leftover in held:
+                reports.append(
+                    BugReport(
+                        checker=self.name,
+                        function=func.name,
+                        module=func.module,
+                        line=func.stmts[-1].line if func.stmts else func.line,
+                        variable=leftover,
+                        message=f"lock {leftover!r} not released on exit",
+                    )
+                )
+        return self.dedup(reports)
+
+    @staticmethod
+    def _conflicting(
+        ctx: AnalysisContext,
+        function: str,
+        held: List[str],
+        incoming: str,
+        aliases: bool,
+    ) -> Optional[str]:
+        for lock_var in held:
+            if lock_var == incoming:
+                return lock_var
+            if aliases and ctx.pointsto.vars_may_alias(
+                function, lock_var, function, incoming
+            ):
+                return lock_var
+        return None

@@ -1,0 +1,102 @@
+"""The Null checker: NULL pointer dereferences (Table 1, row 2).
+
+Baseline heuristic (Chou et al. / Palix et al.): only functions that
+*directly* return an explicitly assigned NULL are considered NULL
+producers; a dereference of such a call's result without a check is
+reported.  NULL born mid-callee and propagated through intermediate
+returns or parameters is missed entirely (false negatives), and a NULL
+return that is dead on every path still triggers reports (false
+positives).
+
+Graspan augmentation: the interprocedural NULL dataflow analysis marks
+every variable any calling context can make NULL; unprotected
+dereferences of those are reported regardless of how far the NULL
+traveled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+
+
+class NullChecker(Checker):
+    name = "Null"
+
+    # ------------------------------------------------------------------
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        returners = self._direct_null_returners(ctx)
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            module = func.module
+            for i, stmt in enumerate(func.stmts):
+                if stmt.kind != "call" or stmt.callee not in returners:
+                    continue
+                v = stmt.lhs
+                if not v:
+                    continue
+                for j, base, deref in self.deref_sites(func):
+                    if j <= i or base != v:
+                        continue
+                    if self.reassigned_between(func, i, j, v):
+                        continue
+                    if self.is_protected(func, j, v):
+                        continue
+                    reports.append(
+                        BugReport(
+                            checker=self.name,
+                            function=func.name,
+                            module=module,
+                            line=deref.line,
+                            variable=v,
+                            message=(
+                                f"dereference of {v!r}, result of "
+                                f"{stmt.callee}() which returns NULL"
+                            ),
+                        )
+                    )
+        return self.dedup(reports)
+
+    @staticmethod
+    def _direct_null_returners(ctx: AnalysisContext) -> Set[str]:
+        """Functions with a return variable assigned NULL in their own body."""
+        out: Set[str] = set()
+        for func in ctx.functions():
+            returned = set(func.return_vars())
+            if not returned:
+                continue
+            for stmt in func.stmts:
+                if stmt.kind == "null" and stmt.lhs in returned:
+                    out.add(func.name)
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("nullflow")
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            for j, base, deref in self.deref_sites(func):
+                if base.startswith("%"):
+                    continue  # temps carry no user-facing name
+                if self.is_protected(func, j, base):
+                    continue
+                if not ctx.nullflow.may_receive(func.name, base):
+                    continue
+                contexts = ctx.nullflow.contexts_reaching(func.name, base)
+                reports.append(
+                    BugReport(
+                        checker=self.name,
+                        function=func.name,
+                        module=func.module,
+                        line=deref.line,
+                        variable=base,
+                        message=(
+                            f"dereference of {base!r}; NULL may reach it in "
+                            f"{len(contexts)} calling context(s)"
+                        ),
+                        interprocedural=True,
+                    )
+                )
+        return self.dedup(reports)

@@ -1,0 +1,70 @@
+"""PNull: dereferences post-dominated by a NULL test (Brown et al., Table 1).
+
+Baseline heuristic: a dereference ``a = b->f`` followed later by a test
+``if (b)`` suggests the developer believes ``b`` can be NULL, so the
+earlier dereference may crash.  In most real cases the dereference sits
+on a path where the pointer cannot be NULL and the test exists for a
+*different* incoming path — a classic false-positive generator.
+
+Graspan augmentation: keep only the reports where the interprocedural
+dataflow analysis confirms NULL can actually reach the pointer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+
+
+class PNullChecker(Checker):
+    name = "PNull"
+
+    def _candidates(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            test_indices = [
+                (i, s.rhs) for i, s in enumerate(func.stmts) if s.kind == "test"
+            ]
+            for j, base, deref in self.deref_sites(func):
+                if base.startswith("%"):
+                    continue
+                if self.is_protected(func, j, base):
+                    continue  # checked before the deref: not the pattern
+                later_test = any(i > j and v == base for i, v in test_indices)
+                if later_test:
+                    reports.append(
+                        BugReport(
+                            checker=self.name,
+                            function=func.name,
+                            module=func.module,
+                            line=deref.line,
+                            variable=base,
+                            message=(
+                                f"dereference of {base!r} is followed by a NULL "
+                                "test on it"
+                            ),
+                        )
+                    )
+        return self.dedup(reports)
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        return self._candidates(ctx)
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("nullflow")
+        out: List[BugReport] = []
+        for report in self._candidates(ctx):
+            if ctx.nullflow.may_receive(report.function, report.variable):
+                out.append(
+                    BugReport(
+                        checker=report.checker,
+                        function=report.function,
+                        module=report.module,
+                        line=report.line,
+                        variable=report.variable,
+                        message=report.message + " (NULL flow confirmed)",
+                        interprocedural=True,
+                    )
+                )
+        return out

@@ -1,0 +1,77 @@
+"""Range: user-controlled array indices without bounds checks (Table 1).
+
+Baseline heuristic: only indices assigned *directly* from the user-data
+source (``i = get_user()``) in the same function count; an index that
+took even one hop (``j = i;`` or arithmetic, or a parameter) is missed.
+
+Graspan augmentation: the taint dataflow analysis tracks user data
+through copies, arithmetic, calls, and heap cells, so transitively
+user-controlled indices are caught too.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.frontend.lower import LoweredFunction
+
+
+class RangeChecker(Checker):
+    name = "Range"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            direct = {
+                s.lhs
+                for s in func.stmts
+                if s.kind == "call" and s.callee == "get_user" and s.lhs
+            }
+            reports.extend(self._scan(func, lambda v: v in direct, False))
+        return self.dedup(reports)
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("taintflow")
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            reports.extend(
+                self._scan(
+                    func,
+                    lambda v, f=func: ctx.taintflow.may_receive(f.name, v),
+                    True,
+                )
+            )
+        return self.dedup(reports)
+
+    def _scan(
+        self, func: LoweredFunction, is_user_controlled, interprocedural: bool
+    ) -> List[BugReport]:
+        reports: List[BugReport] = []
+        checked: Set[str] = set()
+        for stmt in func.stmts:
+            if stmt.kind == "rangetest" and stmt.rhs:
+                checked.add(stmt.rhs)
+                continue
+            if stmt.kind not in ("load", "store") or not stmt.index_var:
+                continue
+            index = stmt.index_var
+            if index in checked or index.startswith("%"):
+                continue
+            if not is_user_controlled(index):
+                continue
+            reports.append(
+                BugReport(
+                    checker=self.name,
+                    function=func.name,
+                    module=func.module,
+                    line=stmt.line,
+                    variable=index,
+                    message=(
+                        f"user-controlled index {index!r} used without a "
+                        "bounds check"
+                    ),
+                    interprocedural=interprocedural,
+                )
+            )
+        return reports

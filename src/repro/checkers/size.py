@@ -1,0 +1,89 @@
+"""Size: allocation sizes inconsistent with the pointer's type (Table 1).
+
+Baseline heuristic: look at allocation sites only — ``p = malloc(s)``
+where the literal ``s`` is not a multiple of ``sizeof(*p)``.  If the
+badly-sized object later flows into a *differently typed* pointer, the
+allocation site itself looks fine and the problem is missed.
+
+Graspan augmentation: for every allocation object, the points-to
+solution lists *all* variables that may point to it; each variable whose
+pointee type does not divide the allocation size is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+
+
+class SizeChecker(Checker):
+    name = "Size"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            for stmt in func.stmts:
+                if stmt.kind != "alloc" or stmt.size is None or not stmt.lhs:
+                    continue
+                elem = func.var_sizes.get(stmt.lhs)
+                if elem is None or stmt.lhs.startswith("%"):
+                    continue
+                if stmt.size % elem != 0:
+                    reports.append(
+                        BugReport(
+                            checker=self.name,
+                            function=func.name,
+                            module=func.module,
+                            line=stmt.line,
+                            variable=stmt.lhs,
+                            message=(
+                                f"malloc({stmt.size}) assigned to {stmt.lhs!r} "
+                                f"whose element size is {elem}"
+                            ),
+                        )
+                    )
+        return self.dedup(reports)
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("pointsto")
+        reports = list(self.check_baseline(ctx))
+        namer = ctx.pg.namer
+        alloc_size_cache: Dict[int, Optional[int]] = {}
+
+        def size_of_object(obj_vid: int) -> Optional[int]:
+            if obj_vid in alloc_size_cache:
+                return alloc_size_cache[obj_vid]
+            info = namer.info(obj_vid)
+            size: Optional[int] = None
+            template = ctx.pg.templates.get(info.function)
+            if template is not None:
+                size = template.alloc_sizes.get(info.symbol)
+            alloc_size_cache[obj_vid] = size
+            return size
+
+        for func in ctx.functions():
+            for var, elem in func.var_sizes.items():
+                if var not in func.pointer_vars or var.startswith("%"):
+                    continue
+                for vid in namer.vertices_for(func.name, var):
+                    for obj in ctx.pointsto.points_to(vid):
+                        size = size_of_object(obj)
+                        if size is None or size % elem == 0:
+                            continue
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=namer.line(vid) or func.line,
+                                variable=var,
+                                message=(
+                                    f"{var!r} (element size {elem}) may point "
+                                    f"to a {size}-byte allocation "
+                                    f"({namer.describe(obj)})"
+                                ),
+                                interprocedural=True,
+                            )
+                        )
+        return self.dedup(reports)

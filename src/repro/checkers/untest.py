@@ -1,0 +1,79 @@
+"""UNTest: unnecessary, over-protective NULL tests (§5.1).
+
+A new, purely interprocedural checker from the paper: it flags NULL
+tests on pointers that *no* calling context can make NULL.  Such tests
+are not bugs but create extra basic blocks that block compiler
+optimizations.  This checker has no baseline version — it only exists
+because the interprocedural dataflow analysis does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.frontend.lower import LoweredFunction
+
+
+class UNTestChecker(Checker):
+    name = "UNTest"
+
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        """No baseline exists (the paper marks this column N/A)."""
+        return []
+
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("nullflow")
+        roots = set(ctx.pg.callgraph.roots())
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            unknown = self._unknown_vars(ctx, func, func.name in roots)
+            for stmt in func.stmts:
+                if stmt.kind != "test" or not stmt.rhs:
+                    continue
+                var = stmt.rhs
+                if var in unknown or var.startswith("%"):
+                    continue
+                if var not in func.pointer_vars:
+                    continue  # integer truthiness tests are not NULL tests
+                if not ctx.nullflow.never_receives(func.name, var):
+                    continue
+                reports.append(
+                    BugReport(
+                        checker=self.name,
+                        function=func.name,
+                        module=func.module,
+                        line=stmt.line,
+                        variable=var,
+                        message=(
+                            f"NULL test on {var!r} is unnecessary: no calling "
+                            "context can make it NULL"
+                        ),
+                        interprocedural=True,
+                    )
+                )
+        return self.dedup(reports)
+
+    @staticmethod
+    def _unknown_vars(
+        ctx: AnalysisContext, func: LoweredFunction, is_root: bool
+    ) -> Set[str]:
+        """Variables whose values come from outside the analyzed world.
+
+        Results of external (undefined) calls and the parameters of root
+        functions (nobody calls them, so nothing constrains their
+        arguments) may legitimately be NULL even when the closed-world
+        analysis sees no NULL flow; tests on them are never flagged.
+        """
+        defined = set(ctx.pg.lowered.functions)
+        unknown: Set[str] = set()
+        if is_root:
+            unknown.update(func.params)
+        for stmt in func.stmts:
+            if (
+                stmt.kind == "call"
+                and stmt.lhs
+                and stmt.callee not in defined
+            ):
+                unknown.add(stmt.lhs)
+        return unknown

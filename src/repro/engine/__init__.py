@@ -1,0 +1,28 @@
+"""The edge-pair-centric computation engine (§4.2-§4.3)."""
+
+from repro.engine.engine import (
+    GraspanComputation,
+    GraspanEngine,
+    align_graph_labels,
+)
+from repro.engine.join import CsrView, apply_unary_closure, join_edges
+from repro.engine.naive import naive_closure
+from repro.engine.scheduler import RoundRobinScheduler, Scheduler
+from repro.engine.stats import EngineStats, SuperstepRecord
+from repro.engine.superstep import SuperstepResult, run_superstep
+
+__all__ = [
+    "GraspanComputation",
+    "GraspanEngine",
+    "align_graph_labels",
+    "CsrView",
+    "apply_unary_closure",
+    "join_edges",
+    "naive_closure",
+    "Scheduler",
+    "RoundRobinScheduler",
+    "EngineStats",
+    "SuperstepRecord",
+    "SuperstepResult",
+    "run_superstep",
+]

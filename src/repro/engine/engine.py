@@ -1,0 +1,321 @@
+"""The Graspan engine: out-of-core, edge-pair-centric DTC computation.
+
+:class:`GraspanEngine` ties everything together (§4): preprocessing shards
+the input graph; the scheduler picks two partitions per superstep from the
+DDM deltas; each superstep runs Algorithm 1's fixed point over the loaded
+edge lists; new edges are bucketed back into the DDM; oversized partitions
+are split; and the run ends when every DDM delta cell is clean.  The
+result object exposes the paper's reporting APIs — iterate edges with a
+given label (e.g. ``objectFlow`` for a points-to solution) — plus the
+statistics behind Tables 5-6 and Figure 4.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.engine.scheduler import Scheduler
+from repro.engine.stats import EngineStats, SuperstepRecord
+from repro.engine.superstep import run_superstep
+from repro.graph import packed
+from repro.graph.graph import MemGraph
+from repro.grammar.grammar import FrozenGrammar
+from repro.partition.preprocess import preprocess
+from repro.partition.pset import PartitionSet
+from repro.util.timing import Stopwatch
+
+PathLike = Union[str, Path]
+
+
+class GraspanComputation:
+    """The finished computation: final graph, stats, and reporting APIs."""
+
+    def __init__(
+        self, pset: PartitionSet, grammar: FrozenGrammar, stats: EngineStats
+    ) -> None:
+        self.pset = pset
+        self.grammar = grammar
+        self.stats = stats
+
+    def load_resident(self) -> "GraspanComputation":
+        """Pull every partition into memory so results outlive the workdir.
+
+        Out-of-core runs leave the final partitions on disk; call this
+        before the working directory is deleted if you want to keep
+        querying the computation.  Returns self for chaining.
+        """
+        for pid in range(self.pset.num_partitions):
+            self.pset.acquire(pid)
+        return self
+
+    def iter_edges_with_label(self, label: "int | str") -> Iterator[Tuple[int, int]]:
+        """Iterate ``(src, dst)`` pairs of edges carrying ``label`` (§4.4).
+
+        For the pointer analysis, label ``OF`` yields the points-to
+        solution and ``AL`` the alias pairs.
+        """
+        if isinstance(label, str):
+            label = self.grammar.label_id(label)
+        for src, dst, lab in self.pset.iter_all_edges():
+            if lab == label:
+                yield src, dst
+
+    def edges_with_label_arrays(self, label: "int | str") -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized variant of :meth:`iter_edges_with_label`.
+
+        Returns parallel ``(src, dst)`` arrays; orders of magnitude
+        faster than the iterator on large result graphs.
+        """
+        if isinstance(label, str):
+            label = self.grammar.label_id(label)
+        src_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        for pid in range(self.pset.num_partitions):
+            was_resident = self.pset.is_resident(pid)
+            partition = self.pset.acquire(pid)
+            for v, keys in partition.adjacency.items():
+                mask = packed.labels_of(keys) == label
+                n = int(mask.sum())
+                if n:
+                    src_parts.append(np.full(n, v, dtype=np.int64))
+                    dst_parts.append(packed.targets_of(keys[mask]))
+            if not was_resident:
+                self.pset.evict(pid)
+        if not src_parts:
+            return packed.EMPTY, packed.EMPTY
+        return np.concatenate(src_parts), np.concatenate(dst_parts)
+
+    def count_by_label(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for _, _, lab in self.pset.iter_all_edges():
+            name = self.grammar.label_name(lab)
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def to_memgraph(self) -> MemGraph:
+        return self.pset.to_memgraph()
+
+    @property
+    def num_edges(self) -> int:
+        return self.pset.total_edges()
+
+
+class GraspanEngine:
+    """Configure once, run on any number of graphs.
+
+    Parameters
+    ----------
+    grammar:
+        The frozen analysis grammar.
+    max_edges_per_partition:
+        Partition size threshold; drives both the initial partition count
+        and the repartitioning trigger.  Models the memory given to
+        Graspan (§4.1).  ``None`` means "fit in memory": two partitions,
+        no repartitioning — the paper's in-memory mode.
+    workdir:
+        Directory for partition files.  ``None`` keeps all partitions
+        resident (only sensible with small graphs).
+    num_threads:
+        Worker threads for the parallel join (the paper used 8).
+    """
+
+    def __init__(
+        self,
+        grammar: FrozenGrammar,
+        max_edges_per_partition: Optional[int] = None,
+        num_partitions: Optional[int] = None,
+        workdir: Optional[PathLike] = None,
+        num_threads: int = 1,
+        scheduler: Optional[Scheduler] = None,
+        max_supersteps: int = 1_000_000,
+        repartition_growth: float = 2.0,
+    ) -> None:
+        self.grammar = grammar
+        self.max_edges_per_partition = max_edges_per_partition
+        self.num_partitions = num_partitions
+        self.workdir = workdir
+        self.num_threads = num_threads
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.max_supersteps = max_supersteps
+        self.repartition_growth = repartition_growth
+
+    # ------------------------------------------------------------------
+    def run(self, graph: MemGraph) -> GraspanComputation:
+        """Compute the grammar-guided transitive closure of ``graph``."""
+        if graph.num_vertices == 0 or graph.num_edges == 0:
+            return self._empty_computation(graph)
+        graph = align_graph_labels(graph, self.grammar)
+        stats = EngineStats(
+            original_edges=graph.num_edges, num_vertices=graph.num_vertices
+        )
+        pset = preprocess(
+            graph,
+            max_edges_per_partition=self.max_edges_per_partition,
+            num_partitions=self.num_partitions,
+            workdir=self.workdir,
+            timers=stats.timers,
+        )
+        stats.initial_partitions = pset.num_partitions
+
+        mid_limit = 0
+        if self.max_edges_per_partition is not None:
+            # Two partitions loaded at once; allow growth before the
+            # mid-superstep bail-out kicks in.
+            mid_limit = int(
+                2 * self.max_edges_per_partition * max(self.repartition_growth, 1.0) * 2
+            )
+
+        while True:
+            pair = self.scheduler.choose_pair(pset.ddm, pset.resident_pids())
+            if pair is None:
+                break
+            if len(stats.supersteps) >= self.max_supersteps:
+                raise RuntimeError(
+                    f"exceeded max_supersteps={self.max_supersteps}; "
+                    "the computation may be diverging"
+                )
+            self._run_one_superstep(pset, pair, mid_limit, stats)
+
+        if pset.store.disk_backed:
+            pset.evict_all_except(())
+        stats.final_edges = pset.total_edges()
+        stats.final_partitions = pset.num_partitions
+        return GraspanComputation(pset, self.grammar, stats)
+
+    def _empty_computation(self, graph: MemGraph) -> GraspanComputation:
+        """A trivial result for graphs with nothing to compute."""
+        from repro.partition.ddm import DestinationDistributionMap
+        from repro.partition.interval import VertexIntervalTable
+        from repro.partition.partition import Partition
+        from repro.partition.storage import PartitionStore
+
+        vit = VertexIntervalTable.single(max(1, graph.num_vertices))
+        pset = PartitionSet(
+            vit,
+            DestinationDistributionMap(np.zeros((1, 1), dtype=np.int64)),
+            [Partition(vit.interval(0), {})],
+            PartitionStore(),
+            label_names=self.grammar.names,
+        )
+        stats = EngineStats(num_vertices=graph.num_vertices)
+        stats.initial_partitions = stats.final_partitions = 1
+        return GraspanComputation(pset, self.grammar, stats)
+
+    # ------------------------------------------------------------------
+    def _run_one_superstep(
+        self,
+        pset: PartitionSet,
+        pair: Tuple[int, int],
+        mid_limit: int,
+        stats: EngineStats,
+    ) -> None:
+        p, q = min(pair), max(pair)
+        loaded = (p,) if p == q else (p, q)
+        # Delayed write-back: only partitions not needed next are evicted.
+        pset.evict_all_except(loaded)
+        parts = [pset.acquire(pid) for pid in loaded]
+
+        combined: Dict[int, np.ndarray] = {}
+        for part in parts:
+            combined.update(part.adjacency)
+
+        watch = Stopwatch().start()
+        with stats.timers.phase("compute"):
+            result = run_superstep(
+                combined,
+                self.grammar,
+                memory_limit_edges=mid_limit,
+                num_threads=self.num_threads,
+            )
+        seconds = watch.stop()
+
+        # Scatter the merged adjacency back into the loaded partitions.
+        for pid, part in zip(loaded, parts):
+            hi = part.interval.hi
+            lo = part.interval.lo
+            part.adjacency = {
+                v: keys for v, keys in result.adjacency.items() if lo <= v <= hi
+            }
+            pset.note_mutated(pid)
+            # Rows of resident partitions are cheap to recompute exactly,
+            # correcting any proportional approximations from past splits.
+            pset.ddm.set_exact_row(pid, part.destination_counts(pset.vit))
+
+        self._record_added_edges(pset, result.added_src, result.added_keys)
+        if result.completed:
+            pset.ddm.mark_synced(loaded)
+
+        resident_edges = sum(pset.edge_count(pid) for pid in loaded)
+        stats.peak_resident_edges = max(stats.peak_resident_edges, resident_edges)
+
+        self._maybe_repartition(pset, loaded, stats)
+
+        stats.supersteps.append(
+            SuperstepRecord(
+                pair=(p, q),
+                iterations=result.iterations,
+                edges_added=result.edges_added,
+                seconds=seconds,
+                completed=result.completed,
+                num_partitions_after=pset.num_partitions,
+            )
+        )
+
+    def _record_added_edges(
+        self, pset: PartitionSet, added_src: np.ndarray, added_keys: np.ndarray
+    ) -> None:
+        """Bucket new edges into DDM cells by (source, target) interval."""
+        if len(added_src) == 0:
+            return
+        lows = np.asarray([iv.lo for iv in pset.vit.intervals()], dtype=np.int64)
+        src_pid = np.searchsorted(lows, added_src, side="right") - 1
+        dst_pid = (
+            np.searchsorted(lows, packed.targets_of(added_keys), side="right") - 1
+        )
+        n = pset.vit.num_partitions
+        cells, counts = np.unique(src_pid * n + dst_pid, return_counts=True)
+        for cell, count in zip(cells, counts):
+            pset.ddm.record_new_edges(int(cell) // n, int(cell) % n, int(count))
+
+    def _maybe_repartition(
+        self, pset: PartitionSet, loaded: Tuple[int, ...], stats: EngineStats
+    ) -> None:
+        """Split loaded partitions that outgrew the size threshold (§4.3)."""
+        if self.max_edges_per_partition is None:
+            return
+        threshold = int(self.max_edges_per_partition * self.repartition_growth)
+        # Split high ids first so earlier ids stay valid through id shifts.
+        for pid in sorted(loaded, reverse=True):
+            while (
+                pset.edge_count(pid) > threshold
+                and len(pset.vit.interval(pid)) > 1
+            ):
+                pset.split(pid)
+                stats.repartition_count += 1
+
+
+def align_graph_labels(graph: MemGraph, grammar: FrozenGrammar) -> MemGraph:
+    """Remap a graph's label ids to the grammar's interning.
+
+    The frontend and the grammar intern labels independently; edges are
+    matched by *name*.  Raises if the graph uses a label the grammar does
+    not know.
+    """
+    if tuple(graph.label_names) == tuple(grammar.names):
+        return graph
+    if not graph.label_names:
+        raise ValueError("graph has no label names; cannot align with grammar")
+    mapping = np.zeros(len(graph.label_names), dtype=np.int64)
+    for i, name in enumerate(graph.label_names):
+        mapping[i] = grammar.label_id(name)  # raises GrammarError if unknown
+    labels = mapping[packed.labels_of(graph.keys)]
+    return MemGraph.from_arrays(
+        graph.src,
+        packed.targets_of(graph.keys),
+        labels,
+        num_vertices=graph.num_vertices,
+        label_names=grammar.names,
+    )

@@ -1,0 +1,210 @@
+"""The vectorized edge-pair join at the heart of Algorithm 1.
+
+Given a batch of *left* edges ``v --l1--> u`` and the adjacency of the
+loaded vertices, produce every grammar-sanctioned transitive edge
+``v --K--> x`` where ``u --l2--> x`` is a loaded edge and ``K ::= l1 l2``
+is a production.  This is the per-vertex "merge the out-lists of my
+targets into my own list, filtering mismatched labels" step of §4.2,
+flattened across all vertices and expressed as numpy gathers so the inner
+loop runs at C speed (pure-Python edge-pair joins are why the repro band
+flags this paper — see DESIGN.md).
+
+Unary productions never appear here: :func:`apply_unary_closure` is
+applied whenever edges enter the system, so an ``A`` edge is always
+accompanied by its derived ``VF`` edge, etc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import packed
+from repro.grammar.grammar import FrozenGrammar
+
+
+class CsrView:
+    """A read-only CSR snapshot of per-vertex sorted edge lists.
+
+    ``vertices`` is sorted; row ``i`` holds the packed out-edges of
+    ``vertices[i]`` in ``keys[indptr[i]:indptr[i+1]]``.
+    """
+
+    __slots__ = ("vertices", "indptr", "keys")
+
+    def __init__(self, vertices: np.ndarray, indptr: np.ndarray, keys: np.ndarray):
+        self.vertices = vertices
+        self.indptr = indptr
+        self.keys = keys
+
+    @classmethod
+    def from_dict(cls, adjacency: Dict[int, np.ndarray]) -> "CsrView":
+        items = [(v, keys) for v, keys in adjacency.items() if len(keys)]
+        if not items:
+            return cls(packed.EMPTY, np.zeros(1, dtype=np.int64), packed.EMPTY)
+        items.sort(key=lambda item: item[0])
+        vertices = np.asarray([v for v, _ in items], dtype=np.int64)
+        lengths = np.asarray([len(keys) for _, keys in items], dtype=np.int64)
+        indptr = np.zeros(len(items) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        keys = np.concatenate([keys for _, keys in items])
+        return cls(vertices, indptr, keys)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.keys)
+
+    def rows_for(self, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map target vertex ids to CSR rows; returns (rows, valid_mask)."""
+        if len(self.vertices) == 0 or len(targets) == 0:
+            return (
+                np.zeros(len(targets), dtype=np.int64),
+                np.zeros(len(targets), dtype=bool),
+            )
+        rows = np.searchsorted(self.vertices, targets)
+        rows_clamped = np.minimum(rows, len(self.vertices) - 1)
+        valid = self.vertices[rows_clamped] == targets
+        return rows_clamped, valid
+
+
+def apply_unary_closure(keys: np.ndarray, grammar: FrozenGrammar) -> np.ndarray:
+    """Expand a sorted key array with all unary-derivable labels.
+
+    Idempotent (the closure tables are transitively closed).  Returns a
+    sorted, duplicate-free array.
+    """
+    if len(keys) == 0:
+        return keys
+    sizes = np.asarray(
+        [len(c) for c in grammar.unary_closure], dtype=np.int64
+    )
+    labels = packed.labels_of(keys)
+    if np.all(sizes[labels] == 1):
+        return keys  # nothing derivable; common fast path
+    pieces: List[np.ndarray] = [keys]
+    for label in np.unique(labels):
+        closure = grammar.unary_closure[int(label)]
+        if len(closure) == 1:
+            continue
+        bases = keys[labels == label] & ~np.int64(packed.LABEL_MASK)
+        for derived in closure:
+            if derived == label:
+                continue
+            pieces.append(bases | np.int64(derived))
+    return packed.merge_unique(pieces)
+
+
+def join_edges(
+    left_src: np.ndarray,
+    left_keys: np.ndarray,
+    right: CsrView,
+    grammar: FrozenGrammar,
+    head_mask: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Join left edges against the right adjacency under the grammar.
+
+    Returns unsorted candidate ``(src, key)`` arrays (may contain
+    duplicates; the caller deduplicates during the merge, which is where
+    Algorithm 1's duplicate check lives).
+    """
+    if len(left_src) == 0 or right.num_edges == 0:
+        return packed.EMPTY, packed.EMPTY
+
+    l1 = packed.labels_of(left_keys)
+    usable = head_mask[l1]
+    if not usable.all():
+        left_src, left_keys, l1 = left_src[usable], left_keys[usable], l1[usable]
+    if len(left_src) == 0:
+        return packed.EMPTY, packed.EMPTY
+
+    targets = packed.targets_of(left_keys)
+    rows, valid = right.rows_for(targets)
+    if not valid.any():
+        return packed.EMPTY, packed.EMPTY
+    left_src, l1, rows = left_src[valid], l1[valid], rows[valid]
+
+    starts = right.indptr[rows]
+    counts = right.indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return packed.EMPTY, packed.EMPTY
+
+    # Gather the continuation edges of every joined target in one shot.
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], counts)
+    continuation = right.keys[np.repeat(starts, counts) + within]
+
+    src_rep = np.repeat(left_src, counts)
+    l1_rep = np.repeat(l1, counts)
+    l2 = packed.labels_of(continuation)
+    slots = grammar.binary_index[l1_rep, l2]
+    matched = slots >= 0
+    if not matched.any():
+        return packed.EMPTY, packed.EMPTY
+
+    src_m = src_rep[matched]
+    x_m = packed.targets_of(continuation[matched])
+    slots_m = slots[matched]
+
+    out_src: List[np.ndarray] = []
+    out_keys: List[np.ndarray] = []
+    for slot in np.unique(slots_m):
+        sel = slots_m == slot
+        produced = grammar.binary_results[int(slot)]
+        base = x_m[sel] << packed.LABEL_BITS
+        for lhs in produced:
+            out_src.append(src_m[sel])
+            out_keys.append(base | np.int64(lhs))
+    return np.concatenate(out_src), np.concatenate(out_keys)
+
+
+def join_edges_chunked(
+    left_src: np.ndarray,
+    left_keys: np.ndarray,
+    rights: Sequence[CsrView],
+    grammar: FrozenGrammar,
+    head_mask: np.ndarray,
+    num_threads: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Join against several right views, optionally across a thread pool.
+
+    Chunking over the left edges mirrors Algorithm 1's per-vertex
+    parallelism ("create a separate thread to process each vertex"); the
+    result is identical regardless of chunk boundaries because duplicates
+    are eliminated downstream.
+    """
+    tasks = []
+    for right in rights:
+        if right.num_edges == 0:
+            continue
+        if num_threads <= 1 or len(left_src) < 2 * num_threads:
+            tasks.append((left_src, left_keys, right))
+        else:
+            bounds = np.linspace(0, len(left_src), num_threads + 1, dtype=np.int64)
+            for i in range(num_threads):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                if hi > lo:
+                    tasks.append((left_src[lo:hi], left_keys[lo:hi], right))
+
+    if not tasks:
+        return packed.EMPTY, packed.EMPTY
+
+    if num_threads <= 1 or len(tasks) == 1:
+        results = [join_edges(s, k, r, grammar, head_mask) for s, k, r in tasks]
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=num_threads) as pool:
+            results = list(
+                pool.map(
+                    lambda t: join_edges(t[0], t[1], t[2], grammar, head_mask), tasks
+                )
+            )
+
+    srcs = [s for s, _ in results if len(s)]
+    keys = [k for _, k in results if len(k)]
+    if not srcs:
+        return packed.EMPTY, packed.EMPTY
+    return np.concatenate(srcs), np.concatenate(keys)

@@ -1,0 +1,51 @@
+"""A brute-force reference closure: the oracle for engine correctness.
+
+Computes the same grammar-guided dynamic transitive closure as the
+EP-centric engine, but with plain Python sets and a naive worklist — no
+partitions, no sorted merges, no batching.  Quadratic and slow; exists
+solely so tests (including property-based ones) can assert that the
+engine's clever path produces exactly this set of edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.grammar.grammar import FrozenGrammar
+
+Edge = Tuple[int, int, int]  # (src, dst, label)
+
+
+def naive_closure(
+    edges: Iterable[Edge], grammar: FrozenGrammar
+) -> Set[Edge]:
+    """The full closure of ``edges`` under ``grammar`` as a set of triples."""
+    closed: Set[Edge] = set()
+    worklist = []
+
+    out: Dict[int, Set[Tuple[int, int]]] = {}  # src -> {(dst, label)}
+    incoming: Dict[int, Set[Tuple[int, int]]] = {}  # dst -> {(src, label)}
+
+    def add(src: int, dst: int, label: int) -> None:
+        for derived in grammar.unary_closure[label]:
+            edge = (src, dst, derived)
+            if edge not in closed:
+                closed.add(edge)
+                out.setdefault(src, set()).add((dst, derived))
+                incoming.setdefault(dst, set()).add((src, derived))
+                worklist.append(edge)
+
+    for src, dst, label in edges:
+        add(src, dst, label)
+
+    while worklist:
+        src, dst, label = worklist.pop()
+        # Extend forward: (src --label--> dst) + (dst --l2--> x).
+        for x, l2 in list(out.get(dst, ())):
+            for lhs in grammar.produced_by_pair(label, l2):
+                add(src, x, lhs)
+        # Extend backward: (w --l1--> src) + (src --label--> dst).
+        for w, l1 in list(incoming.get(src, ())):
+            for lhs in grammar.produced_by_pair(l1, label):
+                add(w, dst, lhs)
+    return closed

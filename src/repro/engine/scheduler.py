@@ -1,0 +1,83 @@
+"""Partition-pair scheduling (§4.3).
+
+The scheduler selects which two partitions the next superstep loads.  Its
+two objectives, from the paper: (1) maximize potential edge-pair matches —
+pick the pair with the largest ``delta(p,q) + delta(q,p)`` score from the
+DDM — and (2) favor reusing partitions already in memory, applied as a
+tie-break among pairs whose scores fall within a user-defined slack of
+the best.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.partition.ddm import DestinationDistributionMap
+
+
+@dataclass
+class Scheduler:
+    """DDM-delta driven pair selection with in-memory preference.
+
+    ``slack`` is the relative score window within which pairs are
+    considered "similar" and residency breaks the tie (0.1 = within 10%
+    of the best score).
+    """
+
+    slack: float = 0.1
+
+    def choose_pair(
+        self,
+        ddm: DestinationDistributionMap,
+        resident_pids: Sequence[int],
+    ) -> Optional[Tuple[int, int]]:
+        """The next pair to load, or None when the computation finished.
+
+        A returned pair may be ``(p, p)``: a single partition whose
+        internal delta is the only remaining work.
+        """
+        dirty = ddm.dirty_pairs()
+        if not dirty:
+            return None
+        scored: List[Tuple[int, Tuple[int, int]]] = [
+            (ddm.pair_score(p, q), (p, q)) for p, q in dirty
+        ]
+        best_score = max(score for score, _ in scored)
+        threshold = best_score * (1.0 - self.slack)
+        resident = set(resident_pids)
+        candidates = [(score, pair) for score, pair in scored if score >= threshold]
+        # Prefer more resident members, then higher score, then low ids
+        # (for determinism).
+        candidates.sort(
+            key=lambda item: (
+                -len(resident.intersection(item[1])),
+                -item[0],
+                item[1],
+            )
+        )
+        return candidates[0][1]
+
+
+class RoundRobinScheduler:
+    """Naive baseline scheduler for the scheduling ablation bench.
+
+    Cycles through dirty pairs in id order, ignoring both the DDM deltas
+    and partition residency.  Still terminates (it only ever selects
+    dirty pairs) but pays more supersteps and more I/O.
+    """
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose_pair(
+        self,
+        ddm: DestinationDistributionMap,
+        resident_pids: Sequence[int],
+    ) -> Optional[Tuple[int, int]]:
+        dirty = sorted(ddm.dirty_pairs())
+        if not dirty:
+            return None
+        pair = dirty[self._cursor % len(dirty)]
+        self._cursor += 1
+        return pair

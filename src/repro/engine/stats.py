@@ -1,0 +1,87 @@
+"""Execution statistics: the raw material for Tables 5-6 and Figure 4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.timing import TimeBreakdown
+
+
+@dataclass
+class SuperstepRecord:
+    """One row of the superstep log."""
+
+    pair: Tuple[int, int]
+    iterations: int
+    edges_added: int
+    seconds: float
+    completed: bool
+    num_partitions_after: int
+
+
+@dataclass
+class EngineStats:
+    """Everything measured during one engine run.
+
+    ``timers`` carries the Table 6 phase breakdown (``compute``, ``io``,
+    ``preprocess``); ``supersteps`` carries the Figure 4 series.
+    """
+
+    original_edges: int = 0
+    final_edges: int = 0
+    num_vertices: int = 0
+    initial_partitions: int = 0
+    final_partitions: int = 0
+    repartition_count: int = 0
+    supersteps: List[SuperstepRecord] = field(default_factory=list)
+    timers: TimeBreakdown = field(default_factory=TimeBreakdown)
+    peak_resident_edges: int = 0
+
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.supersteps)
+
+    @property
+    def total_edges_added(self) -> int:
+        return sum(r.edges_added for r in self.supersteps)
+
+    @property
+    def growth_factor(self) -> float:
+        """Final edges over original edges (Table 5's size blowup)."""
+        if self.original_edges == 0:
+            return 0.0
+        return self.final_edges / self.original_edges
+
+    def added_fraction_series(self) -> List[float]:
+        """Figure 4: per-superstep edges added / original edge count."""
+        if self.original_edges == 0:
+            return []
+        return [r.edges_added / self.original_edges for r in self.supersteps]
+
+    def cumulative_added_fraction(self) -> List[float]:
+        series = self.added_fraction_series()
+        out: List[float] = []
+        running = 0.0
+        for x in series:
+            running += x
+            out.append(running)
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dict for table rendering and JSON dumps."""
+        return {
+            "vertices": self.num_vertices,
+            "edges_before": self.original_edges,
+            "edges_after": self.final_edges,
+            "growth": round(self.growth_factor, 2),
+            "partitions_initial": self.initial_partitions,
+            "partitions_final": self.final_partitions,
+            "repartitions": self.repartition_count,
+            "supersteps": self.num_supersteps,
+            "compute_s": round(self.timers.get("compute"), 3),
+            "io_s": round(self.timers.get("io"), 3),
+            "preprocess_s": round(self.timers.get("preprocess"), 3),
+            "total_s": round(self.timers.total(), 3),
+            "peak_resident_edges": self.peak_resident_edges,
+        }

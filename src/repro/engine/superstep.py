@@ -1,0 +1,182 @@
+"""One superstep: the BSP-like fixed point of Algorithm 1.
+
+With two partitions loaded (their vertex sets and edge lists combined),
+every vertex ``v`` keeps two sorted arrays: ``O_v`` ("old" edges already
+matched in earlier iterations) and ``D_v`` ("new" edges discovered in the
+previous iteration).  Each iteration matches
+
+* every old edge ``v -> u`` in ``O_v`` against the *new* edges ``D_u``, and
+* every new edge ``v -> u`` in ``D_v`` against *all* edges ``O_u ∪ D_u``,
+
+never old × old — that work was done in an earlier iteration.  Matched
+pairs produce transitive edges, which are merged into the per-vertex
+sorted lists with duplicates eliminated during the merge (the property
+that makes the computation terminate, §4.2).  The superstep ends when no
+iteration adds an edge, or early when the in-memory edge count crosses
+``memory_limit_edges`` (the mid-superstep repartitioning trigger, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.engine.join import CsrView, apply_unary_closure, join_edges_chunked
+from repro.graph import packed
+from repro.grammar.grammar import FrozenGrammar
+
+
+@dataclass
+class SuperstepResult:
+    """Outcome of one superstep over a loaded vertex set."""
+
+    adjacency: Dict[int, np.ndarray]  # final merged per-vertex edge lists
+    added_src: np.ndarray  # source vertex of every edge added
+    added_keys: np.ndarray  # packed (target, label) of every edge added
+    iterations: int
+    completed: bool  # False if stopped early by the memory limit
+
+    @property
+    def edges_added(self) -> int:
+        return len(self.added_src)
+
+
+def _edges_of(adjacency: Dict[int, np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten a per-vertex adjacency dict into parallel (src, key) arrays."""
+    items = [(v, keys) for v, keys in adjacency.items() if len(keys)]
+    if not items:
+        return packed.EMPTY, packed.EMPTY
+    src = np.concatenate(
+        [np.full(len(keys), v, dtype=np.int64) for v, keys in items]
+    )
+    keys = np.concatenate([keys for _, keys in items])
+    return src, keys
+
+
+def _group_candidates(
+    cand_src: np.ndarray, cand_keys: np.ndarray
+) -> List[Tuple[int, np.ndarray]]:
+    """Sort/dedup raw join output and group it by source vertex."""
+    order = np.lexsort((cand_keys, cand_src))
+    src, keys = cand_src[order], cand_keys[order]
+    keep = np.ones(len(src), dtype=bool)
+    keep[1:] = (src[1:] != src[:-1]) | (keys[1:] != keys[:-1])
+    src, keys = src[keep], keys[keep]
+    boundaries = np.flatnonzero(src[1:] != src[:-1]) + 1
+    starts = np.concatenate([[0], boundaries, [len(src)]])
+    return [
+        (int(src[starts[i]]), keys[starts[i] : starts[i + 1]])
+        for i in range(len(starts) - 1)
+    ]
+
+
+def run_superstep(
+    adjacency: Dict[int, np.ndarray],
+    grammar: FrozenGrammar,
+    memory_limit_edges: int = 0,
+    num_threads: int = 1,
+) -> SuperstepResult:
+    """Run Algorithm 1 to a fixed point over ``adjacency``.
+
+    ``adjacency`` maps every loaded source vertex to its sorted packed
+    edge array (the combined edge lists of the loaded partitions).  A
+    ``memory_limit_edges`` of 0 disables the early-stop check.
+    """
+    head_mask = grammar.head_labels()
+
+    old: Dict[int, np.ndarray] = {}
+    new: Dict[int, np.ndarray] = {}
+    added_src_parts: List[np.ndarray] = []
+    added_keys_parts: List[np.ndarray] = []
+    edges_in_memory = 0
+
+    # Initialization (Algorithm 1, lines 3-5): O_v empty, D_v the original
+    # list — here additionally closed under unary productions so the join
+    # only ever consults binary productions.
+    for v, keys in adjacency.items():
+        expanded = apply_unary_closure(keys, grammar)
+        old[v] = packed.EMPTY
+        new[v] = expanded
+        edges_in_memory += len(expanded)
+        if len(expanded) > len(keys):
+            derived = packed.setdiff_sorted(expanded, keys)
+            added_src_parts.append(np.full(len(derived), v, dtype=np.int64))
+            added_keys_parts.append(derived)
+
+    iterations = 0
+    completed = True
+    while True:
+        if not any(len(d) for d in new.values()):
+            break
+        iterations += 1
+
+        new_csr = CsrView.from_dict(new)
+        old_csr = CsrView.from_dict(old)
+        old_src, old_keys = _edges_of(old)
+        new_src, new_keys = _edges_of(new)
+
+        # Component 1 (lines 7-14): old edges × new continuation lists.
+        c1_src, c1_keys = join_edges_chunked(
+            old_src, old_keys, [new_csr], grammar, head_mask, num_threads
+        )
+        # Component 2 (lines 15-20): new edges × all continuation lists.
+        c2_src, c2_keys = join_edges_chunked(
+            new_src, new_keys, [old_csr, new_csr], grammar, head_mask, num_threads
+        )
+        cand_src = np.concatenate([c1_src, c2_src])
+        cand_keys = np.concatenate([c1_keys, c2_keys])
+
+        # Update O (lines 21-23): O_v <- merge(O_v, D_v).
+        for v, d_keys in new.items():
+            if len(d_keys):
+                merged = packed.merge_unique([old[v], d_keys])
+                edges_in_memory += len(merged) - len(old[v]) - len(d_keys)
+                old[v] = merged
+        new = {}
+
+        if len(cand_src) == 0:
+            break
+
+        # D_v <- mergeResult - O_v (line 24): dedup candidates and keep
+        # only edges not already present.
+        for v, keys_v in _group_candidates(cand_src, cand_keys):
+            existing = old.get(v, packed.EMPTY)
+            fresh = packed.setdiff_sorted(keys_v, existing)
+            if len(fresh) == 0:
+                continue
+            if v not in old:
+                old[v] = packed.EMPTY
+            new[v] = fresh
+            edges_in_memory += len(fresh)
+            added_src_parts.append(np.full(len(fresh), v, dtype=np.int64))
+            added_keys_parts.append(fresh)
+
+        if memory_limit_edges and edges_in_memory > memory_limit_edges:
+            completed = not any(len(d) for d in new.values())
+            break
+
+    # Final merged adjacency (D is folded in if we stopped early).
+    final: Dict[int, np.ndarray] = {}
+    for v in old:
+        keys = old[v]
+        d = new.get(v)
+        if d is not None and len(d):
+            keys = packed.merge_unique([keys, d])
+        if len(keys):
+            final[v] = keys
+
+    if added_src_parts:
+        added_src = np.concatenate(added_src_parts)
+        added_keys = np.concatenate(added_keys_parts)
+    else:
+        added_src, added_keys = packed.EMPTY, packed.EMPTY
+
+    return SuperstepResult(
+        adjacency=final,
+        added_src=added_src,
+        added_keys=added_keys,
+        iterations=iterations,
+        completed=completed,
+    )

@@ -1,0 +1,88 @@
+"""The MiniC compiler frontend: source → context-sensitive program graphs.
+
+Pipeline (the "generating graph" task of Graspan's programming model, §3):
+
+1. :func:`repro.frontend.parser.parse` — MiniC source → AST
+2. :func:`repro.frontend.lower.lower_program` — AST → three-address form
+3. :func:`repro.frontend.graphgen.generate_graphs` — call graph, SCC
+   collapse, context-sensitive inlining → labeled edge arrays + namer
+4. :func:`repro.frontend.graphs.pointer_graph` /
+   :func:`repro.frontend.graphs.dataflow_graph` — Graspan input graphs
+
+:func:`compile_program` runs 1-3 in one call.
+"""
+
+from repro.frontend import ast
+from repro.frontend.callgraph import (
+    CallGraph,
+    CallSite,
+    IndirectCallSite,
+    build_callgraph,
+)
+from repro.frontend.graphgen import (
+    InlineBudgetExceeded,
+    ProgramGraphs,
+    generate_graphs,
+)
+from repro.frontend.graphs import dataflow_graph, pointer_graph
+from repro.frontend.lexer import LexError, Token, tokenize
+from repro.frontend.lower import (
+    Guard,
+    LStmt,
+    LoweredFunction,
+    LoweredProgram,
+    lower_program,
+)
+from repro.frontend.namer import VertexInfo, VertexNamer
+from repro.frontend.parser import ParseError, parse, parse_files
+
+
+def compile_program(
+    source,
+    module: str = "",
+    max_inlines: int = 5_000_000,
+    context_depth=None,
+):
+    """Parse, lower, and generate graphs for MiniC source.
+
+    ``source`` is either one source string or a list of
+    ``(module_name, source)`` pairs.  ``context_depth`` bounds the
+    inlining depth (None = full context sensitivity, 0 = context-
+    insensitive).  Returns :class:`ProgramGraphs`.
+    """
+    if isinstance(source, str):
+        program = parse(source, module=module)
+    else:
+        program = parse_files(list(source))
+    lowered = lower_program(program)
+    return generate_graphs(
+        lowered, max_inlines=max_inlines, context_depth=context_depth
+    )
+
+
+__all__ = [
+    "ast",
+    "CallGraph",
+    "CallSite",
+    "IndirectCallSite",
+    "build_callgraph",
+    "InlineBudgetExceeded",
+    "ProgramGraphs",
+    "generate_graphs",
+    "pointer_graph",
+    "dataflow_graph",
+    "LexError",
+    "Token",
+    "tokenize",
+    "Guard",
+    "LStmt",
+    "LoweredFunction",
+    "LoweredProgram",
+    "lower_program",
+    "VertexInfo",
+    "VertexNamer",
+    "ParseError",
+    "parse",
+    "parse_files",
+    "compile_program",
+]

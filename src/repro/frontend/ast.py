@@ -1,0 +1,270 @@
+"""Abstract syntax for MiniC, the C subset our frontend analyzes.
+
+MiniC covers exactly the constructs the paper's analyses consume: pointer
+assignments (``a = b``, ``a = &b``, ``a = *b``, ``*a = b``), allocation
+(``malloc``), ``NULL``, field/array accesses (modeled as dereferences with
+offsets ignored, §2.2), functions, direct and indirect calls, guards
+(``if``/``while`` conditions, which the checkers read as NULL tests), and
+the builtins the Table 1 checkers care about (``free``, ``lock``,
+``unlock``, ``sleep``, ``get_user``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable (or function name used as a value)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """``*e`` — also the lowering of ``e->f``, ``e[i]`` (offsets ignored)."""
+
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"*{self.operand}"
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """``&v``."""
+
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"&{self.operand}"
+
+
+@dataclass(frozen=True)
+class Malloc(Expr):
+    """A heap allocation site; ``size`` is the literal byte count if known."""
+
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"malloc({self.size if self.size is not None else ''})"
+
+
+@dataclass(frozen=True)
+class Null(Expr):
+    """The NULL constant."""
+
+    def __str__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
+class IntConst(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """``callee(args)``; ``callee`` may be a function or a pointer variable."""
+
+    callee: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.callee}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Arithmetic/comparison; its result never carries a pointer value."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# conditions (guards)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cond:
+    """A guard condition, normalized for the NULL-test checkers.
+
+    ``var`` is set when the condition is a recognizable pointer test:
+    ``if (p)`` / ``if (p != NULL)`` → ``nonnull_when_true=True``;
+    ``if (!p)`` / ``if (p == NULL)`` → ``nonnull_when_true=False``.
+    ``range_var`` is set when the condition compares a variable against a
+    bound (``if (i < n)``), which the Range checker reads as a bounds
+    check.  Other conditions keep both fields ``None`` and are opaque.
+    """
+
+    expr: Expr
+    var: Optional[str] = None
+    nonnull_when_true: bool = True
+    range_var: Optional[str] = None
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements; ``line`` is the 1-based source line."""
+
+    line: int = 0
+
+
+@dataclass
+class Decl(Stmt):
+    name: str = ""
+    is_pointer: bool = False
+    init: Optional[Expr] = None
+    base_size: int = 4  # sizeof the base type (int 4, char 1, long 8)
+
+
+@dataclass
+class Assign(Stmt):
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """A call used for effect, e.g. ``free(p);``."""
+
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Cond = None  # type: ignore[assignment]
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Cond = None  # type: ignore[assignment]
+    body: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Function:
+    """A function definition."""
+
+    name: str
+    params: List[str]
+    pointer_params: List[bool]
+    body: List[Stmt]
+    returns_pointer: bool = False
+    module: str = ""  # e.g. "drivers", "fs" — the Table 4 taxonomy
+    line: int = 0
+    param_sizes: List[int] = field(default_factory=list)  # base-type sizes
+
+
+@dataclass
+class Global:
+    name: str
+    is_pointer: bool = False
+    line: int = 0
+    base_size: int = 4
+
+
+@dataclass
+class Program:
+    """A whole MiniC codebase (possibly many files concatenated)."""
+
+    functions: List[Function] = field(default_factory=list)
+    globals: List[Global] = field(default_factory=list)
+
+    def function(self, name: str) -> Function:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        raise KeyError(f"no function named {name!r}")
+
+    def function_names(self) -> List[str]:
+        return [f.name for f in self.functions]
+
+    def global_names(self) -> List[str]:
+        return [g.name for g in self.globals]
+
+    def merged_with(self, other: "Program") -> "Program":
+        return Program(
+            functions=self.functions + other.functions,
+            globals=self.globals + other.globals,
+        )
+
+    def loc(self) -> int:
+        """Approximate lines of code: the highest line number seen."""
+        best = 0
+        for f in self.functions:
+            for s in _walk(f.body):
+                best = max(best, s.line)
+        return best
+
+
+def _walk(stmts: Sequence[Stmt]):
+    for s in stmts:
+        yield s
+        if isinstance(s, If):
+            yield from _walk(s.then_body)
+            yield from _walk(s.else_body)
+        elif isinstance(s, While):
+            yield from _walk(s.body)
+
+
+#: Builtin function names with special meaning to graph generation or the
+#: checkers.  ``malloc`` is an expression; the rest appear as calls.
+BUILTINS = frozenset(
+    {
+        "malloc",
+        "free",
+        "lock",
+        "unlock",
+        "sleep",  # the canonical blocking function (Block checker)
+        "get_user",  # returns user-controlled data (Range checker)
+        "disable_irq",
+        "enable_irq",
+    }
+)
+
+#: Builtins that block (must not be called while holding a lock).
+BLOCKING_BUILTINS = frozenset({"sleep"})

@@ -1,0 +1,175 @@
+"""Call-graph construction and SCC collapsing.
+
+Context sensitivity is achieved by bottom-up inlining over the call graph
+(§3).  Recursion would make cloning diverge, so — following the standard
+treatment the paper cites — strongly connected components are computed
+and each SCC is treated as one unit, instantiated once per incoming call
+and wired context-insensitively inside.
+
+Indirect calls (through function pointers) cannot be resolved before the
+pointer analysis runs; they are collected separately and consumed by the
+Graspan-augmented Block checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.frontend.lower import LoweredProgram
+
+
+@dataclass
+class CallSite:
+    caller: str
+    callee: str
+    line: int
+
+
+@dataclass
+class IndirectCallSite:
+    caller: str
+    pointer_var: str
+    line: int
+
+
+@dataclass
+class CallGraph:
+    """Direct-call edges plus the SCC condensation."""
+
+    callees: Dict[str, List[CallSite]]  # caller -> direct call sites
+    indirect_sites: List[IndirectCallSite]
+    external_callees: Set[str]  # called but not defined (externals)
+    scc_of: Dict[str, int]  # function -> SCC id
+    sccs: List[List[str]]  # SCC id -> member functions
+    topo_order: List[int]  # SCC ids, callees before callers (bottom-up)
+
+    def roots(self) -> List[str]:
+        """Functions never directly called: the inlining entry points."""
+        called = {site.callee for sites in self.callees.values() for site in sites}
+        return [f for f in self.callees if f not in called]
+
+    def is_recursive_call(self, caller: str, callee: str) -> bool:
+        """True when the call stays inside one SCC (not cloned)."""
+        return self.scc_of[caller] == self.scc_of[callee]
+
+    def scc_members(self, function: str) -> List[str]:
+        return self.sccs[self.scc_of[function]]
+
+
+def build_callgraph(program: LoweredProgram) -> CallGraph:
+    """Extract direct/indirect call sites and compute the SCC condensation."""
+    defined = set(program.functions)
+    callees: Dict[str, List[CallSite]] = {name: [] for name in program.functions}
+    indirect: List[IndirectCallSite] = []
+    external: Set[str] = set()
+
+    for name, func in program.functions.items():
+        local_vars = set(func.params) | set(func.locals)
+        for stmt in func.stmts:
+            if stmt.kind != "call":
+                continue
+            target = stmt.callee
+            if target in defined:
+                callees[name].append(CallSite(name, target, stmt.line))
+            elif target in local_vars or target in program.global_vars:
+                indirect.append(IndirectCallSite(name, target, stmt.line))
+            else:
+                external.add(target)
+
+    scc_of, sccs = _tarjan(defined, callees)
+    topo = _topological_sccs(callees, scc_of, len(sccs))
+    return CallGraph(
+        callees=callees,
+        indirect_sites=indirect,
+        external_callees=external,
+        scc_of=scc_of,
+        sccs=sccs,
+        topo_order=topo,
+    )
+
+
+def _tarjan(
+    nodes: Set[str], callees: Dict[str, List[CallSite]]
+) -> Tuple[Dict[str, int], List[List[str]]]:
+    """Iterative Tarjan SCC (no recursion: call chains can be deep)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    scc_of: Dict[str, int] = {}
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        # Each frame: (node, iterator over successor names).
+        work = [(root, iter([s.callee for s in callees.get(root, [])]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter([s.callee for s in callees.get(succ, [])]))
+                    )
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                members: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == node:
+                        break
+                scc_id = len(sccs)
+                sccs.append(members)
+                for member in members:
+                    scc_of[member] = scc_id
+    return scc_of, sccs
+
+
+def _topological_sccs(
+    callees: Dict[str, List[CallSite]],
+    scc_of: Dict[str, int],
+    num_sccs: int,
+) -> List[int]:
+    """SCC ids ordered callees-first (reverse-topological over calls)."""
+    out: Dict[int, Set[int]] = {i: set() for i in range(num_sccs)}
+    indegree = [0] * num_sccs
+    for caller, sites in callees.items():
+        for site in sites:
+            a, b = scc_of[caller], scc_of[site.callee]
+            if a != b and b not in out[a]:
+                out[a].add(b)
+                indegree[b] += 1
+    # Kahn's algorithm from callers down, then reverse for bottom-up order.
+    ready = sorted(i for i in range(num_sccs) if indegree[i] == 0)
+    order: List[int] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ in sorted(out[node]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    order.reverse()
+    return order

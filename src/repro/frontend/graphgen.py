@@ -1,0 +1,520 @@
+"""Program-graph generation with full context sensitivity (§3).
+
+Two stages:
+
+1. **Templates** — each lowered function is summarized once as a
+   :class:`FunctionTemplate`: its local symbols, its intra-procedural
+   edges (assignment ``A``, dereference ``D``, allocation ``M``, NULL
+   source ``N``, user-data source ``U``, arithmetic taint flow ``TF``),
+   and its call sites.
+
+2. **Instantiation** — starting from the call-graph roots, every template
+   is cloned once per calling context: each direct call site inlines its
+   callee by instantiating it in a fresh child context and wiring actual
+   arguments to formal parameters (``A`` edges) and return variables to
+   the call's left-hand side.  Functions in one SCC are instantiated as a
+   group and wired context-insensitively inside (recursion, §3).  Globals,
+   allocation-free specials (``NULL``, ``USER``) and function objects
+   live in the root context and are shared by all clones.
+
+The result carries the edge arrays for building the analysis graphs, the
+:class:`~repro.frontend.namer.VertexNamer` for translating results back
+to source, and the inline count reported in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.frontend.callgraph import CallGraph, build_callgraph
+from repro.frontend.lower import LoweredFunction, LoweredProgram
+from repro.frontend.namer import VertexNamer
+
+# Edge kinds emitted by instantiation.
+KIND_M = "M"  # allocation
+KIND_A = "A"  # assignment / value flow
+KIND_D = "D"  # dereference
+KIND_N = "N"  # NULL source
+KIND_U = "U"  # user-data (taint) source
+KIND_TF = "TF"  # taint-only flow (through arithmetic)
+
+#: Special shared symbols (root context).
+SYM_NULL = "NULL"
+SYM_USER = "USER"
+
+
+class InlineBudgetExceeded(RuntimeError):
+    """Raised when cloning would exceed the configured inline budget."""
+
+
+@dataclass
+class TemplateEdge:
+    kind: str
+    src: str
+    dst: str
+    line: int = 0
+
+
+@dataclass
+class TemplateCall:
+    callee: str
+    args: Tuple[str, ...]
+    lhs: Optional[str]
+    line: int
+
+
+@dataclass
+class TemplateIndirectCall:
+    pointer_sym: str
+    args: Tuple[str, ...]
+    lhs: Optional[str]
+    line: int
+
+
+@dataclass
+class FunctionTemplate:
+    """The reusable per-function summary instantiated per context."""
+
+    name: str
+    params: List[str]
+    local_symbols: List[str]  # symbols needing per-context vertices
+    edges: List[TemplateEdge]
+    calls: List[TemplateCall]
+    indirect_calls: List[TemplateIndirectCall]
+    return_syms: List[str]
+    alloc_sizes: Dict[str, Optional[int]] = field(default_factory=dict)
+
+
+@dataclass
+class IndirectCallInstance:
+    """One cloned indirect call site, for the Block checker."""
+
+    caller: str
+    context: int
+    pointer_vid: int
+    line: int
+
+
+@dataclass
+class ProgramGraphs:
+    """Everything graph generation produces."""
+
+    namer: VertexNamer
+    edges_src: np.ndarray
+    edges_dst: np.ndarray
+    edges_kind: np.ndarray  # indices into kind_names
+    kind_names: Tuple[str, ...]
+    inline_count: int
+    indirect_call_instances: List[IndirectCallInstance]
+    callgraph: CallGraph
+    lowered: LoweredProgram
+    templates: Dict[str, FunctionTemplate] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.namer.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges_src)
+
+    def edges_of_kind(self, *kinds: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(src, dst) arrays of every edge whose kind is in ``kinds``."""
+        wanted = [self.kind_names.index(k) for k in kinds]
+        mask = np.isin(self.edges_kind, wanted)
+        return self.edges_src[mask], self.edges_dst[mask]
+
+
+# ---------------------------------------------------------------------------
+# stage 1: templates
+# ---------------------------------------------------------------------------
+
+
+def _is_global_symbol(sym: str) -> bool:
+    base = sym.lstrip("*&")
+    return base.startswith("@") or base in (SYM_NULL, SYM_USER) or base.startswith(
+        "fn:"
+    )
+
+
+class _TemplateBuilder:
+    def __init__(
+        self,
+        func: LoweredFunction,
+        global_vars: Set[str],
+        function_names: Set[str],
+    ) -> None:
+        self.func = func
+        self.global_vars = global_vars
+        self.function_names = function_names
+        self.local_names = set(func.params) | set(func.locals)
+        self.symbols: List[str] = []
+        self._seen_symbols: Set[str] = set()
+        self.edges: List[TemplateEdge] = []
+        self.calls: List[TemplateCall] = []
+        self.indirect_calls: List[TemplateIndirectCall] = []
+        self.alloc_sizes: Dict[str, Optional[int]] = {}
+        self._alloc_counter = 0
+
+    def _resolve(self, name: str) -> str:
+        """Variable name -> symbol ('@x' marks globals)."""
+        if name in self.local_names:
+            return self._local(name)
+        # Undeclared names are implicit globals (extern data).
+        self.global_vars.add(name)
+        return "@" + name
+
+    def _local(self, sym: str) -> str:
+        if sym not in self._seen_symbols:
+            self._seen_symbols.add(sym)
+            self.symbols.append(sym)
+        return sym
+
+    def _deref(self, base_sym: str) -> str:
+        sym = "*" + base_sym
+        if not _is_global_symbol(sym):
+            self._local(sym)
+        return sym
+
+    def _addrof(self, base_sym: str) -> str:
+        sym = "&" + base_sym
+        if not _is_global_symbol(sym):
+            self._local(sym)
+        return sym
+
+    def _edge(self, kind: str, src: str, dst: str, line: int) -> None:
+        self.edges.append(TemplateEdge(kind, src, dst, line))
+
+    def build(self) -> FunctionTemplate:
+        for param in self.func.params:
+            self._local(param)
+        for stmt in self.func.stmts:
+            self._build_stmt(stmt)
+        return FunctionTemplate(
+            name=self.func.name,
+            params=list(self.func.params),
+            local_symbols=self.symbols,
+            edges=self.edges,
+            calls=self.calls,
+            indirect_calls=self.indirect_calls,
+            return_syms=[self._resolve(v) for v in self.func.return_vars()],
+            alloc_sizes=self.alloc_sizes,
+        )
+
+    def _build_stmt(self, stmt) -> None:
+        kind, line = stmt.kind, stmt.line
+        if kind == "copy":
+            self._edge(KIND_A, self._resolve(stmt.rhs), self._resolve(stmt.lhs), line)
+        elif kind == "load":
+            base = self._resolve(stmt.rhs)
+            deref = self._deref(base)
+            self._edge(KIND_D, base, deref, line)
+            self._edge(KIND_A, deref, self._resolve(stmt.lhs), line)
+        elif kind == "store":
+            base = self._resolve(stmt.lhs)
+            deref = self._deref(base)
+            self._edge(KIND_D, base, deref, line)
+            self._edge(KIND_A, self._resolve(stmt.rhs), deref, line)
+        elif kind == "addrof":
+            base = self._resolve(stmt.rhs)
+            addr = self._addrof(base)
+            self._edge(KIND_D, addr, base, line)
+            self._edge(KIND_A, addr, self._resolve(stmt.lhs), line)
+        elif kind == "alloc":
+            self._alloc_counter += 1
+            site = self._local(f"alloc@{line}.{self._alloc_counter}")
+            self.alloc_sizes[site] = stmt.size
+            self._edge(KIND_M, site, self._resolve(stmt.lhs), line)
+        elif kind == "null":
+            self._edge(KIND_N, SYM_NULL, self._resolve(stmt.lhs), line)
+        elif kind == "funcref":
+            self._edge(KIND_M, f"fn:{stmt.callee}", self._resolve(stmt.lhs), line)
+        elif kind == "binop":
+            lhs = self._resolve(stmt.lhs)
+            for operand in stmt.operands:
+                self._edge(KIND_TF, self._resolve(operand), lhs, line)
+        elif kind == "call":
+            self._build_call(stmt)
+        # test / free / lock / unlock / const / return: no graph edges.
+
+    def _build_call(self, stmt) -> None:
+        args = tuple(self._resolve(a) for a in stmt.args)
+        lhs = self._resolve(stmt.lhs) if stmt.lhs else None
+        callee = stmt.callee
+        if callee in self.function_names:
+            self.calls.append(TemplateCall(callee, args, lhs, stmt.line))
+        elif callee in self.local_names or callee in self.global_vars:
+            self.indirect_calls.append(
+                TemplateIndirectCall(self._resolve(callee), args, lhs, stmt.line)
+            )
+        elif callee == "get_user" and lhs is not None:
+            self.edges.append(TemplateEdge(KIND_U, SYM_USER, lhs, stmt.line))
+        # Other externals: opaque (documented in DESIGN.md).
+
+
+def build_templates(
+    lowered: LoweredProgram,
+) -> Tuple[Dict[str, FunctionTemplate], Set[str]]:
+    """Summarize every lowered function; returns (templates, global vars)."""
+    global_vars: Set[str] = set(lowered.global_vars)
+    function_names = set(lowered.functions)
+    templates = {
+        name: _TemplateBuilder(func, global_vars, function_names).build()
+        for name, func in lowered.functions.items()
+    }
+    return templates, global_vars
+
+
+# ---------------------------------------------------------------------------
+# stage 2: instantiation
+# ---------------------------------------------------------------------------
+
+
+class _Instantiator:
+    def __init__(
+        self,
+        templates: Dict[str, FunctionTemplate],
+        callgraph: CallGraph,
+        max_inlines: int,
+        context_depth: Optional[int] = None,
+    ) -> None:
+        self.templates = templates
+        self.callgraph = callgraph
+        self.max_inlines = max_inlines
+        self.context_depth = context_depth
+        self.namer = VertexNamer()
+        self.src: List[int] = []
+        self.dst: List[int] = []
+        self.kind: List[int] = []
+        self.kind_names: Tuple[str, ...] = (
+            KIND_M,
+            KIND_A,
+            KIND_D,
+            KIND_N,
+            KIND_U,
+            KIND_TF,
+        )
+        self._kind_id = {name: i for i, name in enumerate(self.kind_names)}
+        self._globals: Dict[str, int] = {}
+        self.inline_count = 0
+        self.indirect_instances: List[IndirectCallInstance] = []
+        self._ever_instantiated: Set[str] = set()
+        # Bounded context sensitivity: SCC groups deeper than
+        # context_depth share one context-insensitive instance.
+        self._shared_instances: Dict[Tuple[str, ...], Dict[str, Dict[str, int]]] = {}
+
+    # -- vertex helpers -------------------------------------------------
+    def _global_vid(self, sym: str) -> int:
+        vid = self._globals.get(sym)
+        if vid is None:
+            vid = self.namer.new_vertex("", 0, sym)
+            self._globals[sym] = vid
+        return vid
+
+    def _emit(self, kind: str, src_vid: int, dst_vid: int) -> None:
+        self.src.append(src_vid)
+        self.dst.append(dst_vid)
+        self.kind.append(self._kind_id[kind])
+
+    # -- instantiation --------------------------------------------------
+    def run(self) -> None:
+        instantiated_roots: Set[str] = set()
+        for root in sorted(self.callgraph.roots()):
+            scc = tuple(sorted(self.callgraph.scc_members(root)))
+            if scc[0] in instantiated_roots:
+                continue  # two roots in the same SCC share one instance
+            instantiated_roots.update(scc)
+            self._instantiate_group(scc, ctx=0)
+        # Cycles unreachable from any root (mutual recursion with no
+        # outside caller) still need one instance each.
+        for name in sorted(self.templates):
+            if name not in self._ever_instantiated:
+                scc = tuple(sorted(self.callgraph.scc_members(name)))
+                self._instantiate_group(scc, ctx=0)
+
+    def _instantiate_group(
+        self,
+        scc: Tuple[str, ...],
+        ctx: int,
+    ) -> Dict[str, Dict[str, int]]:
+        """Instantiate every function of one SCC in context ``ctx``.
+
+        Returns the per-function symbol tables so callers can wire
+        arguments and returns.  Work on nested (out-of-SCC) calls is done
+        iteratively with an explicit stack — call chains in systems code
+        are deep enough to overflow Python's recursion limit.
+
+        With a bounded ``context_depth`` k (§3: "the developer can easily
+        control the degree of context sensitivity"), call chains longer
+        than k stop cloning: each SCC gets one *shared* instance that all
+        deeper call sites bind into, i.e. the analysis becomes context-
+        insensitive past depth k.  ``context_depth=None`` is full context
+        sensitivity (the paper's configuration).
+        """
+        # stack items: (scc members, ctx, binding thunk args, depth)
+        results: Dict[str, Dict[str, int]] = {}
+        stack: List[Tuple[Tuple[str, ...], int, Optional[Tuple], int]] = [
+            (scc, ctx, None, 0)
+        ]
+        while stack:
+            members, group_ctx, binding, depth = stack.pop()
+            beyond_limit = (
+                self.context_depth is not None
+                and binding is not None
+                and depth > self.context_depth
+            )
+            if beyond_limit and members in self._shared_instances:
+                self._wire_binding(binding, self._shared_instances[members])
+                continue
+            if binding is not None:
+                self.inline_count += len(members)
+                if self.inline_count > self.max_inlines:
+                    raise InlineBudgetExceeded(
+                        f"inline budget {self.max_inlines} exceeded; "
+                        "the call graph fans out too aggressively"
+                    )
+            symtabs = self._instantiate_members(members, group_ctx)
+            if beyond_limit:
+                self._shared_instances[members] = symtabs
+            if binding is None:
+                results = symtabs
+            else:
+                self._wire_binding(binding, symtabs)
+            # Out-of-SCC calls become new groups in child contexts.
+            member_set = set(members)
+            for fname in members:
+                template = self.templates[fname]
+                symtab = symtabs[fname]
+                for call in template.calls:
+                    if call.callee in member_set:
+                        continue  # intra-SCC, already wired
+                    callee_scc = tuple(
+                        sorted(self.callgraph.scc_members(call.callee))
+                    )
+                    child_ctx = self.namer.new_context(
+                        group_ctx, f"{fname}:{call.line}->{call.callee}"
+                    )
+                    arg_vids = tuple(self._sym_vid(a, symtab) for a in call.args)
+                    lhs_vid = (
+                        self._sym_vid(call.lhs, symtab)
+                        if call.lhs is not None
+                        else None
+                    )
+                    stack.append(
+                        (
+                            callee_scc,
+                            child_ctx,
+                            (call.callee, arg_vids, lhs_vid),
+                            depth + 1,
+                        )
+                    )
+        return results
+
+    def _instantiate_members(
+        self, members: Tuple[str, ...], ctx: int
+    ) -> Dict[str, Dict[str, int]]:
+        """Create vertices and intra edges for all SCC members in ``ctx``."""
+        symtabs: Dict[str, Dict[str, int]] = {}
+        self._ever_instantiated.update(members)
+        for fname in members:
+            template = self.templates[fname]
+            symtab: Dict[str, int] = {}
+            for sym in template.local_symbols:
+                symtab[sym] = self.namer.new_vertex(fname, ctx, sym)
+            symtabs[fname] = symtab
+        for fname in members:
+            template = self.templates[fname]
+            symtab = symtabs[fname]
+            for edge in template.edges:
+                self._emit(
+                    edge.kind,
+                    self._sym_vid(edge.src, symtab),
+                    self._sym_vid(edge.dst, symtab),
+                )
+            for icall in template.indirect_calls:
+                self.indirect_instances.append(
+                    IndirectCallInstance(
+                        caller=fname,
+                        context=ctx,
+                        pointer_vid=self._sym_vid(icall.pointer_sym, symtab),
+                        line=icall.line,
+                    )
+                )
+            # Intra-SCC calls: wired context-insensitively to this instance.
+            member_set = set(members)
+            for call in template.calls:
+                if call.callee not in member_set:
+                    continue
+                callee_tab = symtabs[call.callee]
+                callee_template = self.templates[call.callee]
+                self._wire_args_returns(
+                    callee_template,
+                    callee_tab,
+                    tuple(self._sym_vid(a, symtab) for a in call.args),
+                    self._sym_vid(call.lhs, symtab) if call.lhs else None,
+                )
+        return symtabs
+
+    def _wire_binding(
+        self, binding: Tuple, symtabs: Dict[str, Dict[str, int]]
+    ) -> None:
+        callee, arg_vids, lhs_vid = binding
+        self._wire_args_returns(
+            self.templates[callee], symtabs[callee], arg_vids, lhs_vid
+        )
+
+    def _wire_args_returns(
+        self,
+        callee_template: FunctionTemplate,
+        callee_tab: Dict[str, int],
+        arg_vids: Tuple[int, ...],
+        lhs_vid: Optional[int],
+    ) -> None:
+        """A edges: actuals -> formals, returns -> call LHS (§3)."""
+        for formal, actual_vid in zip(callee_template.params, arg_vids):
+            self._emit(KIND_A, actual_vid, callee_tab[formal])
+        if lhs_vid is not None:
+            for ret_sym in callee_template.return_syms:
+                self._emit(KIND_A, self._sym_vid(ret_sym, callee_tab), lhs_vid)
+
+    def _sym_vid(self, sym: str, symtab: Dict[str, int]) -> int:
+        """Resolve a template symbol to a vertex id in one instance."""
+        vid = symtab.get(sym)
+        if vid is not None:
+            return vid
+        if _is_global_symbol(sym):
+            return self._global_vid(sym)
+        # Local deref/addrof chains over globals bottom out here; any
+        # remaining local symbol missing from the table is a bug.
+        raise KeyError(f"unresolved symbol {sym!r}")
+
+
+def generate_graphs(
+    lowered: LoweredProgram,
+    max_inlines: int = 5_000_000,
+    context_depth: Optional[int] = None,
+) -> ProgramGraphs:
+    """Run both stages: templates, then context-sensitive instantiation.
+
+    ``context_depth`` bounds the cloning depth (None = fully
+    context-sensitive, 0 = context-insensitive; see §3).
+    """
+    callgraph = build_callgraph(lowered)
+    templates, _ = build_templates(lowered)
+    inst = _Instantiator(templates, callgraph, max_inlines, context_depth)
+    inst.run()
+    return ProgramGraphs(
+        namer=inst.namer,
+        edges_src=np.asarray(inst.src, dtype=np.int64),
+        edges_dst=np.asarray(inst.dst, dtype=np.int64),
+        edges_kind=np.asarray(inst.kind, dtype=np.int64),
+        kind_names=inst.kind_names,
+        inline_count=inst.inline_count,
+        indirect_call_instances=inst.indirect_instances,
+        callgraph=callgraph,
+        lowered=lowered,
+        templates=templates,
+    )

@@ -1,0 +1,130 @@
+"""Assemble analysis-specific Graspan input graphs from generated edges.
+
+The pointer/alias graph carries ``M``/``A``/``D`` edges plus their
+explicit inverses (§3: "for each edge from a to b labeled X, we create
+and add to the graph an edge from b to a labeled X-bar").
+
+The dataflow graph (NULL propagation, §5 — and its taint twin for the
+Range checker) is built *after* the pointer analysis: its ``DF`` edges
+are the assignment edges plus bridges between aliased dereference
+expressions, so NULL (or user data) flows through the heap exactly where
+the pointer analysis proved stores and loads may touch the same cell.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.frontend.graphgen import (
+    KIND_A,
+    KIND_D,
+    KIND_M,
+    KIND_N,
+    KIND_TF,
+    KIND_U,
+    ProgramGraphs,
+)
+from repro.graph.graph import MemGraph
+from repro.grammar.builtin import (
+    LABEL_A,
+    LABEL_A_BAR,
+    LABEL_D,
+    LABEL_D_BAR,
+    LABEL_DF,
+    LABEL_M,
+    LABEL_M_BAR,
+    LABEL_N,
+)
+
+POINTER_LABELS = (
+    LABEL_M,
+    LABEL_A,
+    LABEL_D,
+    LABEL_M_BAR,
+    LABEL_A_BAR,
+    LABEL_D_BAR,
+)
+
+DATAFLOW_LABELS = (LABEL_N, LABEL_DF)
+
+
+def pointer_graph(pg: ProgramGraphs) -> MemGraph:
+    """The pointer/alias analysis input graph, inverse edges included."""
+    pieces_src: List[np.ndarray] = []
+    pieces_dst: List[np.ndarray] = []
+    pieces_lab: List[np.ndarray] = []
+    label_id = {name: i for i, name in enumerate(POINTER_LABELS)}
+    for kind, bar in ((KIND_M, LABEL_M_BAR), (KIND_A, LABEL_A_BAR), (KIND_D, LABEL_D_BAR)):
+        src, dst = pg.edges_of_kind(kind)
+        if len(src) == 0:
+            continue
+        pieces_src.append(src)
+        pieces_dst.append(dst)
+        pieces_lab.append(np.full(len(src), label_id[kind], dtype=np.int64))
+        # inverse ("bar") edges
+        pieces_src.append(dst)
+        pieces_dst.append(src)
+        pieces_lab.append(np.full(len(src), label_id[bar], dtype=np.int64))
+    if pieces_src:
+        src = np.concatenate(pieces_src)
+        dst = np.concatenate(pieces_dst)
+        lab = np.concatenate(pieces_lab)
+    else:
+        src = dst = lab = np.empty(0, dtype=np.int64)
+    return MemGraph.from_arrays(
+        src, dst, lab, num_vertices=pg.num_vertices, label_names=POINTER_LABELS
+    )
+
+
+def dataflow_graph(
+    pg: ProgramGraphs,
+    alias_pairs: Iterable[Tuple[int, int]] = (),
+    taint: bool = False,
+) -> MemGraph:
+    """The source-tracking dataflow graph.
+
+    ``taint=False`` tracks NULL: sources are ``N`` edges, flow is
+    assignments.  ``taint=True`` tracks user data (Range checker):
+    sources are ``U`` edges and flow additionally crosses arithmetic
+    (``TF`` edges) — ``p + 1`` is still NULL-free but ``n + 1`` is still
+    user-controlled.
+
+    ``alias_pairs`` are (deref-vertex, deref-vertex) pairs from the
+    pointer analysis; each contributes DF edges in both directions.
+    """
+    label_id = {name: i for i, name in enumerate(DATAFLOW_LABELS)}
+    pieces: List[Tuple[np.ndarray, np.ndarray, int]] = []
+
+    source_kind = KIND_U if taint else KIND_N
+    src, dst = pg.edges_of_kind(source_kind)
+    pieces.append((src, dst, label_id[LABEL_N]))
+
+    flow_kinds = (KIND_A, KIND_TF) if taint else (KIND_A,)
+    src, dst = pg.edges_of_kind(*flow_kinds)
+    pieces.append((src, dst, label_id[LABEL_DF]))
+
+    pairs = list(alias_pairs)
+    if pairs:
+        a = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        b = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        pieces.append((a, b, label_id[LABEL_DF]))
+        pieces.append((b, a, label_id[LABEL_DF]))
+
+    all_src = np.concatenate([p[0] for p in pieces]) if pieces else np.empty(0)
+    all_dst = np.concatenate([p[1] for p in pieces]) if pieces else np.empty(0)
+    all_lab = (
+        np.concatenate(
+            [np.full(len(p[0]), p[2], dtype=np.int64) for p in pieces]
+        )
+        if pieces
+        else np.empty(0)
+    )
+    return MemGraph.from_arrays(
+        all_src,
+        all_dst,
+        all_lab,
+        num_vertices=pg.num_vertices,
+        label_names=DATAFLOW_LABELS,
+    )

@@ -1,0 +1,118 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "char",
+        "long",
+        "void",
+        "struct",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "NULL",
+    }
+)
+
+SYMBOLS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "->",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    "=",
+    "*",
+    "&",
+    "!",
+    "<",
+    ">",
+    "+",
+    "-",
+    "/",
+    "%",
+    ".",
+)
+
+
+class LexError(SyntaxError):
+    pass
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "number" | "keyword" | "symbol" | "eof"
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC source.  ``//`` and ``/* */`` comments are skipped."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("symbol", sym, line))
+                i += len(sym)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {c!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,348 @@
+"""Lowering MiniC ASTs to three-address statements.
+
+Complicated statements are broken down by introducing temporaries (§2.2)
+until every statement is one of the four pointer-relevant forms — copy
+``a = b``, load ``a = *b``, store ``*a = b``, address-of ``a = &b`` — or
+an allocation, NULL/const assignment, call, return, builtin, or test.
+Each lowered statement records its source line, its position, and the
+stack of normalized pointer guards enclosing it; the checkers are built
+entirely on this representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.frontend import ast
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One enclosing normalized pointer test."""
+
+    var: str
+    nonnull: bool  # True: this branch runs only when var is non-NULL
+    line: int
+
+
+@dataclass
+class LStmt:
+    """A lowered three-address statement.
+
+    ``kind`` is one of: ``copy``, ``load``, ``store``, ``addrof``,
+    ``alloc``, ``null``, ``const``, ``binop``, ``funcref``, ``call``,
+    ``return``, ``test``, ``free``, ``lock``, ``unlock``.
+    Field usage per kind:
+
+    =========  =========================================================
+    copy      lhs = rhs
+    load      lhs = *rhs
+    store     *lhs = rhs
+    addrof    lhs = &rhs
+    alloc     lhs = malloc()        (one allocation site per statement)
+    null      lhs = NULL
+    const     lhs = <integer>
+    binop     lhs = f(operands)     (non-pointer arithmetic; operands kept
+                                     so taint tracking can flow through)
+    funcref   lhs = &callee         (function used as a value)
+    call      [lhs =] callee(args)  (direct or via function pointer)
+    return    rhs is the returned variable (None for bare return)
+    test      a normalized NULL test on ``rhs`` (polarity in ``nonnull``)
+    rangetest a bounds check on variable ``rhs`` (Range checker)
+    free      free(rhs)
+    lock      lock(rhs)
+    unlock    unlock(rhs)
+    =========  =========================================================
+    """
+
+    kind: str
+    line: int
+    guards: Tuple[Guard, ...]
+    lhs: Optional[str] = None
+    rhs: Optional[str] = None
+    callee: Optional[str] = None
+    args: Tuple[str, ...] = ()
+    operands: Tuple[str, ...] = ()
+    nonnull: bool = True
+    index_var: Optional[str] = None  # array-index variable (Range checker)
+    size: Optional[int] = None  # malloc byte count (Size checker)
+
+
+@dataclass
+class LoweredFunction:
+    """One function in three-address form."""
+
+    name: str
+    params: List[str]
+    pointer_params: List[bool]
+    module: str
+    returns_pointer: bool
+    stmts: List[LStmt] = field(default_factory=list)
+    locals: List[str] = field(default_factory=list)
+    line: int = 0
+    pointer_vars: Set[str] = field(default_factory=set)  # declared pointers
+    var_sizes: Dict[str, int] = field(default_factory=dict)  # base-type sizes
+
+    def return_vars(self) -> List[str]:
+        return [s.rhs for s in self.stmts if s.kind == "return" and s.rhs]
+
+    def statements_of_kind(self, *kinds: str) -> List[LStmt]:
+        return [s for s in self.stmts if s.kind in kinds]
+
+
+@dataclass
+class LoweredProgram:
+    functions: Dict[str, LoweredFunction]
+    global_vars: List[str]
+    source: ast.Program
+
+    def function_names(self) -> List[str]:
+        return list(self.functions)
+
+
+class _FunctionLowerer:
+    def __init__(self, func: ast.Function, function_names: frozenset) -> None:
+        self.func = func
+        self.function_names = function_names
+        self.stmts: List[LStmt] = []
+        self.locals: List[str] = []
+        self.guards: List[Guard] = []
+        self._temp_counter = 0
+        self._pending_index: Optional[str] = None
+        self.pointer_vars: Set[str] = set()
+        self.var_sizes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> LoweredFunction:
+        self._lower_body(self.func.body)
+        pointer_vars = set(self.pointer_vars)
+        var_sizes = dict(self.var_sizes)
+        sizes = self.func.param_sizes or [4] * len(self.func.params)
+        for param, is_ptr, size in zip(
+            self.func.params, self.func.pointer_params, sizes
+        ):
+            if is_ptr:
+                pointer_vars.add(param)
+            var_sizes.setdefault(param, size)
+        return LoweredFunction(
+            name=self.func.name,
+            params=list(self.func.params),
+            pointer_params=list(self.func.pointer_params),
+            module=self.func.module,
+            returns_pointer=self.func.returns_pointer,
+            stmts=self.stmts,
+            locals=self.locals,
+            line=self.func.line,
+            pointer_vars=pointer_vars,
+            var_sizes=var_sizes,
+        )
+
+    def _fresh(self) -> str:
+        self._temp_counter += 1
+        name = f"%t{self._temp_counter}"
+        self.locals.append(name)
+        return name
+
+    def _emit(self, kind: str, line: int, **fields) -> LStmt:
+        stmt = LStmt(kind=kind, line=line, guards=tuple(self.guards), **fields)
+        self.stmts.append(stmt)
+        return stmt
+
+    # ------------------------------------------------------------------
+    def _lower_body(self, body: Sequence[ast.Stmt]) -> None:
+        for stmt in body:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Decl):
+            self.locals.append(stmt.name)
+            if stmt.is_pointer:
+                self.pointer_vars.add(stmt.name)
+            self.var_sizes[stmt.name] = stmt.base_size
+            if stmt.init is not None:
+                self._lower_assign(ast.Var(stmt.name), stmt.init, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._lower_assign(stmt.lhs, stmt.rhs, stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._lower_effect_call(stmt.expr, stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self._emit("return", stmt.line)
+            else:
+                var = self._lower_expr(stmt.value, stmt.line)
+                self._emit("return", stmt.line, rhs=var)
+        elif isinstance(stmt, ast.If):
+            self._lower_branching(stmt.cond, stmt.then_body, stmt.else_body, stmt.line)
+        elif isinstance(stmt, ast.While):
+            self._lower_branching(stmt.cond, stmt.body, [], stmt.line)
+        else:
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    def _lower_branching(
+        self,
+        cond: ast.Cond,
+        then_body: Sequence[ast.Stmt],
+        else_body: Sequence[ast.Stmt],
+        line: int,
+    ) -> None:
+        if cond.var is not None:
+            self._emit("test", line, rhs=cond.var, nonnull=cond.nonnull_when_true)
+            then_guard = Guard(cond.var, cond.nonnull_when_true, line)
+            else_guard = Guard(cond.var, not cond.nonnull_when_true, line)
+        elif cond.range_var is not None:
+            self._emit("rangetest", line, rhs=cond.range_var)
+            then_guard = else_guard = None
+        else:
+            # Opaque condition: evaluate for side effects, no guard info.
+            self._lower_expr(cond.expr, line, allow_void=True)
+            then_guard = else_guard = None
+
+        if then_guard is not None:
+            self.guards.append(then_guard)
+        self._lower_body(then_body)
+        if then_guard is not None:
+            self.guards.pop()
+
+        if else_body:
+            if else_guard is not None:
+                self.guards.append(else_guard)
+            self._lower_body(else_body)
+            if else_guard is not None:
+                self.guards.pop()
+
+    # ------------------------------------------------------------------
+    def _lower_assign(self, lhs: ast.Expr, rhs: ast.Expr, line: int) -> None:
+        if isinstance(lhs, ast.Var):
+            self._lower_expr(rhs, line, into=lhs.name)
+        elif isinstance(lhs, ast.Deref):
+            rhs_var = self._lower_expr(rhs, line)
+            base_var = self._lower_deref_base(lhs.operand, line)
+            self._emit(
+                "store",
+                line,
+                lhs=base_var,
+                rhs=rhs_var,
+                index_var=self._take_pending_index(),
+            )
+        else:
+            raise TypeError(f"line {line}: bad assignment target {lhs!r}")
+
+    def _lower_deref_base(self, operand: ast.Expr, line: int) -> str:
+        """Lower the operand of a dereference, capturing array indices."""
+        if isinstance(operand, ast.BinOp) and operand.op == "[]":
+            base_var = self._lower_expr(operand.left, line)
+            index_var = (
+                operand.right.name
+                if isinstance(operand.right, ast.Var)
+                else self._lower_expr(operand.right, line)
+            )
+            # The caller emits the load/store on base_var; it picks the
+            # index up via _take_pending_index so the Range checker can
+            # see which variable indexed the array.
+            self._pending_index = index_var
+            return base_var
+        return self._lower_expr(operand, line)
+
+    def _take_pending_index(self) -> Optional[str]:
+        index, self._pending_index = self._pending_index, None
+        return index
+
+    def _lower_expr(
+        self,
+        expr: ast.Expr,
+        line: int,
+        into: Optional[str] = None,
+        allow_void: bool = False,
+    ) -> str:
+        """Lower ``expr``; the result lands in ``into`` or a fresh temp."""
+
+        def dest() -> str:
+            return into if into is not None else self._fresh()
+
+        if isinstance(expr, ast.Var):
+            if expr.name in self.function_names:
+                d = dest()
+                self._emit("funcref", line, lhs=d, callee=expr.name)
+                return d
+            if into is not None:
+                self._emit("copy", line, lhs=into, rhs=expr.name)
+                return into
+            return expr.name
+        if isinstance(expr, ast.Null):
+            d = dest()
+            self._emit("null", line, lhs=d)
+            return d
+        if isinstance(expr, ast.IntConst):
+            d = dest()
+            self._emit("const", line, lhs=d)
+            return d
+        if isinstance(expr, ast.Malloc):
+            d = dest()
+            self._emit("alloc", line, lhs=d, size=expr.size)
+            return d
+        if isinstance(expr, ast.AddrOf):
+            assert isinstance(expr.operand, ast.Var)
+            d = dest()
+            self._emit("addrof", line, lhs=d, rhs=expr.operand.name)
+            return d
+        if isinstance(expr, ast.Deref):
+            base = self._lower_deref_base(expr.operand, line)
+            d = dest()
+            self._emit("load", line, lhs=d, rhs=base, index_var=self._take_pending_index())
+            return d
+        if isinstance(expr, ast.Call):
+            return self._lower_call(expr, line, into, allow_void)
+        if isinstance(expr, ast.BinOp):
+            left = self._lower_expr(expr.left, line)
+            right = self._lower_expr(expr.right, line)
+            d = dest()
+            self._emit("binop", line, lhs=d, operands=(left, right))
+            return d
+        raise TypeError(f"line {line}: cannot lower {expr!r}")
+
+    def _lower_call(
+        self,
+        call: ast.Call,
+        line: int,
+        into: Optional[str],
+        allow_void: bool,
+    ) -> str:
+        arg_vars = tuple(self._lower_expr(a, line) for a in call.args)
+        builtin_kind = {
+            "free": "free",
+            "lock": "lock",
+            "unlock": "unlock",
+        }.get(call.callee)
+        if builtin_kind is not None:
+            self._emit(builtin_kind, line, rhs=arg_vars[0] if arg_vars else None)
+            return into if into is not None else ""
+        lhs = into
+        if lhs is None and not allow_void:
+            lhs = self._fresh()
+        self._emit("call", line, lhs=lhs, callee=call.callee, args=arg_vars)
+        return lhs if lhs is not None else ""
+
+    def _lower_effect_call(self, expr: ast.Expr, line: int) -> None:
+        if isinstance(expr, ast.Call):
+            self._lower_call(expr, line, into=None, allow_void=True)
+        else:
+            self._lower_expr(expr, line, allow_void=True)
+
+
+def lower_program(program: ast.Program) -> LoweredProgram:
+    """Lower every function of ``program`` to three-address form."""
+    function_names = frozenset(program.function_names())
+    lowered: Dict[str, LoweredFunction] = {}
+    for func in program.functions:
+        if func.name in lowered:
+            raise ValueError(
+                f"duplicate function definition {func.name!r} "
+                f"(line {func.line})"
+            )
+        lowered[func.name] = _FunctionLowerer(func, function_names).run()
+    return LoweredProgram(
+        functions=lowered,
+        global_vars=program.global_names(),
+        source=program,
+    )

@@ -1,0 +1,141 @@
+"""Vertex naming: unique ids for every cloned expression (§3, §4.4).
+
+Aggressive inlining clones each function's expression graph once per
+calling context, so a vertex id must identify *(context, function,
+expression)* and be reversible — Graspan "generates a unique ID in a way
+so that we can easily locate the variable it corresponds to and its
+containing function from the ID", and provides translation APIs to map
+results back to source (§4.4).
+
+Contexts form a tree: context 0 is the root (globals and top-level
+function instances hang off it); every inline creates a child context
+labeled with its call site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class VertexInfo:
+    """Everything known about one vertex id."""
+
+    vid: int
+    function: str  # containing function ("" for globals/specials)
+    context: int
+    symbol: str  # source-level expression, e.g. "p", "*p", "alloc@12"
+    line: int
+
+
+class VertexNamer:
+    """Interns (context, function, symbol) triples into dense vertex ids."""
+
+    def __init__(self) -> None:
+        # context table: context id -> (parent context, call-site label)
+        self._context_parent: List[int] = [0]
+        self._context_label: List[str] = ["<root>"]
+        # columnar vertex attributes
+        self._func: List[str] = []
+        self._ctx: List[int] = []
+        self._sym: List[str] = []
+        self._line: List[int] = []
+        # reverse indices
+        self._by_func_sym: Dict[Tuple[str, str], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # contexts
+    # ------------------------------------------------------------------
+    def new_context(self, parent: int, call_site: str) -> int:
+        ctx = len(self._context_parent)
+        self._context_parent.append(parent)
+        self._context_label.append(call_site)
+        return ctx
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self._context_parent)
+
+    def context_chain(self, ctx: int) -> List[str]:
+        """The call-site chain from the root to ``ctx`` (§1: calling context)."""
+        chain: List[str] = []
+        while ctx != 0:
+            chain.append(self._context_label[ctx])
+            ctx = self._context_parent[ctx]
+        chain.reverse()
+        return chain
+
+    def context_parent(self, ctx: int) -> int:
+        return self._context_parent[ctx]
+
+    def is_context_ancestor(self, ancestor: int, ctx: int) -> bool:
+        """Is ``ancestor`` a strict ancestor of ``ctx`` in the call tree?
+
+        Contexts form the (inlined) call tree; a value flowing from a
+        clone into a strict-ancestor context has left its frame — the
+        escape analysis' core test.
+        """
+        if ancestor == ctx:
+            return False
+        while ctx != 0:
+            ctx = self._context_parent[ctx]
+            if ctx == ancestor:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # vertices
+    # ------------------------------------------------------------------
+    def new_vertex(self, function: str, ctx: int, symbol: str, line: int = 0) -> int:
+        vid = len(self._func)
+        self._func.append(function)
+        self._ctx.append(ctx)
+        self._sym.append(symbol)
+        self._line.append(line)
+        self._by_func_sym.setdefault((function, symbol), []).append(vid)
+        return vid
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._func)
+
+    def info(self, vid: int) -> VertexInfo:
+        return VertexInfo(
+            vid=vid,
+            function=self._func[vid],
+            context=self._ctx[vid],
+            symbol=self._sym[vid],
+            line=self._line[vid],
+        )
+
+    def symbol(self, vid: int) -> str:
+        return self._sym[vid]
+
+    def function(self, vid: int) -> str:
+        return self._func[vid]
+
+    def context(self, vid: int) -> int:
+        return self._ctx[vid]
+
+    def line(self, vid: int) -> int:
+        return self._line[vid]
+
+    def describe(self, vid: int) -> str:
+        """Human-readable vertex description for reports."""
+        func = self._func[vid] or "<global>"
+        return f"{func}::{self._sym[vid]}[ctx {self._ctx[vid]}]"
+
+    # ------------------------------------------------------------------
+    # reverse lookup (the §4.4 translation API)
+    # ------------------------------------------------------------------
+    def vertices_for(self, function: str, symbol: str) -> List[int]:
+        """All clones of ``symbol`` in ``function`` (one per context)."""
+        return self._by_func_sym.get((function, symbol), [])
+
+    def is_deref_symbol(self, vid: int) -> bool:
+        return self._sym[vid].startswith("*")
+
+    def iter_vertices(self) -> Iterator[VertexInfo]:
+        for vid in range(self.num_vertices):
+            yield self.info(vid)

@@ -1,0 +1,373 @@
+"""Recursive-descent parser for MiniC.
+
+Produces the :mod:`repro.frontend.ast` tree.  The grammar is a small,
+unambiguous C subset; types are parsed but only pointer-ness is retained
+(the analyses are untyped beyond that, §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend import ast
+from repro.frontend.lexer import Token, tokenize
+
+TYPE_KEYWORDS = ("int", "char", "long", "void", "struct")
+
+#: sizeof() for MiniC base types (the Size checker compares allocation
+#: sizes against these).
+TYPE_SIZES = {"int": 4, "char": 1, "long": 8, "void": 1, "struct": 8}
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.current
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            tok = self.current
+            want = text if text is not None else kind
+            raise ParseError(
+                f"line {tok.line}: expected {want!r}, found {tok.text!r}"
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_program(self, module: str = "") -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            is_pointer, line, size = self._parse_type()
+            name = self.expect("ident").text
+            if self.check("symbol", "("):
+                program.functions.append(
+                    self._parse_function(name, is_pointer, line, module)
+                )
+            else:
+                program.globals.append(
+                    ast.Global(
+                        name=name, is_pointer=is_pointer, line=line, base_size=size
+                    )
+                )
+                while self.accept("symbol", ","):
+                    ptr = bool(self.accept("symbol", "*"))
+                    extra = self.expect("ident").text
+                    program.globals.append(
+                        ast.Global(name=extra, is_pointer=ptr, line=line, base_size=size)
+                    )
+                self.expect("symbol", ";")
+        return program
+
+    def _parse_type(self) -> Tuple[bool, int, int]:
+        """Consume a type; returns (is_pointer, line, base_size)."""
+        tok = self.current
+        if not (tok.kind == "keyword" and tok.text in TYPE_KEYWORDS):
+            raise ParseError(f"line {tok.line}: expected a type, found {tok.text!r}")
+        self.advance()
+        if tok.text == "struct":
+            self.expect("ident")  # struct tag
+        is_pointer = False
+        while self.accept("symbol", "*"):
+            is_pointer = True
+        return is_pointer, tok.line, TYPE_SIZES[tok.text]
+
+    def _parse_function(
+        self, name: str, returns_pointer: bool, line: int, module: str
+    ) -> ast.Function:
+        self.expect("symbol", "(")
+        params: List[str] = []
+        pointer_params: List[bool] = []
+        param_sizes: List[int] = []
+        if not self.check("symbol", ")"):
+            if self.check("keyword", "void") and self.tokens[self.pos + 1].text == ")":
+                self.advance()
+            else:
+                while True:
+                    ptr, _, size = self._parse_type()
+                    params.append(self.expect("ident").text)
+                    pointer_params.append(ptr)
+                    param_sizes.append(size)
+                    if not self.accept("symbol", ","):
+                        break
+        self.expect("symbol", ")")
+        body = self._parse_block()
+        return ast.Function(
+            name=name,
+            params=params,
+            pointer_params=pointer_params,
+            body=body,
+            returns_pointer=returns_pointer,
+            module=module,
+            line=line,
+            param_sizes=param_sizes,
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> List[ast.Stmt]:
+        self.expect("symbol", "{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("symbol", "}"):
+            stmts.extend(self._parse_statement())
+        self.expect("symbol", "}")
+        return stmts
+
+    def _parse_statement(self) -> List[ast.Stmt]:
+        tok = self.current
+        if tok.kind == "keyword" and tok.text in TYPE_KEYWORDS:
+            return self._parse_decl()
+        if self.accept("keyword", "return"):
+            value = None
+            if not self.check("symbol", ";"):
+                value = self._parse_expr()
+            self.expect("symbol", ";")
+            return [ast.Return(line=tok.line, value=value)]
+        if self.accept("keyword", "if"):
+            self.expect("symbol", "(")
+            cond = self._parse_cond()
+            self.expect("symbol", ")")
+            then_body = self._parse_block()
+            else_body: List[ast.Stmt] = []
+            if self.accept("keyword", "else"):
+                if self.check("keyword", "if"):
+                    else_body = self._parse_statement()
+                else:
+                    else_body = self._parse_block()
+            return [
+                ast.If(
+                    line=tok.line, cond=cond, then_body=then_body, else_body=else_body
+                )
+            ]
+        if self.accept("keyword", "while"):
+            self.expect("symbol", "(")
+            cond = self._parse_cond()
+            self.expect("symbol", ")")
+            body = self._parse_block()
+            return [ast.While(line=tok.line, cond=cond, body=body)]
+        if self.accept("keyword", "for"):
+            return self._parse_for(tok.line)
+        # assignment or expression statement
+        expr = self._parse_expr()
+        if self.accept("symbol", "="):
+            rhs = self._parse_expr()
+            self.expect("symbol", ";")
+            return [ast.Assign(line=tok.line, lhs=expr, rhs=rhs)]
+        self.expect("symbol", ";")
+        return [ast.ExprStmt(line=tok.line, expr=expr)]
+
+    def _parse_for(self, line: int) -> List[ast.Stmt]:
+        """``for (init; cond; step) body`` desugars to init + while.
+
+        The lowering is the standard one: the init statement runs first,
+        then a while loop on the condition whose body is the original
+        body followed by the step.  Flow-insensitive analyses see the
+        same statements either way; the checkers see the condition as a
+        normal guard.
+        """
+        self.expect("symbol", "(")
+        init: List[ast.Stmt] = []
+        if not self.check("symbol", ";"):
+            expr = self._parse_expr()
+            self.expect("symbol", "=")
+            init = [ast.Assign(line=line, lhs=expr, rhs=self._parse_expr())]
+        self.expect("symbol", ";")
+        if self.check("symbol", ";"):
+            cond = ast.Cond(expr=ast.IntConst(1))
+        else:
+            cond = self._parse_cond()
+        self.expect("symbol", ";")
+        step: List[ast.Stmt] = []
+        if not self.check("symbol", ")"):
+            expr = self._parse_expr()
+            if self.accept("symbol", "="):
+                step = [ast.Assign(line=line, lhs=expr, rhs=self._parse_expr())]
+            else:
+                step = [ast.ExprStmt(line=line, expr=expr)]
+        self.expect("symbol", ")")
+        body = self._parse_block()
+        return init + [ast.While(line=line, cond=cond, body=body + step)]
+
+    def _parse_decl(self) -> List[ast.Stmt]:
+        line = self.current.line
+        base_is_pointer, _, base_size = self._parse_type()
+        decls: List[ast.Stmt] = []
+        while True:
+            is_pointer = base_is_pointer
+            while self.accept("symbol", "*"):
+                is_pointer = True
+            name = self.expect("ident").text
+            if self.accept("symbol", "["):  # array declarator: decays to pointer
+                if self.current.kind == "number":
+                    self.advance()
+                self.expect("symbol", "]")
+                is_pointer = True
+            init = None
+            if self.accept("symbol", "="):
+                init = self._parse_expr()
+            decls.append(
+                ast.Decl(
+                    line=line,
+                    name=name,
+                    is_pointer=is_pointer,
+                    init=init,
+                    base_size=base_size,
+                )
+            )
+            if not self.accept("symbol", ","):
+                break
+        self.expect("symbol", ";")
+        return decls
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+    def _parse_cond(self) -> ast.Cond:
+        """Parse a guard and normalize pointer NULL tests (see ast.Cond)."""
+        negated = bool(self.accept("symbol", "!"))
+        expr = self._parse_expr()
+        if self.check("symbol", "==") or self.check("symbol", "!="):
+            op = self.advance().text
+            right = self._parse_expr()
+            full = ast.BinOp(op=op, left=expr, right=right)
+            if isinstance(expr, ast.Var) and isinstance(right, ast.Null):
+                nonnull = (op == "!=") != negated
+                return ast.Cond(expr=full, var=expr.name, nonnull_when_true=nonnull)
+            return ast.Cond(expr=full)
+        # Ordered comparisons were folded into the expression by
+        # _parse_expr; a comparison against a bound is a range check on
+        # the compared variable (Range checker).
+        if isinstance(expr, ast.BinOp) and expr.op in ("<", ">", "<=", ">="):
+            if isinstance(expr.left, ast.Var):
+                return ast.Cond(expr=expr, range_var=expr.left.name)
+            if isinstance(expr.right, ast.Var):
+                return ast.Cond(expr=expr, range_var=expr.right.name)
+            return ast.Cond(expr=expr)
+        if isinstance(expr, ast.Var):
+            return ast.Cond(expr=expr, var=expr.name, nonnull_when_true=not negated)
+        return ast.Cond(expr=expr)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.kind == "symbol" and self.current.text in (
+            "+",
+            "-",
+            "/",
+            "%",
+            "<",
+            ">",
+            "<=",
+            ">=",
+            "&&",
+            "||",
+        ):
+            op = self.advance().text
+            right = self._parse_unary()
+            left = ast.BinOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept("symbol", "*"):
+            return ast.Deref(operand=self._parse_unary())
+        if self.accept("symbol", "&"):
+            name = self.expect("ident").text
+            return ast.AddrOf(operand=ast.Var(name))
+        if self.accept("symbol", "("):
+            expr = self._parse_expr()
+            self.expect("symbol", ")")
+            return self._parse_postfix(expr)
+        if self.accept("keyword", "NULL"):
+            return ast.Null()
+        tok = self.current
+        if tok.kind == "number":
+            self.advance()
+            return ast.IntConst(int(tok.text))
+        if tok.kind == "ident":
+            self.advance()
+            if tok.text == "malloc" and self.check("symbol", "("):
+                self.expect("symbol", "(")
+                size: Optional[int] = None
+                while not self.check("symbol", ")"):
+                    arg = self._parse_expr()
+                    if size is None and isinstance(arg, ast.IntConst):
+                        size = arg.value  # literal byte count (Size checker)
+                    if not self.accept("symbol", ","):
+                        break
+                self.expect("symbol", ")")
+                return ast.Malloc(size=size)
+            if self.check("symbol", "("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.check("symbol", ")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept("symbol", ","):
+                            break
+                self.expect("symbol", ")")
+                return self._parse_postfix(
+                    ast.Call(callee=tok.text, args=tuple(args))
+                )
+            return self._parse_postfix(ast.Var(tok.text))
+        raise ParseError(f"line {tok.line}: unexpected token {tok.text!r}")
+
+    def _parse_postfix(self, expr: ast.Expr) -> ast.Expr:
+        """Field and array accesses lower to dereferences (offsets ignored)."""
+        while True:
+            if self.accept("symbol", "->"):
+                self.expect("ident")  # field name, ignored per §2.2
+                expr = ast.Deref(operand=expr)
+            elif self.accept("symbol", "."):
+                self.expect("ident")  # a.f handled as a
+            elif self.accept("symbol", "["):
+                index = self._parse_expr()
+                self.expect("symbol", "]")
+                # a[i] reads like *(a) with the index recorded via BinOp so
+                # the Range checker can see it; the pointer graph treats it
+                # as a plain dereference.
+                expr = ast.Deref(operand=ast.BinOp(op="[]", left=expr, right=index))
+            else:
+                return expr
+
+
+def parse(source: str, module: str = "") -> ast.Program:
+    """Parse MiniC ``source`` into a :class:`repro.frontend.ast.Program`."""
+    return Parser(tokenize(source)).parse_program(module)
+
+
+def parse_files(named_sources: List[Tuple[str, str]]) -> ast.Program:
+    """Parse and merge ``(module_name, source)`` pairs into one program."""
+    program = ast.Program()
+    for module, source in named_sources:
+        program = program.merged_with(parse(source, module=module))
+    return program

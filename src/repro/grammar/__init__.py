@@ -1,0 +1,81 @@
+"""Grammar specification for Graspan analyses.
+
+The programming model (§3) asks the analysis developer for two artifacts:
+a program graph and a grammar.  This package provides the grammar half —
+construction (:class:`Grammar` with the paper's ``add_constraint`` API),
+normalization to ≤2-term productions (:mod:`repro.grammar.normalize`), and
+the built-in pointer/alias and NULL-dataflow grammars used in the paper's
+evaluation (:mod:`repro.grammar.builtin`).
+"""
+
+from repro.grammar.grammar import (
+    MAX_LABELS,
+    FrozenGrammar,
+    Grammar,
+    GrammarError,
+    Production,
+    bar_name,
+)
+from repro.grammar.normalize import is_intermediate
+from repro.grammar.parse import (
+    grammar_to_text,
+    parse_grammar_file,
+    parse_grammar_text,
+)
+from repro.grammar.builtin import (
+    LABEL_A,
+    LABEL_A_BAR,
+    LABEL_ALIAS,
+    LABEL_D,
+    LABEL_D_BAR,
+    LABEL_DF,
+    LABEL_M,
+    LABEL_M_BAR,
+    LABEL_N,
+    LABEL_NF,
+    LABEL_OF,
+    LABEL_T,
+    LABEL_VF,
+    LABEL_T1,
+    LABEL_VA,
+    LABEL_VFB,
+    dyck_grammar,
+    nullflow_grammar,
+    pointsto_grammar,
+    pointsto_grammar_extended,
+    reachability_grammar,
+)
+
+__all__ = [
+    "MAX_LABELS",
+    "FrozenGrammar",
+    "Grammar",
+    "GrammarError",
+    "Production",
+    "bar_name",
+    "is_intermediate",
+    "parse_grammar_text",
+    "parse_grammar_file",
+    "grammar_to_text",
+    "pointsto_grammar",
+    "pointsto_grammar_extended",
+    "nullflow_grammar",
+    "reachability_grammar",
+    "dyck_grammar",
+    "LABEL_M",
+    "LABEL_A",
+    "LABEL_D",
+    "LABEL_M_BAR",
+    "LABEL_A_BAR",
+    "LABEL_D_BAR",
+    "LABEL_VF",
+    "LABEL_OF",
+    "LABEL_ALIAS",
+    "LABEL_T",
+    "LABEL_T1",
+    "LABEL_VA",
+    "LABEL_VFB",
+    "LABEL_N",
+    "LABEL_DF",
+    "LABEL_NF",
+]

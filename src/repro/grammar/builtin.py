@@ -1,0 +1,161 @@
+"""The grammars used by the paper's two analyses, plus test helpers.
+
+Pointer/alias analysis (§2.2, normalized form from §3)::
+
+    objectFlow ::= M | M valueFlow
+    valueFlow  ::= A | valueFlow A | valueFlow alias
+    alias      ::= T D
+    T          ::= D_bar valueFlow
+
+``D``/``D_bar`` are the dereference edge and its inverse (the balanced
+parentheses of the CFL), ``A`` an assignment edge, ``M`` an allocation
+edge.  An ``objectFlow`` edge from an allocation vertex to a variable
+vertex means the variable may point to the object; an ``alias`` edge
+between two expression vertices means they may alias.
+
+NULL dataflow analysis (§5, two productions)::
+
+    nullFlow ::= N | nullFlow DF
+
+``N`` is an edge from the distinguished NULL-source vertex to a variable
+assigned NULL; ``DF`` is a value-flow edge of the dataflow graph
+(assignments, parameter/return bindings, and load/store flows resolved
+with pointer-analysis results).  A ``nullFlow`` edge into a variable means
+NULL may reach it.
+"""
+
+from __future__ import annotations
+
+from repro.grammar.grammar import FrozenGrammar, Grammar
+
+# Canonical label names for the pointer/alias analysis.
+LABEL_M = "M"  # allocation
+LABEL_A = "A"  # assignment
+LABEL_D = "D"  # dereference
+LABEL_M_BAR = "M_bar"
+LABEL_A_BAR = "A_bar"
+LABEL_D_BAR = "D_bar"
+LABEL_VF = "VF"  # valueFlow
+LABEL_OF = "OF"  # objectFlow
+LABEL_ALIAS = "AL"  # alias
+LABEL_T = "T"  # helper nonterminal from the normalized grammar
+
+# Canonical label names for the NULL dataflow analysis.
+LABEL_N = "N"  # NULL source edge
+LABEL_DF = "DF"  # dataflow (value-flow) edge
+LABEL_NF = "NF"  # nullFlow
+
+
+def pointsto_grammar() -> FrozenGrammar:
+    """The paper's normalized context-sensitive pointer/alias grammar."""
+    g = Grammar()
+    # Intern terminals first (and their inverses, which graph generation
+    # emits) so label ids are stable and predictable for tests.
+    for name in (
+        LABEL_M,
+        LABEL_A,
+        LABEL_D,
+        LABEL_M_BAR,
+        LABEL_A_BAR,
+        LABEL_D_BAR,
+    ):
+        g.label(name)
+    g.add_constraint(LABEL_OF, LABEL_M)
+    g.add_constraint(LABEL_OF, LABEL_M, LABEL_VF)
+    g.add_constraint(LABEL_VF, LABEL_A)
+    g.add_constraint(LABEL_VF, LABEL_VF, LABEL_A)
+    g.add_constraint(LABEL_VF, LABEL_VF, LABEL_ALIAS)
+    g.add_constraint(LABEL_ALIAS, LABEL_T, LABEL_D)
+    g.add_constraint(LABEL_T, LABEL_D_BAR, LABEL_VF)
+    return g.freeze()
+
+
+LABEL_VFB = "VFB"  # backward (inverse) value flow — extended grammar only
+LABEL_VA = "VA"  # value alias — extended grammar only
+LABEL_T1 = "T1"  # helper for the extended alias production
+
+
+def pointsto_grammar_extended() -> FrozenGrammar:
+    """The symmetric (Zheng-Rugina style) pointer/alias grammar.
+
+    The paper prints a compact five-production grammar whose ``alias``
+    rule only relates a variable to a dereference reached *forward* from
+    its address (``D_bar valueFlow D``).  That form cannot derive an
+    alias between two dereferences whose pointers merely share a source
+    (``p = &g; q = &g;`` gives no valueFlow between ``p`` and ``q``), so
+    two-sided heap flows (``*p = x; y = *q;``) would be missed.  The
+    full formulation the paper adapts (Zheng & Rugina [100]) closes this
+    with a symmetric *value alias*: ``VA ::= VF | VFB | VFB VF`` where
+    ``VFB`` is the backward flow.  The analyses in :mod:`repro.analysis`
+    use this grammar; the compact one is kept for engine benchmarks and
+    fidelity tests.  See DESIGN.md.
+    """
+    g = Grammar()
+    for name in (
+        LABEL_M,
+        LABEL_A,
+        LABEL_D,
+        LABEL_M_BAR,
+        LABEL_A_BAR,
+        LABEL_D_BAR,
+    ):
+        g.label(name)
+    g.add_constraint(LABEL_OF, LABEL_M)
+    g.add_constraint(LABEL_OF, LABEL_M, LABEL_VF)
+    # forward value flow
+    g.add_constraint(LABEL_VF, LABEL_A)
+    g.add_constraint(LABEL_VF, LABEL_ALIAS)
+    g.add_constraint(LABEL_VF, LABEL_VF, LABEL_A)
+    g.add_constraint(LABEL_VF, LABEL_VF, LABEL_ALIAS)
+    # backward value flow
+    g.add_constraint(LABEL_VFB, LABEL_A_BAR)
+    g.add_constraint(LABEL_VFB, LABEL_ALIAS)
+    g.add_constraint(LABEL_VFB, LABEL_VFB, LABEL_A_BAR)
+    g.add_constraint(LABEL_VFB, LABEL_VFB, LABEL_ALIAS)
+    # value alias: backward then forward through a shared source
+    g.add_constraint(LABEL_VA, LABEL_VF)
+    g.add_constraint(LABEL_VA, LABEL_VFB)
+    g.add_constraint(LABEL_VA, LABEL_VFB, LABEL_VF)
+    # alias between dereferences of value-aliased pointers
+    g.add_constraint(LABEL_T1, LABEL_D_BAR, LABEL_VA)
+    g.add_constraint(LABEL_ALIAS, LABEL_T1, LABEL_D)
+    return g.freeze()
+
+
+def nullflow_grammar() -> FrozenGrammar:
+    """The two-production NULL-propagation dataflow grammar (§5)."""
+    g = Grammar()
+    for name in (LABEL_N, LABEL_DF):
+        g.label(name)
+    g.add_constraint(LABEL_NF, LABEL_N)
+    g.add_constraint(LABEL_NF, LABEL_NF, LABEL_DF)
+    return g.freeze()
+
+
+def reachability_grammar(edge_label: str = "E", path_label: str = "R") -> FrozenGrammar:
+    """Plain transitive reachability: ``R ::= E | R E``.
+
+    Not from the paper; a minimal grammar used by tests and ablation
+    benches to exercise the engine independently of the analyses.
+    """
+    g = Grammar()
+    g.label(edge_label)
+    g.add_constraint(path_label, edge_label)
+    g.add_constraint(path_label, path_label, edge_label)
+    return g.freeze()
+
+
+def dyck_grammar() -> FrozenGrammar:
+    """Balanced-parentheses (Dyck-1) reachability: the canonical CFL.
+
+    ``S ::= ( )  |  ( S )  |  S S`` with open/close labels ``OP``/``CL``.
+    Used by property tests: CFL-reachability engines must agree with a
+    brute-force CYK-style oracle on this grammar.
+    """
+    g = Grammar()
+    g.label("OP")
+    g.label("CL")
+    g.add_constraint("S", "OP", "CL")
+    g.add_rule("S", ["OP", "S", "CL"])  # binarized on freeze()
+    g.add_constraint("S", "S", "S")
+    return g.freeze()

@@ -1,0 +1,63 @@
+"""Binarization of long productions into Graspan's ≤2-term normal form.
+
+Graspan's edge-pair-centric model inspects paths of length at most two, so
+every production must have at most two RHS terms (§3).  Every context-free
+grammar can be normalized into such a form (similar to Chomsky normal
+form): a rule ``K ::= L1 L2 L3 L4`` becomes::
+
+    K#1 ::= L1 L2
+    K#2 ::= K#1 L3
+    K   ::= K#2 L4
+
+The intermediate nonterminals ``K$i`` are fresh labels; they are ordinary
+edges at run time and can be filtered out of reported results by name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.grammar.grammar import Grammar, Production
+
+#: Separator used in generated intermediate nonterminal names.  ``$``
+#: never collides with the ``#`` comment character of the grammar text
+#: format, so normalized grammars render and reparse cleanly.
+INTERMEDIATE_MARK = "$"
+
+
+def is_intermediate(label_name: str) -> bool:
+    """True if ``label_name`` was synthesized by binarization."""
+    return INTERMEDIATE_MARK in label_name
+
+
+def binarize_long_rules(
+    grammar: Grammar,
+    long_rules: Sequence[Tuple[int, Tuple[int, ...]]],
+) -> List[Production]:
+    """Expand rules with >2 RHS terms into chains of binary productions.
+
+    ``long_rules`` pairs an interned LHS label with its full RHS term
+    tuple.  Fresh intermediate labels are interned into ``grammar``.
+    Returns the list of generated binary :class:`Production` objects.
+    """
+    productions: List[Production] = []
+    for rule_number, (lhs, rhs) in enumerate(long_rules):
+        if len(rhs) <= 2:
+            raise ValueError("binarize_long_rules expects rules with >2 terms")
+        lhs_name = grammar.label_name(lhs)
+        current = rhs[0]
+        for position, term in enumerate(rhs[1:], start=1):
+            is_last = position == len(rhs) - 1
+            if is_last:
+                target = lhs
+            else:
+                fresh = f"{lhs_name}{INTERMEDIATE_MARK}{rule_number}.{position}"
+                target = grammar.label(fresh)
+            productions.append(Production(lhs=target, rhs1=current, rhs2=term))
+            current = target
+    return productions
+
+
+def rhs_lengths(rules: Iterable[Sequence[object]]) -> List[int]:
+    """Convenience for tests: the RHS length of each rule."""
+    return [len(rule) for rule in rules]

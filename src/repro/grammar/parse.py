@@ -1,0 +1,67 @@
+"""A small text format for grammar specifications.
+
+Lets analyses be specified in files (used by the CLI) rather than code::
+
+    # pointer analysis
+    OF ::= M | M VF
+    VF ::= A | VF A | VF AL
+    AL ::= T D
+    T  ::= D_bar VF
+
+One production per ``|`` alternative; terms are whitespace-separated
+label names; ``#`` starts a comment.  Productions of any length are
+accepted (binarized on freeze, §3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.grammar.grammar import FrozenGrammar, Grammar, GrammarError
+
+ARROW = "::="
+
+
+def parse_grammar_text(text: str) -> FrozenGrammar:
+    """Parse a grammar spec; returns the frozen grammar."""
+    grammar = Grammar()
+    saw_rule = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if ARROW not in line:
+            raise GrammarError(
+                f"line {lineno}: expected '<lhs> {ARROW} <rhs>', got {line!r}"
+            )
+        lhs_text, rhs_text = line.split(ARROW, 1)
+        lhs = lhs_text.strip()
+        if not lhs or " " in lhs:
+            raise GrammarError(f"line {lineno}: bad LHS {lhs_text!r}")
+        for alternative in rhs_text.split("|"):
+            terms = alternative.split()
+            if not terms:
+                raise GrammarError(
+                    f"line {lineno}: empty alternative (epsilon not supported)"
+                )
+            grammar.add_rule(lhs, terms)
+            saw_rule = True
+    if not saw_rule:
+        raise GrammarError("grammar text contains no productions")
+    return grammar.freeze()
+
+
+def parse_grammar_file(path) -> FrozenGrammar:
+    with open(path) as f:
+        return parse_grammar_text(f.read())
+
+
+def grammar_to_text(grammar: FrozenGrammar) -> str:
+    """Render a frozen grammar back to the text format (normalized form)."""
+    lines = []
+    for p in grammar.productions:
+        rhs = grammar.label_name(p.rhs1)
+        if p.rhs2 is not None:
+            rhs += " " + grammar.label_name(p.rhs2)
+        lines.append(f"{grammar.label_name(p.lhs)} {ARROW} {rhs}")
+    return "\n".join(lines) + "\n"

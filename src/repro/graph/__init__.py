@@ -1,0 +1,47 @@
+"""Graph substrate: packed edge arrays, in-memory graphs, disk formats."""
+
+from repro.graph.packed import (
+    EMPTY,
+    LABEL_BITS,
+    LABEL_MASK,
+    MAX_VERTEX_ID,
+    pack,
+    pack_one,
+    labels_of,
+    targets_of,
+    unpack,
+    merge_unique,
+    heap_merge_unique,
+    isin_sorted,
+    setdiff_sorted,
+    sort_unique,
+    from_pairs,
+    to_pairs,
+)
+from repro.graph.graph import MemGraph, add_inverse_edges
+from repro.graph.io import read_binary, read_text, write_binary, write_text
+
+__all__ = [
+    "EMPTY",
+    "LABEL_BITS",
+    "LABEL_MASK",
+    "MAX_VERTEX_ID",
+    "pack",
+    "pack_one",
+    "labels_of",
+    "targets_of",
+    "unpack",
+    "merge_unique",
+    "heap_merge_unique",
+    "isin_sorted",
+    "setdiff_sorted",
+    "sort_unique",
+    "from_pairs",
+    "to_pairs",
+    "MemGraph",
+    "add_inverse_edges",
+    "read_binary",
+    "read_text",
+    "write_binary",
+    "write_text",
+]

@@ -1,0 +1,186 @@
+"""In-memory labeled directed multigraphs (the Graspan input graph).
+
+:class:`MemGraph` is the exchange format between the frontend (which
+generates program graphs), preprocessing (which shards them into
+partitions), the engine (for in-memory computation), and the baselines.
+It stores edges columnar — ``src`` array plus packed ``(target, label)``
+key array — sorted by ``(src, key)`` with duplicates removed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph import packed
+
+
+class MemGraph:
+    """An immutable, sorted, deduplicated labeled edge list.
+
+    Construct with :meth:`from_edges` (triples) or :meth:`from_arrays`
+    (columnar).  Vertex ids are dense non-negative integers; the number of
+    vertices is ``max id + 1`` unless given explicitly (isolated vertices
+    are legal and matter for partitioning).
+    """
+
+    def __init__(
+        self,
+        src: np.ndarray,
+        keys: np.ndarray,
+        num_vertices: int,
+        label_names: Sequence[str],
+    ) -> None:
+        if len(src) != len(keys):
+            raise ValueError("src and keys must be parallel arrays")
+        self.src = src
+        self.keys = keys
+        self.num_vertices = num_vertices
+        self.label_names = tuple(label_names)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int, int]],
+        num_vertices: Optional[int] = None,
+        label_names: Sequence[str] = (),
+    ) -> "MemGraph":
+        """Build from ``(src, dst, label)`` triples (any order, dups ok)."""
+        triples = list(edges)
+        if triples:
+            src = np.asarray([t[0] for t in triples], dtype=np.int64)
+            dst = np.asarray([t[1] for t in triples], dtype=np.int64)
+            lab = np.asarray([t[2] for t in triples], dtype=np.int64)
+        else:
+            src = dst = lab = packed.EMPTY
+        return cls.from_arrays(src, dst, lab, num_vertices, label_names)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        labels: np.ndarray,
+        num_vertices: Optional[int] = None,
+        label_names: Sequence[str] = (),
+    ) -> "MemGraph":
+        src = np.asarray(src, dtype=np.int64)
+        keys = packed.pack(dst, labels)
+        if len(src):
+            order = np.lexsort((keys, src))
+            src, keys = src[order], keys[order]
+            # drop duplicate (src, key) rows
+            dup = np.zeros(len(src), dtype=bool)
+            dup[1:] = (src[1:] == src[:-1]) & (keys[1:] == keys[:-1])
+            src, keys = src[~dup], keys[~dup]
+        if num_vertices is None:
+            highest = -1
+            if len(src):
+                highest = max(int(src.max()), int(packed.targets_of(keys).max()))
+            num_vertices = highest + 1
+        return cls(src, keys, num_vertices, label_names)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def out_keys(self, v: int) -> np.ndarray:
+        """Sorted packed out-edges of vertex ``v``.
+
+        Located by binary search on the sorted ``src`` column, so memory
+        stays O(edges) even for graphs with huge sparse vertex ids.
+        """
+        lo = np.searchsorted(self.src, v, side="left")
+        hi = np.searchsorted(self.src, v, side="right")
+        return self.keys[lo:hi]
+
+    def out_degree(self, v: int) -> int:
+        lo = np.searchsorted(self.src, v, side="left")
+        hi = np.searchsorted(self.src, v, side="right")
+        return int(hi - lo)
+
+    def out_degrees(self) -> np.ndarray:
+        """Per-vertex out-degrees; allocates O(num_vertices)."""
+        if len(self.src) == 0:
+            return np.zeros(self.num_vertices, dtype=np.int64)
+        return np.bincount(self.src, minlength=self.num_vertices).astype(np.int64)
+
+    def in_degrees(self) -> np.ndarray:
+        degrees = np.zeros(self.num_vertices, dtype=np.int64)
+        if len(self.keys):
+            tgt, counts = np.unique(packed.targets_of(self.keys), return_counts=True)
+            degrees[tgt] = counts
+        return degrees
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(src, dst, label)`` triples in sorted order."""
+        dst = packed.targets_of(self.keys)
+        lab = packed.labels_of(self.keys)
+        for i in range(len(self.src)):
+            yield int(self.src[i]), int(dst[i]), int(lab[i])
+
+    def edges_with_label(self, label: int) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(src, dst)`` for edges carrying ``label`` (§4.4 API)."""
+        mask = packed.labels_of(self.keys) == label
+        dst = packed.targets_of(self.keys[mask])
+        for s, d in zip(self.src[mask], dst):
+            yield int(s), int(d)
+
+    def count_by_label(self) -> Dict[int, int]:
+        labels, counts = np.unique(packed.labels_of(self.keys), return_counts=True)
+        return {int(l): int(c) for l, c in zip(labels, counts)}
+
+    def has_edge(self, src: int, dst: int, label: int) -> bool:
+        keys = self.out_keys(src)
+        key = packed.pack_one(dst, label)
+        i = np.searchsorted(keys, key)
+        return i < len(keys) and keys[i] == key
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def with_edges(self, extra: Iterable[Tuple[int, int, int]]) -> "MemGraph":
+        """A new graph with additional triples (used by graph generators)."""
+        extra = list(extra)
+        if not extra:
+            return self
+        add_src = np.asarray([t[0] for t in extra], dtype=np.int64)
+        add_dst = np.asarray([t[1] for t in extra], dtype=np.int64)
+        add_lab = np.asarray([t[2] for t in extra], dtype=np.int64)
+        src = np.concatenate([self.src, add_src])
+        dst = np.concatenate([packed.targets_of(self.keys), add_dst])
+        lab = np.concatenate([packed.labels_of(self.keys), add_lab])
+        highest = -1
+        if len(src):
+            highest = max(int(src.max()), int(dst.max()))
+        return MemGraph.from_arrays(
+            src, dst, lab, max(self.num_vertices, highest + 1), self.label_names
+        )
+
+    def __repr__(self) -> str:
+        return f"MemGraph({self.num_vertices} vertices, {self.num_edges} edges)"
+
+
+def add_inverse_edges(
+    edges: Iterable[Tuple[int, int, int]],
+    inverse_label: Dict[int, int],
+) -> List[Tuple[int, int, int]]:
+    """Return ``edges`` plus the inverse ("bar") edge of each (§3).
+
+    ``inverse_label`` maps a label id to its bar counterpart; labels
+    missing from the map get no inverse (e.g. nonterminal labels).
+    """
+    out: List[Tuple[int, int, int]] = []
+    for src, dst, label in edges:
+        out.append((src, dst, label))
+        bar = inverse_label.get(label)
+        if bar is not None:
+            out.append((dst, src, bar))
+    return out

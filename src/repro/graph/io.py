@@ -1,0 +1,86 @@
+"""On-disk edge-list formats.
+
+The frontend "dumps the graph to disk in the form of an edge list" (§3);
+preprocessing reads it back to shard it into partitions.  Two formats:
+
+* **text** — one ``src<TAB>dst<TAB>label-name`` line per edge, with a
+  ``# labels: ...`` header.  Human-readable, used in examples and docs.
+* **binary** — a numpy ``.npz`` holding the columnar arrays plus label
+  names.  Compact and fast; the default for benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph import packed
+from repro.graph.graph import MemGraph
+
+PathLike = Union[str, Path]
+
+_TEXT_HEADER = "# graspan-edge-list v1 labels="
+
+
+def write_text(graph: MemGraph, path: PathLike) -> None:
+    """Write ``graph`` as a text edge list with symbolic label names."""
+    path = Path(path)
+    names = list(graph.label_names)
+    dst = packed.targets_of(graph.keys)
+    lab = packed.labels_of(graph.keys)
+    with path.open("w") as f:
+        f.write(_TEXT_HEADER + json.dumps(names) + "\n")
+        for i in range(graph.num_edges):
+            label = int(lab[i])
+            name = names[label] if label < len(names) else str(label)
+            f.write(f"{int(graph.src[i])}\t{int(dst[i])}\t{name}\n")
+
+
+def read_text(path: PathLike) -> MemGraph:
+    """Read a text edge list written by :func:`write_text`."""
+    path = Path(path)
+    names: List[str] = []
+    triples: List[Tuple[int, int, int]] = []
+    with path.open() as f:
+        header = f.readline().rstrip("\n")
+        if not header.startswith(_TEXT_HEADER):
+            raise ValueError(f"{path}: not a graspan text edge list")
+        names = json.loads(header[len(_TEXT_HEADER) :])
+        index = {name: i for i, name in enumerate(names)}
+        for lineno, line in enumerate(f, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{lineno}: malformed edge line {line!r}")
+            src, dst, label_name = parts
+            if label_name not in index:
+                raise ValueError(f"{path}:{lineno}: unknown label {label_name!r}")
+            triples.append((int(src), int(dst), index[label_name]))
+    return MemGraph.from_edges(triples, label_names=names)
+
+
+def write_binary(graph: MemGraph, path: PathLike) -> None:
+    """Write ``graph`` as a compact ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        src=graph.src,
+        keys=graph.keys,
+        num_vertices=np.asarray([graph.num_vertices], dtype=np.int64),
+        label_names=np.asarray(list(graph.label_names), dtype=object),
+    )
+
+
+def read_binary(path: PathLike) -> MemGraph:
+    """Read a ``.npz`` archive written by :func:`write_binary`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        return MemGraph(
+            src=data["src"],
+            keys=data["keys"],
+            num_vertices=int(data["num_vertices"][0]),
+            label_names=[str(x) for x in data["label_names"]],
+        )

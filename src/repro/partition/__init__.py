@@ -1,0 +1,26 @@
+"""Partitioning: VIT, partitions, DDM, preprocessing, disk store (§4.1/§4.3)."""
+
+from repro.partition.interval import Interval, VertexIntervalTable
+from repro.partition.partition import Partition
+from repro.partition.ddm import DestinationDistributionMap
+from repro.partition.storage import PartitionStore, load_partition, save_partition
+from repro.partition.pset import PartitionSet
+from repro.partition.preprocess import (
+    balanced_intervals,
+    choose_num_partitions,
+    preprocess,
+)
+
+__all__ = [
+    "Interval",
+    "VertexIntervalTable",
+    "Partition",
+    "DestinationDistributionMap",
+    "PartitionStore",
+    "load_partition",
+    "save_partition",
+    "PartitionSet",
+    "balanced_intervals",
+    "choose_num_partitions",
+    "preprocess",
+]

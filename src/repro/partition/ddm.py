@@ -1,0 +1,145 @@
+"""The destination distribution map (DDM).
+
+The DDM is a per-partition-pair matrix.  Cell ``(p, q)`` records how many
+edges of partition ``p`` point into interval ``q`` and — the paper's
+*delta* field — how many of those arrived since ``p`` and ``q`` were last
+loaded together.  The scheduler picks the pair with the largest
+``delta(p,q) + delta(q,p)`` score; the engine terminates when every delta
+cell is zero (§4.3).
+
+Beyond the paper's prose we additionally track a per-partition *version*
+(a monotone count of edges ever added to the partition) and, per ordered
+pair, the version at which the pair was last synchronized.  This closes a
+subtle staleness case: a new edge ``v -> w`` entirely inside ``p`` changes
+no cross-partition percentage, yet partitions with edges *into* ``p``
+must still be re-paired with ``p`` to extend paths through the new edge.
+A pair is "dirty" whenever either member's version advanced past the
+pair's last sync — the delta cells then quantify how profitable the pair
+looks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+
+class DestinationDistributionMap:
+    """Pair-wise edge-distribution and staleness bookkeeping."""
+
+    def __init__(self, counts: np.ndarray) -> None:
+        n = counts.shape[0]
+        if counts.shape != (n, n):
+            raise ValueError("counts must be square")
+        self.counts = counts.astype(np.int64)
+        # Paper: "If p and q have never been loaded together, the change is
+        # the same as the full percentage" -> deltas start as full counts.
+        self.added_since_sync = self.counts.copy()
+        self.version = np.zeros(n, dtype=np.int64)
+        # synced_version[p, q]: version of p when (p, q) was last co-loaded;
+        # -1 means never co-loaded.
+        self.synced_version = np.full((n, n), -1, dtype=np.int64)
+
+    @property
+    def num_partitions(self) -> int:
+        return self.counts.shape[0]
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def record_new_edges(self, src_pid: int, dst_pid: int, num: int) -> None:
+        """Account ``num`` new edges from partition ``src_pid`` into ``dst_pid``."""
+        if num <= 0:
+            return
+        self.counts[src_pid, dst_pid] += num
+        self.added_since_sync[src_pid, dst_pid] += num
+        self.version[src_pid] += num
+
+    def mark_synced(self, pids: Iterable[int]) -> None:
+        """Declare every pair among ``pids`` saturated (superstep finished)."""
+        ids = list(pids)
+        for p in ids:
+            for q in ids:
+                self.added_since_sync[p, q] = 0
+                self.synced_version[p, q] = self.version[p]
+
+    def set_exact_row(self, pid: int, row_counts: np.ndarray) -> None:
+        """Replace ``pid``'s count row with an exactly recomputed one.
+
+        Used whenever a partition is resident in memory: its destination
+        distribution can be recomputed exactly, correcting the
+        proportional approximations introduced by earlier splits.
+        """
+        self.counts[pid, :] = row_counts
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def pair_dirty(self, p: int, q: int) -> bool:
+        """Does pair ``(p, q)`` still have unprocessed match opportunities?"""
+        # A pair can only produce matches if some loaded edge crosses the
+        # two intervals (for p == q: some edge stays inside the interval).
+        interacts = self.counts[p, q] > 0 or self.counts[q, p] > 0
+        if not interacts:
+            return False
+        return (
+            self.version[p] > self.synced_version[p, q]
+            or self.version[q] > self.synced_version[q, p]
+        )
+
+    def pair_score(self, p: int, q: int) -> int:
+        """The paper's ``delta(p,q) + delta(q,p)`` scheduling score."""
+        if p == q:
+            return int(self.added_since_sync[p, p])
+        return int(self.added_since_sync[p, q] + self.added_since_sync[q, p])
+
+    def dirty_pairs(self) -> List[Tuple[int, int]]:
+        """All unordered dirty pairs ``(p, q)`` with ``p <= q``."""
+        n = self.num_partitions
+        return [
+            (p, q) for p in range(n) for q in range(p, n) if self.pair_dirty(p, q)
+        ]
+
+    def finished(self) -> bool:
+        """Global fixed point: no pair has pending work (§4.3 termination)."""
+        return not self.dirty_pairs()
+
+    # ------------------------------------------------------------------
+    # repartitioning
+    # ------------------------------------------------------------------
+    def split_partition(
+        self,
+        pid: int,
+        left_row: np.ndarray,
+        right_row: np.ndarray,
+    ) -> None:
+        """Expand the matrices after ``pid`` split into ``pid``/``pid+1``.
+
+        ``left_row``/``right_row`` are the *exact* destination-count rows
+        of the two halves, computed over the post-split VIT (callers have
+        the split partition in memory).  Columns of other partitions —
+        how *their* edges distribute over the two new intervals — would
+        need a scan of every other partition, so the parent's column is
+        conservatively duplicated into both halves (an upper bound that
+        can only cause harmless extra scheduling; rows are corrected
+        exactly whenever a partition is next loaded).
+        """
+
+        def grow(matrix: np.ndarray) -> np.ndarray:
+            matrix = np.insert(matrix, pid + 1, matrix[pid, :], axis=0)
+            matrix = np.insert(matrix, pid + 1, matrix[:, pid], axis=1)
+            return matrix
+
+        self.counts = grow(self.counts)
+        self.added_since_sync = grow(self.added_since_sync)
+        self.synced_version = grow(self.synced_version)
+        self.version = np.insert(self.version, pid + 1, self.version[pid])
+        self.counts[pid, :] = left_row
+        self.counts[pid + 1, :] = right_row
+
+    def __repr__(self) -> str:
+        return (
+            f"DestinationDistributionMap({self.num_partitions} partitions, "
+            f"{len(self.dirty_pairs())} dirty pairs)"
+        )

@@ -1,0 +1,112 @@
+"""The vertex-interval table (VIT).
+
+Preprocessing divides vertex ids into contiguous logical intervals; one
+interval defines one partition, containing every edge whose *source*
+vertex falls into the interval (§4.1 — note the contrast with GraphChi,
+which shards by target).  The VIT records the inclusive lower/upper bound
+of each interval and is updated on every repartitioning.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An inclusive range of vertex ids ``[lo, hi]``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def __contains__(self, vertex: int) -> bool:
+        return self.lo <= vertex <= self.hi
+
+    def __len__(self) -> int:
+        return self.hi - self.lo + 1
+
+    def split_at(self, mid: int) -> Tuple["Interval", "Interval"]:
+        """Split into ``[lo, mid]`` and ``[mid+1, hi]``."""
+        if not (self.lo <= mid < self.hi):
+            raise ValueError(f"cannot split [{self.lo},{self.hi}] at {mid}")
+        return Interval(self.lo, mid), Interval(mid + 1, self.hi)
+
+
+class VertexIntervalTable:
+    """Ordered, contiguous intervals covering ``[0, num_vertices)``.
+
+    Supports O(log n) vertex→partition lookup and in-place interval
+    splitting (repartitioning, §4.3).
+    """
+
+    def __init__(self, intervals: Sequence[Interval]) -> None:
+        if not intervals:
+            raise ValueError("VIT needs at least one interval")
+        expected_lo = intervals[0].lo
+        for iv in intervals:
+            if iv.lo != expected_lo:
+                raise ValueError("intervals must be contiguous and ordered")
+            expected_lo = iv.hi + 1
+        self._intervals: List[Interval] = list(intervals)
+        self._lows: List[int] = [iv.lo for iv in intervals]
+
+    @classmethod
+    def single(cls, num_vertices: int) -> "VertexIntervalTable":
+        return cls([Interval(0, max(0, num_vertices - 1))])
+
+    @classmethod
+    def even(cls, num_vertices: int, num_partitions: int) -> "VertexIntervalTable":
+        """Split ``[0, num_vertices)`` into ``num_partitions`` equal ranges."""
+        if num_partitions <= 0:
+            raise ValueError("need at least one partition")
+        num_partitions = min(num_partitions, max(1, num_vertices))
+        bounds = [
+            round(i * num_vertices / num_partitions) for i in range(num_partitions + 1)
+        ]
+        intervals = [
+            Interval(bounds[i], bounds[i + 1] - 1) for i in range(num_partitions)
+        ]
+        return cls(intervals)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def num_vertices(self) -> int:
+        return self._intervals[-1].hi - self._intervals[0].lo + 1
+
+    def interval(self, pid: int) -> Interval:
+        return self._intervals[pid]
+
+    def intervals(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def partition_of(self, vertex: int) -> int:
+        """The partition id owning ``vertex`` (binary search on bounds)."""
+        if not self._lows[0] <= vertex <= self._intervals[-1].hi:
+            raise KeyError(f"vertex {vertex} outside VIT range")
+        return bisect.bisect_right(self._lows, vertex) - 1
+
+    def split(self, pid: int, mid: int) -> Tuple[int, int]:
+        """Split partition ``pid`` at vertex ``mid``; returns the new ids.
+
+        The first half keeps id ``pid``; the second half becomes
+        ``pid + 1`` and every later partition id shifts up by one.
+        """
+        left, right = self._intervals[pid].split_at(mid)
+        self._intervals[pid : pid + 1] = [left, right]
+        self._lows[pid : pid + 1] = [left.lo, right.lo]
+        return pid, pid + 1
+
+    def as_tuples(self) -> List[Tuple[int, int]]:
+        return [(iv.lo, iv.hi) for iv in self._intervals]
+
+    def __repr__(self) -> str:
+        return f"VertexIntervalTable({self.as_tuples()})"

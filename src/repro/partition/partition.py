@@ -1,0 +1,139 @@
+"""A partition: the sorted out-edge lists of one vertex interval.
+
+Edges are grouped by source vertex; each source's outgoing edges are a
+sorted, duplicate-free packed key array (§4.1: "edges are sorted on their
+source vertex IDs and those that have the same source are stored
+consecutively and ordered on their target vertex IDs").  Sortedness is
+what makes batch edge addition and merge-time duplicate checks possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.graph import packed
+from repro.partition.interval import Interval
+
+
+class Partition:
+    """Mutable per-vertex adjacency for one vertex interval.
+
+    ``adjacency`` maps a source vertex (within ``interval``) to its sorted
+    packed out-edge array.  Vertices with no out-edges are absent.
+    """
+
+    def __init__(self, interval: Interval, adjacency: Dict[int, np.ndarray]) -> None:
+        for v in adjacency:
+            if v not in interval:
+                raise ValueError(f"vertex {v} outside interval {interval}")
+        self.interval = interval
+        self.adjacency = adjacency
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return sum(len(keys) for keys in self.adjacency.values())
+
+    @property
+    def num_source_vertices(self) -> int:
+        return len(self.adjacency)
+
+    def out_keys(self, v: int) -> np.ndarray:
+        return self.adjacency.get(v, packed.EMPTY)
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(src, dst, label)`` triples in sorted order."""
+        for v in sorted(self.adjacency):
+            keys = self.adjacency[v]
+            for dst, lab in zip(packed.targets_of(keys), packed.labels_of(keys)):
+                yield v, int(dst), int(lab)
+
+    def merge_new_edges(self, v: int, new_keys: np.ndarray) -> int:
+        """Merge sorted ``new_keys`` into ``v``'s list; returns #added."""
+        if len(new_keys) == 0:
+            return 0
+        if v not in self.interval:
+            raise ValueError(f"vertex {v} outside interval {self.interval}")
+        current = self.adjacency.get(v, packed.EMPTY)
+        merged = packed.merge_unique([current, new_keys])
+        added = len(merged) - len(current)
+        if added:
+            self.adjacency[v] = merged
+        return added
+
+    # ------------------------------------------------------------------
+    # metadata (the paper's per-partition degree file and DDM row)
+    # ------------------------------------------------------------------
+    def out_degree_file(self) -> Dict[int, int]:
+        """Per-vertex out-degrees (the paper's degree file, out half)."""
+        return {v: len(keys) for v, keys in self.adjacency.items()}
+
+    def destination_counts(self, vit) -> np.ndarray:
+        """Edge counts from this partition into each VIT interval.
+
+        This is this partition's row of the DDM.  Vectorized: bucket the
+        target vertices of all edges by interval lower bounds.
+        """
+        counts = np.zeros(vit.num_partitions, dtype=np.int64)
+        lows = np.asarray([iv.lo for iv in vit.intervals()], dtype=np.int64)
+        for keys in self.adjacency.values():
+            if len(keys) == 0:
+                continue
+            buckets = np.searchsorted(lows, packed.targets_of(keys), side="right") - 1
+            ids, n = np.unique(buckets, return_counts=True)
+            counts[ids] += n
+        return counts
+
+    def split(self, mid: int) -> Tuple["Partition", "Partition"]:
+        """Split at vertex ``mid`` into ``[lo, mid]`` / ``[mid+1, hi]``."""
+        left_iv, right_iv = self.interval.split_at(mid)
+        left: Dict[int, np.ndarray] = {}
+        right: Dict[int, np.ndarray] = {}
+        for v, keys in self.adjacency.items():
+            (left if v <= mid else right)[v] = keys
+        return Partition(left_iv, left), Partition(right_iv, right)
+
+    def median_split_point(self) -> int:
+        """The vertex at which a split best balances edge mass (§4.3).
+
+        Returns a ``mid`` such that ``[lo, mid]`` holds roughly half the
+        edges.  Always a legal split point (``lo <= mid < hi``).
+        """
+        iv = self.interval
+        if len(iv) < 2:
+            raise ValueError(f"interval {iv} too small to split")
+        total = self.num_edges
+        running = 0
+        best_mid = iv.lo + (len(iv) // 2) - 1
+        best_imbalance = None
+        for v in sorted(self.adjacency):
+            running += len(self.adjacency[v])
+            mid = min(max(v, iv.lo), iv.hi - 1)
+            imbalance = abs(2 * running - total)
+            if best_imbalance is None or imbalance < best_imbalance:
+                best_imbalance = imbalance
+                best_mid = mid
+            if running * 2 >= total:
+                break
+        return best_mid
+
+    @classmethod
+    def from_triples(
+        cls, interval: Interval, triples: Iterable[Tuple[int, int, int]]
+    ) -> "Partition":
+        by_src: Dict[int, List[int]] = {}
+        for src, dst, lab in triples:
+            by_src.setdefault(src, []).append(packed.pack_one(dst, lab))
+        adjacency = {
+            v: np.unique(np.asarray(keys, dtype=np.int64))
+            for v, keys in by_src.items()
+        }
+        return cls(interval, adjacency)
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition([{self.interval.lo},{self.interval.hi}], "
+            f"{self.num_source_vertices} sources, {self.num_edges} edges)"
+        )

@@ -1,0 +1,132 @@
+"""Preprocessing: shard an edge-list graph into partitions (§4.1).
+
+Vertices are divided into contiguous intervals balanced by *edge mass*
+(out-degree), so partitions start with similar numbers of edges.  For each
+partition we materialize sorted per-vertex adjacency, the degree metadata,
+and its DDM row.  With no sizing hints the graph gets two partitions —
+the paper's in-memory configuration, where both stay resident.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.graph import packed
+from repro.graph.graph import MemGraph
+from repro.partition.ddm import DestinationDistributionMap
+from repro.partition.interval import Interval, VertexIntervalTable
+from repro.partition.partition import Partition
+from repro.partition.pset import PartitionSet
+from repro.partition.storage import PartitionStore
+from repro.util.timing import TimeBreakdown
+
+PathLike = Union[str, Path]
+
+
+def choose_num_partitions(
+    num_edges: int,
+    max_edges_per_partition: Optional[int],
+    num_partitions: Optional[int],
+) -> int:
+    """Resolve the partition count from user sizing hints.
+
+    ``max_edges_per_partition`` models "the amount of memory available to
+    Graspan" (§4.1): only two partitions are resident at a time, so the
+    per-partition budget is roughly half the usable memory.
+    """
+    if num_partitions is not None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        return num_partitions
+    if max_edges_per_partition is not None:
+        if max_edges_per_partition < 1:
+            raise ValueError("max_edges_per_partition must be >= 1")
+        return max(1, math.ceil(num_edges / max_edges_per_partition))
+    return 2
+
+
+def balanced_intervals(graph: MemGraph, num_partitions: int) -> VertexIntervalTable:
+    """Intervals with roughly equal out-edge mass per partition."""
+    n = graph.num_vertices
+    if n == 0:
+        raise ValueError("cannot partition an empty graph")
+    num_partitions = min(num_partitions, n)
+    degrees = graph.out_degrees().astype(np.float64)
+    # Weight empty vertices slightly so bounds always advance.
+    cumulative = np.cumsum(degrees + 1e-9)
+    total = cumulative[-1]
+    bounds: List[int] = [0]
+    for i in range(1, num_partitions):
+        target = total * i / num_partitions
+        cut = int(np.searchsorted(cumulative, target))
+        # Pick whichever side of the target mass is closer.
+        if cut < n - 1:
+            below = cumulative[cut - 1] if cut > 0 else 0.0
+            if abs(cumulative[cut] - target) <= abs(below - target):
+                cut += 1
+        cut = max(cut, bounds[-1] + 1)  # keep intervals non-empty
+        cut = min(cut, n - (num_partitions - i))  # leave room for the rest
+        bounds.append(cut)
+    bounds.append(n)
+    intervals = [Interval(bounds[i], bounds[i + 1] - 1) for i in range(num_partitions)]
+    return VertexIntervalTable(intervals)
+
+
+def preprocess(
+    graph: MemGraph,
+    max_edges_per_partition: Optional[int] = None,
+    num_partitions: Optional[int] = None,
+    workdir: Optional[PathLike] = None,
+    timers: Optional[TimeBreakdown] = None,
+    intervals: Optional[List] = None,
+) -> PartitionSet:
+    """Shard ``graph`` into a :class:`PartitionSet`.
+
+    If ``workdir`` is given the store is disk-backed and every partition
+    is written out and evicted — the out-of-core starting state.  Without
+    it everything stays resident (in-memory mode).  ``intervals`` (a list
+    of ``(lo, hi)`` tuples) overrides the automatic edge-mass balancing.
+    """
+    timers = timers if timers is not None else TimeBreakdown()
+    with timers.phase("preprocess"):
+        if intervals is not None:
+            vit = VertexIntervalTable([Interval(lo, hi) for lo, hi in intervals])
+        else:
+            count = choose_num_partitions(
+                graph.num_edges, max_edges_per_partition, num_partitions
+            )
+            vit = balanced_intervals(graph, count)
+        partitions = _build_partitions(graph, vit)
+        counts = np.zeros((vit.num_partitions, vit.num_partitions), dtype=np.int64)
+        for pid, partition in enumerate(partitions):
+            counts[pid, :] = partition.destination_counts(vit)
+        ddm = DestinationDistributionMap(counts)
+        store = PartitionStore(workdir=workdir, timers=timers)
+        pset = PartitionSet(
+            vit,
+            ddm,
+            partitions,
+            store,
+            label_names=graph.label_names,
+            out_degrees=graph.out_degrees(),
+            in_degrees=graph.in_degrees(),
+        )
+    if store.disk_backed:
+        pset.evict_all_except(())
+    return pset
+
+
+def _build_partitions(graph: MemGraph, vit: VertexIntervalTable) -> List[Partition]:
+    partitions: List[Partition] = []
+    for interval in vit.intervals():
+        adjacency: Dict[int, np.ndarray] = {}
+        for v in range(interval.lo, interval.hi + 1):
+            keys = graph.out_keys(v)
+            if len(keys):
+                adjacency[v] = keys.copy()
+        partitions.append(Partition(interval, adjacency))
+    return partitions

@@ -1,0 +1,184 @@
+"""The partition set: VIT + DDM + partition slots (resident or on disk).
+
+:class:`PartitionSet` is the engine's view of the whole sharded graph.
+Each partition occupies a *slot* that holds either the resident
+:class:`Partition` object or the path of its file.  The engine asks for
+partitions with :meth:`acquire` and gives them back with :meth:`evict`;
+splits (:meth:`split`) rewrite the VIT and grow the DDM in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.partition.ddm import DestinationDistributionMap
+from repro.partition.interval import VertexIntervalTable
+from repro.partition.partition import Partition
+from repro.partition.storage import PartitionStore
+
+
+@dataclass
+class _Slot:
+    """Where one partition currently lives."""
+
+    partition: Optional[Partition]  # resident copy, if any
+    path: Optional[Path]  # on-disk copy, if any
+    edge_count: int  # tracked so totals never require a load
+    dirty: bool = False  # resident copy differs from the disk copy
+
+
+class PartitionSet:
+    """All partitions of one graph plus their metadata."""
+
+    def __init__(
+        self,
+        vit: VertexIntervalTable,
+        ddm: DestinationDistributionMap,
+        partitions: List[Partition],
+        store: PartitionStore,
+        label_names: Tuple[str, ...] = (),
+        out_degrees: Optional[np.ndarray] = None,
+        in_degrees: Optional[np.ndarray] = None,
+    ) -> None:
+        if vit.num_partitions != len(partitions):
+            raise ValueError("VIT and partition list disagree")
+        self.vit = vit
+        self.ddm = ddm
+        self.store = store
+        self.label_names = tuple(label_names)
+        # The paper's per-partition degree files, kept as two global arrays
+        # (used for array pre-sizing in C++; here they feed stats/tests).
+        self.out_degrees = out_degrees
+        self.in_degrees = in_degrees
+        self._slots: List[_Slot] = [
+            _Slot(partition=p, path=None, edge_count=p.num_edges, dirty=True)
+            for p in partitions
+        ]
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self._slots)
+
+    @property
+    def num_vertices(self) -> int:
+        return self.vit.num_vertices
+
+    def total_edges(self) -> int:
+        return sum(slot.edge_count for slot in self._slots)
+
+    def edge_count(self, pid: int) -> int:
+        return self._slots[pid].edge_count
+
+    def is_resident(self, pid: int) -> bool:
+        return self._slots[pid].partition is not None
+
+    def resident_pids(self) -> List[int]:
+        return [i for i, s in enumerate(self._slots) if s.partition is not None]
+
+    # ------------------------------------------------------------------
+    # residency management
+    # ------------------------------------------------------------------
+    def acquire(self, pid: int) -> Partition:
+        """Return the partition, loading it from disk if needed."""
+        slot = self._slots[pid]
+        if slot.partition is None:
+            if slot.path is None:
+                raise RuntimeError(f"partition {pid} has neither memory nor disk copy")
+            slot.partition = self.store.read(slot.path)
+            slot.dirty = False
+        return slot.partition
+
+    def note_mutated(self, pid: int) -> None:
+        """Record that the resident copy of ``pid`` changed."""
+        slot = self._slots[pid]
+        if slot.partition is None:
+            raise RuntimeError(f"partition {pid} not resident")
+        slot.edge_count = slot.partition.num_edges
+        slot.dirty = True
+
+    def evict(self, pid: int) -> None:
+        """Drop the resident copy, writing it out first if dirty.
+
+        Writing is *delayed* until eviction so a partition rechosen by the
+        scheduler pays no I/O (§4.3).  In-memory stores never evict.
+        """
+        slot = self._slots[pid]
+        if slot.partition is None:
+            return
+        if not self.store.disk_backed:
+            return
+        if slot.dirty or slot.path is None:
+            old_path = slot.path
+            slot.path = self.store.write(slot.partition)
+            if old_path is not None:
+                self.store.delete(old_path)
+        slot.partition = None
+        slot.dirty = False
+
+    def evict_all_except(self, keep: Tuple[int, ...] = ()) -> None:
+        for pid in self.resident_pids():
+            if pid not in keep:
+                self.evict(pid)
+
+    # ------------------------------------------------------------------
+    # repartitioning (§4.3)
+    # ------------------------------------------------------------------
+    def split(self, pid: int) -> Tuple[int, int]:
+        """Split resident partition ``pid`` at its median edge mass.
+
+        Updates the VIT, the slot list, and the DDM (exact rows for both
+        halves).  Returns the two new partition ids (``pid``, ``pid+1``).
+        """
+        partition = self.acquire(pid)
+        mid = partition.median_split_point()
+        self.vit.split(pid, mid)
+        left, right = partition.split(mid)
+        old_slot = self._slots[pid]
+        self._slots[pid : pid + 1] = [
+            _Slot(partition=left, path=None, edge_count=left.num_edges, dirty=True),
+            _Slot(partition=right, path=None, edge_count=right.num_edges, dirty=True),
+        ]
+        if old_slot.path is not None:
+            self.store.delete(old_slot.path)
+        self.ddm.split_partition(
+            pid,
+            left_row=left.destination_counts(self.vit),
+            right_row=right.destination_counts(self.vit),
+        )
+        return pid, pid + 1
+
+    # ------------------------------------------------------------------
+    # whole-graph export (for result queries and tests)
+    # ------------------------------------------------------------------
+    def iter_all_edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate every edge, loading partitions one at a time."""
+        for pid in range(self.num_partitions):
+            was_resident = self.is_resident(pid)
+            partition = self.acquire(pid)
+            yield from partition.edges()
+            if not was_resident:
+                self.evict(pid)
+
+    def to_memgraph(self):
+        """Materialize the full (possibly large) graph in memory."""
+        from repro.graph.graph import MemGraph
+
+        return MemGraph.from_edges(
+            self.iter_all_edges(),
+            num_vertices=self.num_vertices,
+            label_names=self.label_names,
+        )
+
+    def __repr__(self) -> str:
+        resident = len(self.resident_pids())
+        return (
+            f"PartitionSet({self.num_partitions} partitions, "
+            f"{self.total_edges()} edges, {resident} resident)"
+        )

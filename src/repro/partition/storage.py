@@ -1,0 +1,105 @@
+"""On-disk persistence for partitions.
+
+Each partition file is a numpy ``.npz`` holding the interval bounds and a
+CSR-style (vertices, indptr, keys) encoding of the sorted adjacency.
+Reads and writes are sequential by construction — the property that keeps
+Graspan's I/O cost low (§5.2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.graph import packed
+from repro.partition.interval import Interval
+from repro.partition.partition import Partition
+from repro.util.timing import TimeBreakdown
+
+PathLike = Union[str, Path]
+
+
+def save_partition(partition: Partition, path: PathLike) -> None:
+    """Serialize ``partition`` to ``path`` (.npz)."""
+    vertices = np.asarray(sorted(partition.adjacency), dtype=np.int64)
+    lengths = np.asarray(
+        [len(partition.adjacency[int(v)]) for v in vertices], dtype=np.int64
+    )
+    indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    if len(vertices):
+        keys = np.concatenate([partition.adjacency[int(v)] for v in vertices])
+    else:
+        keys = packed.EMPTY
+    np.savez(
+        Path(path),
+        lo=np.asarray([partition.interval.lo], dtype=np.int64),
+        hi=np.asarray([partition.interval.hi], dtype=np.int64),
+        vertices=vertices,
+        indptr=indptr,
+        keys=keys,
+    )
+
+
+def load_partition(path: PathLike) -> Partition:
+    """Deserialize a partition written by :func:`save_partition`."""
+    with np.load(Path(path)) as data:
+        interval = Interval(int(data["lo"][0]), int(data["hi"][0]))
+        vertices = data["vertices"]
+        indptr = data["indptr"]
+        keys = data["keys"]
+        adjacency: Dict[int, np.ndarray] = {}
+        for i, v in enumerate(vertices):
+            adjacency[int(v)] = keys[indptr[i] : indptr[i + 1]].copy()
+    return Partition(interval, adjacency)
+
+
+class PartitionStore:
+    """Allocates partition files in a working directory and tracks I/O time.
+
+    The engine owns residency decisions; the store only moves bytes.  When
+    constructed without a directory it refuses to evict — the in-memory
+    mode for small graphs (§4.2).
+    """
+
+    def __init__(
+        self,
+        workdir: Optional[PathLike] = None,
+        timers: Optional[TimeBreakdown] = None,
+    ) -> None:
+        self.workdir = Path(workdir) if workdir is not None else None
+        if self.workdir is not None:
+            self.workdir.mkdir(parents=True, exist_ok=True)
+        self.timers = timers if timers is not None else TimeBreakdown()
+        self._next_file_id = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    @property
+    def disk_backed(self) -> bool:
+        return self.workdir is not None
+
+    def allocate_path(self) -> Path:
+        if self.workdir is None:
+            raise RuntimeError("in-memory store cannot allocate partition files")
+        path = self.workdir / f"partition-{self._next_file_id:06d}.npz"
+        self._next_file_id += 1
+        return path
+
+    def write(self, partition: Partition) -> Path:
+        path = self.allocate_path()
+        with self.timers.phase("io"):
+            save_partition(partition, path)
+        self.bytes_written += path.stat().st_size
+        return path
+
+    def read(self, path: PathLike) -> Partition:
+        with self.timers.phase("io"):
+            partition = load_partition(path)
+        self.bytes_read += Path(path).stat().st_size
+        return partition
+
+    def delete(self, path: PathLike) -> None:
+        Path(path).unlink(missing_ok=True)

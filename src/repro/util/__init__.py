@@ -1,0 +1,12 @@
+"""Small shared utilities: timing, memory accounting, deterministic RNG."""
+
+from repro.util.timing import Stopwatch, TimeBreakdown
+from repro.util.memory import MemoryBudget, MemoryBudgetExceeded, approx_sizeof_edges
+
+__all__ = [
+    "Stopwatch",
+    "TimeBreakdown",
+    "MemoryBudget",
+    "MemoryBudgetExceeded",
+    "approx_sizeof_edges",
+]

@@ -1,0 +1,31 @@
+"""Generated evaluation workloads with injected ground-truth defects."""
+
+from repro.workloads.synthetic import (
+    LINUX_MODULE_WEIGHTS,
+    SyntheticProgramBuilder,
+    Workload,
+    WorkloadSpec,
+    generate,
+)
+from repro.workloads.programs import (
+    ALL_WORKLOADS,
+    PAPER_TABLE2,
+    httpd_like,
+    linux_like,
+    postgresql_like,
+    workload_by_name,
+)
+
+__all__ = [
+    "LINUX_MODULE_WEIGHTS",
+    "SyntheticProgramBuilder",
+    "Workload",
+    "WorkloadSpec",
+    "generate",
+    "ALL_WORKLOADS",
+    "PAPER_TABLE2",
+    "httpd_like",
+    "linux_like",
+    "postgresql_like",
+    "workload_by_name",
+]

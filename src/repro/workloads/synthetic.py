@@ -1,0 +1,807 @@
+"""Synthetic MiniC codebase generation with known injected defects.
+
+We cannot compile the Linux kernel here (see DESIGN.md §1), so the
+evaluation workloads are generated: deterministic (seeded) MiniC
+codebases whose *shape* matches what drives Graspan's behaviour —
+
+* a layered call DAG whose full context-sensitive inlining grows
+  multiplicatively with depth (the #Inlines column of Table 2),
+* pointer plumbing with bounded value-flow cones, so the transitive
+  closure grows by a small factor rather than quadratically (the
+  3-100x edge growth of Table 5),
+* Linux-style module taxonomy with `drivers` carrying the most code and
+  the most defects (Table 4), and
+* **bug gadgets**: self-contained function groups that plant exactly the
+  defect classes of Table 3, each recorded as a
+  :class:`~repro.checkers.driver.GroundTruthBug` so reported/false-
+  positive counts can be computed mechanically instead of by the paper's
+  manual inspection.
+
+Every gadget is designed against the *documented* blind spots of the
+baseline checkers: deep NULL chains the depth-0 Null checker cannot see,
+alias-hidden use-after-free, lock aliasing, blocking through function
+pointers, transitively tainted indices, and badly-sized allocations that
+only look wrong at a differently-typed alias.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checkers.driver import GroundTruthBug
+
+#: Linux-like module mass (Table 4's taxonomy; drivers dominates).
+LINUX_MODULE_WEIGHTS: Dict[str, float] = {
+    "drivers": 0.30,
+    "net": 0.14,
+    "fs": 0.11,
+    "sound": 0.08,
+    "arch": 0.08,
+    "kernel": 0.06,
+    "mm": 0.05,
+    "security": 0.04,
+    "lib": 0.04,
+    "block": 0.03,
+    "crypto": 0.02,
+    "ipc": 0.02,
+    "init": 0.01,
+    "misc": 0.02,
+}
+
+
+@dataclass
+class WorkloadSpec:
+    """Everything that determines one generated codebase."""
+
+    name: str
+    seed: int = 1
+    # call-structure shape (drives #Inlines)
+    num_roots: int = 12
+    layers: int = 4
+    fanout: int = 2
+    layer_width: int = 10  # defined functions per non-root layer
+    # per-function body richness
+    pointer_chain: int = 3  # length of local copy chains
+    base_null_return_rate: float = 0.25  # fraction of plumbing functions
+    # that may return NULL on an error path (drives dataflow-graph growth
+    # and keeps many of the plumbing NULL tests genuinely necessary)
+    # gadget counts (each plants ground truth)
+    null_deep: int = 6
+    null_deep_chain: int = 3  # passthrough hops per deep NULL bug
+    null_decoys: int = 2  # flow-insensitive FPs (GR reports, not a bug)
+    null_shallow_decoys: int = 2  # dead-NULL returns (BL FPs)
+    null_safe: int = 2  # guarded negatives (nobody should report)
+    untest: int = 10
+    untest_negative: int = 3
+    free_alias: int = 3
+    free_decoys: int = 2
+    lock_alias: int = 2
+    lock_decoys: int = 2
+    block_fp: int = 2
+    block_wrapper: int = 1
+    range_deep: int = 3
+    range_decoys: int = 1
+    size_direct: int = 2
+    size_flow: int = 2
+    size_decoys: int = 1
+    pnull_bugs: int = 2
+    pnull_decoys: int = 2
+    recursion_gadgets: int = 1
+    module_weights: Dict[str, float] = field(
+        default_factory=lambda: dict(LINUX_MODULE_WEIGHTS)
+    )
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """A proportionally larger/smaller copy of this spec."""
+        import math
+
+        spec = WorkloadSpec(**{**self.__dict__})
+        spec.module_weights = dict(self.module_weights)
+        spec.num_roots = max(2, int(round(self.num_roots * factor)))
+        spec.layer_width = max(2, int(round(self.layer_width * factor)))
+        for name in (
+            "null_deep",
+            "null_decoys",
+            "null_shallow_decoys",
+            "null_safe",
+            "untest",
+            "untest_negative",
+            "free_alias",
+            "free_decoys",
+            "lock_alias",
+            "lock_decoys",
+            "block_fp",
+            "block_wrapper",
+            "range_deep",
+            "range_decoys",
+            "size_direct",
+            "size_flow",
+            "size_decoys",
+            "pnull_bugs",
+            "pnull_decoys",
+        ):
+            setattr(spec, name, max(1, int(math.ceil(getattr(self, name) * factor))))
+        return spec
+
+
+@dataclass
+class Workload:
+    """A generated codebase plus its ground truth."""
+
+    name: str
+    sources: List[Tuple[str, str]]  # (module, source text)
+    ground_truth: List[GroundTruthBug]
+    spec: WorkloadSpec
+
+    @property
+    def loc(self) -> int:
+        return sum(src.count("\n") + 1 for _, src in self.sources)
+
+    def source_text(self) -> str:
+        return "\n".join(src for _, src in self.sources)
+
+    def compile(self, max_inlines: int = 5_000_000):
+        """Parse + lower + generate graphs (see repro.frontend)."""
+        from repro.frontend import compile_program
+
+        return compile_program(self.sources, max_inlines=max_inlines)
+
+    def truth_for(self, checker: str) -> List[GroundTruthBug]:
+        return [t for t in self.ground_truth if t.checker == checker]
+
+
+class _ModuleSources:
+    """Accumulates function text per module."""
+
+    def __init__(self, rng: random.Random, weights: Dict[str, float]) -> None:
+        self._rng = rng
+        self._modules = list(weights)
+        self._weights = [weights[m] for m in self._modules]
+        self._chunks: Dict[str, List[str]] = {m: [] for m in self._modules}
+
+    def pick_module(self, bias_drivers: bool = False) -> str:
+        if bias_drivers and self._rng.random() < 0.25:
+            return "drivers" if "drivers" in self._chunks else self._modules[0]
+        return self._rng.choices(self._modules, weights=self._weights, k=1)[0]
+
+    def add(self, module: str, text: str) -> None:
+        self._chunks[module].append(text)
+
+    def finish(self) -> List[Tuple[str, str]]:
+        return [
+            (module, "\n".join(chunks))
+            for module, chunks in self._chunks.items()
+            if chunks
+        ]
+
+
+class SyntheticProgramBuilder:
+    """Generates one :class:`Workload` from a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.sources = _ModuleSources(self.rng, spec.module_weights)
+        self.truth: List[GroundTruthBug] = []
+        self._uid = 0
+
+    def _next_id(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    # ------------------------------------------------------------------
+    def build(self) -> Workload:
+        self._emit_base_layers()
+        for _ in range(self.spec.recursion_gadgets):
+            self._emit_recursion_gadget()
+        for _ in range(self.spec.null_deep):
+            self._emit_null_deep()
+        for _ in range(self.spec.null_decoys):
+            self._emit_null_flow_decoy()
+        for _ in range(self.spec.null_shallow_decoys):
+            self._emit_null_shallow_decoy()
+        for _ in range(self.spec.null_safe):
+            self._emit_null_safe()
+        for _ in range(self.spec.untest):
+            self._emit_untest(positive=True)
+        for _ in range(self.spec.untest_negative):
+            self._emit_untest(positive=False)
+        for _ in range(self.spec.free_alias):
+            self._emit_free_alias()
+        for _ in range(self.spec.free_decoys):
+            self._emit_free_decoy()
+        for _ in range(self.spec.lock_alias):
+            self._emit_lock_alias()
+        for _ in range(self.spec.lock_decoys):
+            self._emit_lock_decoy()
+        for _ in range(self.spec.block_fp):
+            self._emit_block_fp()
+        for _ in range(self.spec.block_wrapper):
+            self._emit_block_wrapper()
+        for _ in range(self.spec.range_deep):
+            self._emit_range_deep()
+        for _ in range(self.spec.range_decoys):
+            self._emit_range_decoy()
+        for _ in range(self.spec.size_direct):
+            self._emit_size_direct()
+        for _ in range(self.spec.size_flow):
+            self._emit_size_flow()
+        for _ in range(self.spec.size_decoys):
+            self._emit_size_decoy()
+        for _ in range(self.spec.pnull_bugs):
+            self._emit_pnull_bug()
+        for _ in range(self.spec.pnull_decoys):
+            self._emit_pnull_decoy()
+        return Workload(
+            name=self.spec.name,
+            sources=self.sources.finish(),
+            ground_truth=self.truth,
+            spec=self.spec,
+        )
+
+    # ------------------------------------------------------------------
+    # base plumbing: the layered call DAG
+    # ------------------------------------------------------------------
+    def _emit_base_layers(self) -> None:
+        """Layered functions passing pointers down and results up.
+
+        Roots call ``fanout`` random functions of layer 1, which call
+        layer 2, and so on.  Full inlining clones the whole subtree per
+        call site, so inline counts grow ~ ``num_roots * fanout^layers``.
+        """
+        spec = self.spec
+        layer_names: List[List[str]] = []
+        for layer in range(spec.layers):
+            width = spec.layer_width if layer > 0 else spec.num_roots
+            names = [f"base_l{layer}_{i}" for i in range(width)]
+            layer_names.append(names)
+
+        # Choose every call list first so we know which functions end up
+        # with callers: param-guard ground truth only applies to those
+        # (an uncalled function's parameters have unknown provenance and
+        # the UNTest checker rightly ignores tests on them).
+        call_lists: Dict[str, List[str]] = {}
+        called: set = set()
+        returns_null: Dict[str, bool] = {}
+        for layer in range(spec.layers):
+            for name in layer_names[layer]:
+                callees: List[str] = []
+                if layer + 1 < spec.layers:
+                    callees = [
+                        self.rng.choice(layer_names[layer + 1])
+                        for _ in range(spec.fanout)
+                    ]
+                call_lists[name] = callees
+                called.update(callees)
+                returns_null[name] = (
+                    layer > 0 and self.rng.random() < spec.base_null_return_rate
+                )
+
+        for layer in reversed(range(spec.layers)):
+            for name in layer_names[layer]:
+                self._emit_base_function(
+                    name,
+                    call_lists[name],
+                    is_root=(layer == 0),
+                    has_caller=name in called,
+                    returns_null=returns_null[name],
+                    callee_returns_null=[
+                        returns_null[c] for c in call_lists[name]
+                    ],
+                )
+
+    def _emit_base_function(
+        self,
+        name: str,
+        callees: Sequence[str],
+        is_root: bool,
+        has_caller: bool = True,
+        returns_null: bool = False,
+        callee_returns_null: Sequence[bool] = (),
+    ) -> None:
+        """One benign plumbing function with bounded value-flow cones.
+
+        ``returns_null`` adds an error path returning NULL (callers guard
+        the result, so no bug); it feeds NULL flow into the dataflow
+        graph at realistic density.
+        """
+        module = self.sources.pick_module()
+        chain = self.spec.pointer_chain
+        lines: List[str] = []
+        params = "void" if is_root else "int *a, int n"
+        ret_type = "void" if is_root else "void *"
+        lines.append(f"{ret_type} {name}({params}) {{")
+        lines.append("    int *p0;")
+        for i in range(1, chain + 1):
+            lines.append(f"    int *p{i};")
+        lines.append("    int *buf;")
+        lines.append("    int **slot;")
+        if returns_null:
+            # An error path: NULL percolates through a short local chain
+            # before being returned, mirroring kernel-style error
+            # propagation and giving the NULL dataflow closure real work.
+            lines.append("    int *err0;")
+            lines.append("    err0 = NULL;")
+            for i in range(1, chain + 1):
+                lines.append(f"    int *err{i};")
+                lines.append(f"    err{i} = err{i - 1};")
+            lines.append(f"    if (n < 0) {{ return err{chain}; }}")
+        lines.append(f"    p0 = malloc({self.rng.choice([4, 8, 16])});")
+        for i in range(1, chain + 1):
+            lines.append(f"    p{i} = p{i - 1};")
+        # store/load through a local slot: exercises D edges + aliases,
+        # but stays inside this clone (no cross-clone blowup).
+        lines.append("    slot = &buf;")
+        lines.append(f"    *slot = p{chain};")
+        if not is_root:
+            lines.append("    if (a) { *a = n; }")
+        for k, callee in enumerate(callees):
+            lines.append(f"    int *r{k};")
+            lines.append(f"    r{k} = {callee}(p{chain}, n + {k});" if not is_root
+                         else f"    r{k} = {callee}(p{chain}, {k});")
+        if callees:
+            lines.append("    if (r0) { *r0 = 1; }")
+        if not is_root:
+            lines.append(f"    return p{self.rng.randrange(chain + 1)};")
+        lines.append("}")
+        self.sources.add(module, "\n".join(lines) + "\n")
+        # The plumbing guards test pointers that are always freshly
+        # allocated in this closed world — exactly the incidental
+        # over-protective NULL tests the paper found 1127 of in Linux.
+        # Guards on possibly-NULL results (callee has an error path) are
+        # genuinely necessary and recorded as no finding.
+        if not is_root and has_caller:
+            self.truth.append(GroundTruthBug("UNTest", name, "a"))
+        if callees and not (callee_returns_null and callee_returns_null[0]):
+            self.truth.append(GroundTruthBug("UNTest", name, "r0"))
+
+    def _emit_recursion_gadget(self) -> None:
+        """Mutually recursive walkers: exercises SCC collapsing."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void *rec_even_{k}(int *node, int d) {{
+    int *nx;
+    nx = node;
+    if (d > 0) {{ nx = rec_odd_{k}(node, d - 1); }}
+    return nx;
+}}
+void *rec_odd_{k}(int *node, int d) {{
+    int *ny;
+    ny = node;
+    if (d > 1) {{ ny = rec_even_{k}(node, d - 2); }}
+    return ny;
+}}
+void rec_host_{k}(void) {{
+    int *seed;
+    int *out;
+    seed = malloc(8);
+    out = rec_even_{k}(seed, 4);
+    if (out) {{ *out = 1; }}
+}}
+""",
+        )
+        # `out` walks back to the fresh `seed` allocation: never NULL.
+        self.truth.append(GroundTruthBug("UNTest", f"rec_host_{k}", "out"))
+
+    # ------------------------------------------------------------------
+    # NULL gadgets (Null + UNTest checkers)
+    # ------------------------------------------------------------------
+    def _emit_null_deep(self) -> None:
+        """NULL born deep, propagated through a passthrough chain, deref'd.
+
+        The baseline Null checker only inspects functions that directly
+        return an assigned NULL — the intermediate hops hide this one
+        (false negative); the interprocedural dataflow analysis walks
+        the chain (Graspan true positive).
+        """
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        hops = self.spec.null_deep_chain
+        parts = [
+            f"""void *nd_src_{k}(int n) {{
+    int *p;
+    p = NULL;
+    if (n > 2) {{ p = malloc(8); }}
+    return p;
+}}
+"""
+        ]
+        prev = f"nd_src_{k}"
+        for h in range(hops):
+            parts.append(
+                f"""void *nd_mid_{k}_{h}(int n) {{
+    int *x;
+    x = {prev}(n);
+    return x;
+}}
+"""
+            )
+            prev = f"nd_mid_{k}_{h}"
+        victim_var = f"v{k}"
+        parts.append(
+            f"""void nd_victim_{k}(void) {{
+    int *{victim_var};
+    {victim_var} = {prev}(1);
+    *{victim_var} = 7;
+}}
+"""
+        )
+        self.sources.add(module, "".join(parts))
+        self.truth.append(GroundTruthBug("Null", f"nd_victim_{k}", victim_var))
+
+    def _emit_null_flow_decoy(self) -> None:
+        """NULL overwritten before use: flow-insensitive FP for GR."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void nfd_victim_{k}(void) {{
+    int *d{k};
+    d{k} = NULL;
+    d{k} = malloc(8);
+    *d{k} = 3;
+}}
+""",
+        )
+        # no ground-truth entry: any report here is a false positive
+
+    def _emit_null_shallow_decoy(self) -> None:
+        """A 'returns NULL' function whose NULL is dead: BL FP generator."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void *nsd_src_{k}(void) {{
+    int *p;
+    p = NULL;
+    p = malloc(8);
+    return p;
+}}
+void nsd_victim_{k}(void) {{
+    int *w{k};
+    w{k} = nsd_src_{k}();
+    *w{k} = 2;
+}}
+""",
+        )
+        # no ground truth: the returned pointer is never actually NULL
+
+    def _emit_null_safe(self) -> None:
+        """Deep NULL but properly guarded: nobody should report."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void *ns_src_{k}(int n) {{
+    int *p;
+    p = NULL;
+    if (n) {{ p = malloc(8); }}
+    return p;
+}}
+void ns_victim_{k}(void) {{
+    int *s{k};
+    s{k} = ns_src_{k}(0);
+    if (s{k}) {{ *s{k} = 1; }}
+}}
+""",
+        )
+
+    def _emit_untest(self, positive: bool) -> None:
+        """A NULL test on a pointer; unnecessary when the value is an
+        unconditional allocation (possibly through a wrapper)."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        if positive:
+            wrapped = self.rng.random() < 0.5
+            if wrapped:
+                src = f"""void *ut_alloc_{k}(void) {{
+    int *fresh;
+    fresh = malloc(16);
+    return fresh;
+}}
+void ut_host_{k}(void) {{
+    int *u{k};
+    u{k} = ut_alloc_{k}();
+    if (u{k}) {{ *u{k} = 1; }}
+}}
+"""
+            else:
+                src = f"""void ut_host_{k}(void) {{
+    int *u{k};
+    u{k} = malloc(16);
+    if (u{k}) {{ *u{k} = 1; }}
+}}
+"""
+            self.sources.add(module, src)
+            self.truth.append(GroundTruthBug("UNTest", f"ut_host_{k}", f"u{k}"))
+        else:
+            # the pointer genuinely may be NULL: the test is necessary
+            self.sources.add(
+                module,
+                f"""void *utn_src_{k}(int n) {{
+    int *p;
+    p = NULL;
+    if (n) {{ p = malloc(8); }}
+    return p;
+}}
+void utn_host_{k}(void) {{
+    int *t{k};
+    t{k} = utn_src_{k}(0);
+    if (t{k}) {{ *t{k} = 1; }}
+}}
+""",
+            )
+
+    # ------------------------------------------------------------------
+    # Free gadgets
+    # ------------------------------------------------------------------
+    def _emit_free_alias(self) -> None:
+        """Use-after-free through an alias: invisible to name matching."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void fa_host_{k}(void) {{
+    int *orig;
+    int *dup{k};
+    orig = malloc(24);
+    dup{k} = orig;
+    free(orig);
+    *dup{k} = 1;
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Free", f"fa_host_{k}", f"dup{k}"))
+
+    def _emit_free_decoy(self) -> None:
+        """Frees on mutually exclusive branches: name-based double-free FP."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void fd_host_{k}(int c) {{
+    int *fd{k};
+    fd{k} = malloc(8);
+    if (c) {{ free(fd{k}); }}
+    if (c < 1) {{ free(fd{k}); }}
+}}
+""",
+        )
+
+    # ------------------------------------------------------------------
+    # Lock gadgets
+    # ------------------------------------------------------------------
+    def _emit_lock_alias(self) -> None:
+        """Double acquisition hidden behind two names for one lock."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void la_inner_{k}(int *m1, int *m2{k}) {{
+    lock(m1);
+    lock(m2{k});
+    unlock(m1);
+    unlock(m2{k});
+}}
+void la_host_{k}(void) {{
+    int *mutex;
+    mutex = malloc(4);
+    la_inner_{k}(mutex, mutex);
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Lock", f"la_inner_{k}", f"m2{k}"))
+
+    def _emit_lock_decoy(self) -> None:
+        """Intentional lock handoff (held on return): name-based FP."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void ld_acquire_{k}(void) {{
+    int *lk{k};
+    lk{k} = malloc(4);
+    lock(lk{k});
+}}
+""",
+        )
+
+    # ------------------------------------------------------------------
+    # Block gadgets
+    # ------------------------------------------------------------------
+    def _emit_block_fp(self) -> None:
+        """Blocking call reached through a function pointer."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void bf_sleeper_{k}(void) {{
+    sleep();
+}}
+void bf_host_{k}(void) {{
+    int *bm;
+    void *bfp{k};
+    bm = malloc(4);
+    bfp{k} = bf_sleeper_{k};
+    lock(bm);
+    bfp{k}();
+    unlock(bm);
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Block", f"bf_host_{k}", f"bfp{k}"))
+
+    def _emit_block_wrapper(self) -> None:
+        """Blocking hidden one call level down."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void bw_wrap_{k}(void) {{
+    sleep();
+}}
+void bw_host_{k}(void) {{
+    int *wm;
+    wm = malloc(4);
+    lock(wm);
+    bw_wrap_{k}();
+    unlock(wm);
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Block", f"bw_host_{k}", f"bw_wrap_{k}"))
+
+    # ------------------------------------------------------------------
+    # Range gadgets
+    # ------------------------------------------------------------------
+    def _emit_range_deep(self) -> None:
+        """User data reaches an index through copies/arithmetic."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void rd_host_{k}(void) {{
+    int rbuf[32];
+    int rn;
+    int rm{k};
+    rn = get_user();
+    rm{k} = rn + 2;
+    rbuf[rm{k}] = 1;
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Range", f"rd_host_{k}", f"rm{k}"))
+
+    def _emit_range_decoy(self) -> None:
+        """Bounds check done on a copy: checkers report the original (FP)."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void rdc_host_{k}(void) {{
+    int dbuf[16];
+    int dn{k};
+    int dm;
+    dn{k} = get_user();
+    dm = dn{k};
+    if (dm < 16) {{ dbuf[dn{k}] = 1; }}
+}}
+""",
+        )
+
+    # ------------------------------------------------------------------
+    # Size gadgets
+    # ------------------------------------------------------------------
+    def _emit_size_direct(self) -> None:
+        """Allocation size not a multiple of the pointer's element size."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void sd_host_{k}(void) {{
+    long *sz{k};
+    sz{k} = malloc(12);
+    *sz{k} = 0;
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Size", f"sd_host_{k}", f"sz{k}"))
+
+    def _emit_size_flow(self) -> None:
+        """Size fine at the allocation, wrong at a differently-typed alias."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void *sf_alloc_{k}(void) {{
+    int *so;
+    so = malloc(12);
+    return so;
+}}
+void sf_host_{k}(void) {{
+    long *sv{k};
+    sv{k} = sf_alloc_{k}();
+    *sv{k} = 0;
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Size", f"sf_host_{k}", f"sv{k}"))
+
+    def _emit_pnull_bug(self) -> None:
+        """Deref before a NULL test, on a genuinely may-NULL pointer.
+
+        The deref-then-test pattern is PNull's trigger; here the NULL can
+        really arrive (through a two-hop producer so the baseline Null
+        checker stays blind), making it a true positive that survives the
+        Graspan filter.
+        """
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void *pn_src_{k}(int n) {{
+    int *p;
+    p = NULL;
+    if (n > 5) {{ p = malloc(8); }}
+    return p;
+}}
+void *pn_mid_{k}(int n) {{
+    int *m;
+    m = pn_src_{k}(n);
+    return m;
+}}
+void pn_host_{k}(void) {{
+    int *pb{k};
+    pb{k} = pn_mid_{k}(1);
+    *pb{k} = 1;
+    if (pb{k}) {{ *pb{k} = 2; }}
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("PNull", f"pn_host_{k}", f"pb{k}"))
+        self.truth.append(GroundTruthBug("Null", f"pn_host_{k}", f"pb{k}"))
+
+    def _emit_pnull_decoy(self) -> None:
+        """Deref-then-test on a never-NULL pointer: the classic PNull FP.
+
+        The baseline reports it; the Graspan-augmented version filters it
+        out because no context makes the pointer NULL (the paper's
+        'Positive' improvement for PNull).  The test itself is also an
+        unnecessary NULL test, so UNTest truth is recorded.
+        """
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void pnd_host_{k}(void) {{
+    int *qd{k};
+    qd{k} = malloc(8);
+    *qd{k} = 1;
+    if (qd{k}) {{ *qd{k} = 2; }}
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("UNTest", f"pnd_host_{k}", f"qd{k}"))
+
+    def _emit_size_decoy(self) -> None:
+        """Odd size on purpose (header + payload): a known FP pattern."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void sdc_host_{k}(void) {{
+    int *hdr{k};
+    hdr{k} = malloc(10);
+    *hdr{k} = 0;
+}}
+""",
+        )
+
+
+def generate(spec: WorkloadSpec) -> Workload:
+    """Generate the workload for ``spec`` (deterministic in the seed)."""
+    return SyntheticProgramBuilder(spec).build()

@@ -1,0 +1,122 @@
+"""Tests for the NULL/taint source-tracking analyses."""
+
+import pytest
+
+from repro.analysis import (
+    NullDataflowAnalysis,
+    PointsToAnalysis,
+    TaintDataflowAnalysis,
+)
+from repro.frontend import compile_program
+
+SOURCE = """
+void *maybe(int n) {
+    int *p;
+    p = NULL;
+    if (n) { p = malloc(8); }
+    return p;
+}
+
+void *hop(int n) {
+    int *h;
+    h = maybe(n);
+    return h;
+}
+
+void heapflow(void) {
+    int *q;
+    int *r;
+    int *cell;
+    int **w1;
+    int **w2;
+    q = hop(0);
+    w1 = &cell;
+    w2 = &cell;
+    *w1 = q;
+    r = *w2;
+}
+
+void clean(void) {
+    int *s;
+    s = malloc(4);
+}
+
+void tainted(void) {
+    int n;
+    int m;
+    int k;
+    n = get_user();
+    m = n + 2;
+    k = 7;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def setup():
+    pg = compile_program(SOURCE)
+    pts = PointsToAnalysis().run(pg)
+    nulls = NullDataflowAnalysis().run(pg, pointsto=pts)
+    taint = TaintDataflowAnalysis().run(pg, pointsto=pts)
+    return pg, pts, nulls, taint
+
+
+class TestNullFlow:
+    def test_direct_null(self, setup):
+        _, _, nulls, _ = setup
+        assert nulls.may_receive("maybe", "p")
+
+    def test_interprocedural_propagation(self, setup):
+        _, _, nulls, _ = setup
+        assert nulls.may_receive("hop", "h")
+        assert nulls.may_receive("heapflow", "q")
+
+    def test_heap_bridge_propagation(self, setup):
+        """NULL crosses the store/load pair via the alias bridge."""
+        _, _, nulls, _ = setup
+        assert nulls.may_receive("heapflow", "r")
+
+    def test_never_receives(self, setup):
+        _, _, nulls, _ = setup
+        assert nulls.never_receives("clean", "s")
+        assert not nulls.never_receives("maybe", "p")
+
+    def test_never_receives_unknown_var_false(self, setup):
+        _, _, nulls, _ = setup
+        assert not nulls.never_receives("clean", "ghost")
+
+    def test_contexts_reaching(self, setup):
+        _, _, nulls, _ = setup
+        contexts = nulls.contexts_reaching("maybe", "p")
+        assert len(contexts) >= 1
+
+    def test_without_pointsto_no_heap_bridge(self):
+        pg = compile_program(SOURCE)
+        nulls = NullDataflowAnalysis().run(pg)  # no alias pairs
+        assert nulls.may_receive("heapflow", "q")
+        assert not nulls.may_receive("heapflow", "r")
+
+    def test_kind_field(self, setup):
+        _, _, nulls, taint = setup
+        assert nulls.kind == "null"
+        assert taint.kind == "taint"
+
+
+class TestTaintFlow:
+    def test_direct_taint(self, setup):
+        _, _, _, taint = setup
+        assert taint.may_receive("tainted", "n")
+
+    def test_taint_through_arithmetic(self, setup):
+        """NULL does not survive `+ 2`, but user data does."""
+        _, _, nulls, taint = setup
+        assert taint.may_receive("tainted", "m")
+        assert not nulls.may_receive("tainted", "m")
+
+    def test_untainted_constant(self, setup):
+        _, _, _, taint = setup
+        assert not taint.may_receive("tainted", "k")
+
+    def test_null_vars_not_tainted(self, setup):
+        _, _, _, taint = setup
+        assert not taint.may_receive("maybe", "p")

@@ -1,0 +1,120 @@
+"""Tests for the escape analysis."""
+
+import pytest
+
+from repro.analysis import EscapeAnalysis, PointsToAnalysis
+from repro.frontend import compile_program
+
+SOURCE = """
+int *global_slot;
+
+void *returned(void) {
+    int *r;
+    r = malloc(8);
+    return r;
+}
+
+void to_global(void) {
+    int *g;
+    g = malloc(16);
+    global_slot = g;
+}
+
+void to_heap(int **sink) {
+    int *h;
+    h = malloc(24);
+    *sink = h;
+}
+
+void local_only(void) {
+    int *a;
+    int *b;
+    a = malloc(32);
+    b = a;
+    *b = 1;
+}
+
+void passes_down(void) {
+    int *d;
+    int **box;
+    int *cell;
+    d = malloc(40);
+    box = &cell;
+    to_heap(box);
+    consume_only(d);
+}
+
+void consume_only(int *v) {
+    if (v) { *v = 2; }
+}
+
+void top(void) {
+    int *got;
+    got = returned();
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    pg = compile_program(SOURCE)
+    pts = PointsToAnalysis().run(pg)
+    return EscapeAnalysis().run(pg, pts)
+
+
+class TestEscapeVerdicts:
+    def test_returned_object_escapes(self, result):
+        assert result.escapes("returned", "alloc@6.1")
+
+    def test_global_store_escapes(self, result):
+        assert result.escapes("to_global", "alloc@12.1")
+
+    def test_heap_store_escapes(self, result):
+        assert result.escapes("to_heap", "alloc@18.1")
+
+    def test_local_object_does_not_escape(self, result):
+        assert not result.escapes("local_only", "alloc@25.1")
+
+    def test_passing_down_is_not_escape(self, result):
+        """`d` only flows into a callee (consume_only): its frame dies
+        before passes_down's does."""
+        assert not result.escapes("passes_down", "alloc@34.1")
+
+    def test_unknown_site_raises(self, result):
+        with pytest.raises(KeyError):
+            result.escapes("local_only", "alloc@999.9")
+
+
+class TestEscapeReporting:
+    def test_reasons_recorded(self, result):
+        by_func = {
+            (i.function, i.symbol): i for i in result if i.escapes
+        }
+        assert "caller" in by_func[("returned", "alloc@6.1")].reasons
+        assert "global" in by_func[("to_global", "alloc@12.1")].reasons
+        assert "heap" in by_func[("to_heap", "alloc@18.1")].reasons
+
+    def test_stack_allocatable(self, result):
+        assert result.stack_allocatable("local_only") == ["alloc@25.1"]
+        assert result.stack_allocatable("returned") == []
+
+    def test_counts(self, result):
+        assert result.num_objects >= 5
+        assert 0 < result.num_escaping < result.num_objects
+
+    def test_summary_by_function(self, result):
+        summary = result.summary_by_function()
+        esc, total = summary["local_only"]
+        assert (esc, total) == (0, 1)
+
+    def test_recursion_group_conservative(self):
+        src = """
+            void *ping(int n) { int *p; p = malloc(4); if (n) { return pong(n - 1); } return p; }
+            void *pong(int n) { return ping(n); }
+            void host(void) { int *x; x = ping(2); }
+        """
+        pg = compile_program(src)
+        pts = PointsToAnalysis().run(pg)
+        result = EscapeAnalysis().run(pg, pts)
+        # the object is returned through the recursion group to host
+        assert result.escapes("ping", "alloc@2.1")

@@ -1,0 +1,43 @@
+"""Tests for the ODA worklist baseline."""
+
+import pytest
+
+from repro.baselines import run_oda
+from repro.engine import naive_closure
+from repro.graph import MemGraph
+
+
+class TestODA:
+    def test_matches_oracle(self, reach, chain_graph):
+        result = run_oda(chain_graph, reach)
+        assert result.status == "ok"
+        assert result.edges == naive_closure(chain_graph.edges(), reach)
+
+    def test_dyck_matches_oracle(self, dyck):
+        edges = [(0, 1, 0), (1, 2, 0), (2, 3, 1), (3, 4, 1)]
+        graph = MemGraph.from_edges(edges, label_names=["OP", "CL"])
+        result = run_oda(graph, dyck)
+        assert result.edges == naive_closure(edges, dyck)
+
+    def test_oom_on_tiny_budget(self, reach, chain_graph):
+        result = run_oda(chain_graph, reach, memory_budget_bytes=100)
+        assert result.status == "oom"
+        assert result.edges is None
+        assert result.facts > 0
+
+    def test_timeout_on_zero_budget(self, reach):
+        # A 200-cycle has a dense (200^2 x 2 facts) closure: far past the
+        # timeout-check interval, so a zero budget must trip it.
+        edges = [(i, (i + 1) % 200, 0) for i in range(200)]
+        graph = MemGraph.from_edges(edges, label_names=["E"])
+        result = run_oda(graph, reach, time_budget_seconds=0.0)
+        assert result.status == "timeout"
+        assert result.edges is None
+
+    def test_peak_bytes_reported(self, reach, chain_graph):
+        result = run_oda(chain_graph, reach)
+        assert result.peak_bytes > 0
+
+    def test_facts_counted(self, reach, chain_graph):
+        result = run_oda(chain_graph, reach)
+        assert result.facts == len(result.edges)

@@ -1,0 +1,66 @@
+"""Tests for the GraphChi-like vertex-centric baseline (§5.4)."""
+
+import pytest
+
+from repro.baselines import run_vertexcentric
+from repro.engine import naive_closure
+from repro.graph import MemGraph
+
+
+@pytest.fixture
+def small_graph(chain_graph):
+    return chain_graph
+
+
+class TestDivergence:
+    def test_no_dedup_diverges(self, reach, small_graph):
+        """The paper's core finding: without duplicate checks the DTC
+        workload never terminates (GraphChi)."""
+        result = run_vertexcentric(
+            small_graph, reach, dedup="none", edge_budget=2000
+        )
+        assert result.status == "diverged"
+        assert result.total_edges > 2000
+
+    def test_buffer_dedup_still_diverges(self, reach, small_graph):
+        """The naive buffer-only patch: duplicates flushed to shards are
+        invisible, so divergence persists."""
+        result = run_vertexcentric(
+            small_graph,
+            reach,
+            dedup="buffer",
+            buffer_limit=8,
+            edge_budget=2000,
+            time_budget_seconds=30,
+        )
+        assert result.status in ("diverged", "timeout")
+
+    def test_full_dedup_terminates_correctly(self, reach, small_graph):
+        result = run_vertexcentric(small_graph, reach, dedup="full")
+        assert result.status == "ok"
+        assert result.total_edges == len(
+            naive_closure(small_graph.edges(), reach)
+        )
+
+    def test_full_dedup_dyck(self, dyck):
+        edges = [(0, 1, 0), (1, 2, 1), (2, 3, 0), (3, 4, 1)]
+        graph = MemGraph.from_edges(edges, label_names=["OP", "CL"])
+        result = run_vertexcentric(graph, dyck, dedup="full")
+        assert result.status == "ok"
+        assert result.total_edges == len(naive_closure(edges, dyck))
+
+    def test_unknown_dedup_mode_rejected(self, reach, small_graph):
+        with pytest.raises(ValueError):
+            run_vertexcentric(small_graph, reach, dedup="magic")
+
+    def test_buffer_stalls_counted(self, reach, small_graph):
+        result = run_vertexcentric(
+            small_graph, reach, dedup="none", buffer_limit=4, edge_budget=2000
+        )
+        assert result.buffer_stalls > 0
+
+    def test_no_matches_terminates_quickly(self, dyck):
+        graph = MemGraph.from_edges([(0, 1, 0)], label_names=["OP", "CL"])
+        result = run_vertexcentric(graph, dyck, dedup="none", edge_budget=100)
+        assert result.status == "ok"
+        assert result.edges_added == 0

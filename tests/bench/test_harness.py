@@ -1,0 +1,49 @@
+"""Tests for the bench harness utilities."""
+
+import pytest
+
+from repro.bench import bench_scale, measure, render_table, rows_from_dicts
+from repro.bench.harness import SCALE_ENV
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV, raising=False)
+        assert bench_scale(2.5) == 2.5
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV, "0.25")
+        assert bench_scale() == 0.25
+
+    def test_nonpositive_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV, "0")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestMeasure:
+    def test_returns_value_and_time(self):
+        result = measure(lambda: 42)
+        assert result.value == 42
+        assert result.seconds >= 0
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            "T", ["col", "n"], [["a", 1], ["long-value", 22]], note="hi"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "col" in lines[1] and "n" in lines[1]
+        assert "-+-" in lines[2]
+        assert "(hi)" in lines[-1]
+        # columns aligned: both data rows have the separator at the same
+        # position
+        assert lines[3].index("|") == lines[4].index("|")
+
+    def test_rows_from_dicts(self):
+        rows = rows_from_dicts(
+            [{"a": 1, "b": 2}, {"a": 3}], ["a", "b"]
+        )
+        assert rows == [[1, 2], [3, ""]]

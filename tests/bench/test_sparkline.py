@@ -1,0 +1,40 @@
+"""Tests for the Figure 4 sparkline renderer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_peak_gets_top_glyph(self):
+        out = sparkline([0.0, 1.0, 0.5])
+        assert out[1] == "@"
+        assert out[0] == " "
+
+    def test_monotone_series_monotone_glyphs(self):
+        ramp = "  .:-=+*#%@"
+        out = sparkline([i / 10 for i in range(11)])
+        positions = [ramp.index(c) if c in ramp else 99 for c in out]
+        assert positions == sorted(positions)
+
+    def test_long_series_bucketed_to_width(self):
+        out = sparkline(list(range(500)), width=40)
+        assert len(out) == 40
+
+    def test_negative_values_clamped(self):
+        out = sparkline([-5, 1])
+        assert out[0] == " "
+
+
+@given(st.lists(st.floats(0, 1000), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_sparkline_bounded_width(values):
+    out = sparkline(values, width=60)
+    assert 0 < len(out) <= 60

@@ -1,0 +1,66 @@
+"""Tests for BugReport and the Checker base helpers."""
+
+import pytest
+
+from repro.checkers import BugReport
+from repro.checkers.base import Checker
+from repro.frontend import lower_program, parse
+
+
+def lowered_f(src):
+    return lower_program(parse(src)).functions["f"]
+
+
+class TestBugReport:
+    def test_match_key_ignores_line_and_message(self):
+        a = BugReport("Null", "f", "m", 3, "p", "one")
+        b = BugReport("Null", "f", "m", 99, "p", "two")
+        assert a.match_key() == b.match_key()
+
+    def test_frozen(self):
+        report = BugReport("Null", "f", "m", 3, "p", "msg")
+        with pytest.raises(AttributeError):
+            report.line = 4
+
+
+class TestCheckerHelpers:
+    def test_deref_sites_order_and_bases(self):
+        func = lowered_f(
+            "void f(int *a, int *b) { *a = 1; int x; x = *b; *a = 2; }"
+        )
+        sites = Checker.deref_sites(func)
+        assert [base for _, base, _ in sites] == ["a", "b", "a"]
+        indices = [i for i, _, _ in sites]
+        assert indices == sorted(indices)
+
+    def test_is_protected_by_enclosing_guard(self):
+        func = lowered_f("void f(int *p) { if (p) { *p = 1; } }")
+        index, base, _ = Checker.deref_sites(func)[0]
+        assert Checker.is_protected(func, index, base)
+
+    def test_is_protected_by_earlier_test(self):
+        func = lowered_f("void f(int *p) { if (!p) { return; } *p = 1; }")
+        index, base, _ = Checker.deref_sites(func)[0]
+        assert Checker.is_protected(func, index, base)
+
+    def test_not_protected_without_test(self):
+        func = lowered_f("void f(int *p) { *p = 1; if (p) { } }")
+        index, base, _ = Checker.deref_sites(func)[0]
+        assert not Checker.is_protected(func, index, base)
+
+    def test_reassigned_between(self):
+        func = lowered_f(
+            "void f(int *p) { free(p); p = malloc(4); *p = 1; }"
+        )
+        free_index = next(
+            i for i, s in enumerate(func.stmts) if s.kind == "free"
+        )
+        deref_index = Checker.deref_sites(func)[0][0]
+        assert Checker.reassigned_between(func, free_index, deref_index, "p")
+        assert not Checker.reassigned_between(func, free_index, free_index + 1, "p")
+
+    def test_dedup_by_site(self):
+        a = BugReport("Null", "f", "m", 3, "p", "x")
+        b = BugReport("Null", "f", "m", 3, "p", "y (different message)")
+        c = BugReport("Null", "f", "m", 4, "p", "x")
+        assert Checker.dedup([a, b, c]) == [a, c]

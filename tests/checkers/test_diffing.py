@@ -1,0 +1,83 @@
+"""Tests for findings diffing and snapshots."""
+
+import pytest
+
+from repro.checkers import (
+    BugReport,
+    check_program,
+    diff_reports,
+    diff_runs,
+    load_findings,
+    save_findings,
+)
+from repro.frontend import compile_program
+
+
+def report(checker="Null", function="f", variable="p", line=3):
+    return BugReport(
+        checker=checker,
+        function=function,
+        module="m",
+        line=line,
+        variable=variable,
+        message="msg",
+    )
+
+
+class TestDiffReports:
+    def test_introduced_and_fixed(self):
+        before = [report(variable="a"), report(variable="b")]
+        after = [report(variable="b"), report(variable="c")]
+        diff = diff_reports(before, after)
+        assert diff.introduced == [("Null", "f", "c")]
+        assert diff.fixed == [("Null", "f", "a")]
+        assert diff.persisting == [("Null", "f", "b")]
+
+    def test_line_changes_do_not_count(self):
+        """Moving a finding to another line is not a new finding."""
+        diff = diff_reports([report(line=3)], [report(line=99)])
+        assert diff.is_clean
+        assert diff.persisting
+
+    def test_clean_flag(self):
+        assert diff_reports([report()], []).is_clean
+        assert not diff_reports([], [report()]).is_clean
+
+    def test_summary_format(self):
+        diff = diff_reports([], [report()])
+        assert "+1 introduced" in diff.summary()
+
+
+class TestDiffRuns:
+    BEFORE = """
+        void *src(void) { int *p; p = NULL; return p; }
+        void victim(void) { int *v; v = src(); *v = 1; }
+    """
+    AFTER = """
+        void *src(void) { int *p; p = NULL; return p; }
+        void victim(void) { int *v; v = src(); if (v) { *v = 1; } }
+    """
+
+    def test_fix_detected_end_to_end(self):
+        before = check_program(compile_program(self.BEFORE))
+        after = check_program(compile_program(self.AFTER))
+        diff = diff_runs(before, after)
+        assert ("Null", "victim", "v") in diff.fixed
+        assert diff.is_clean
+
+
+class TestSnapshots:
+    def test_save_load_roundtrip(self, tmp_path):
+        reports = [report(variable="a"), report(checker="Free", variable="b")]
+        path = tmp_path / "findings.json"
+        save_findings(reports, path)
+        loaded = load_findings(path)
+        assert loaded == reports
+
+    def test_snapshot_diff_workflow(self, tmp_path):
+        """Yesterday's snapshot vs today's run: the daily-dev loop."""
+        path = tmp_path / "yesterday.json"
+        save_findings([report(variable="old")], path)
+        today = [report(variable="old"), report(variable="new")]
+        diff = diff_reports(load_findings(path), today)
+        assert diff.introduced == [("Null", "f", "new")]

@@ -1,0 +1,69 @@
+"""Tests for the checker driver: running, scoring, module breakdowns."""
+
+import pytest
+
+from repro.checkers import (
+    ALL_CHECKERS,
+    GroundTruthBug,
+    check_program,
+    run_analyses,
+    run_checkers,
+)
+from repro.frontend import compile_program
+
+SOURCE = """
+void *src(int n) { int *p; p = NULL; if (n) { p = malloc(4); } return p; }
+void *mid(int n) { int *x; x = src(n); return x; }
+void victim(void) { int *v; v = mid(0); *v = 1; }
+void clean(void) { int *u; u = malloc(4); if (u) { *u = 1; } }
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return check_program(compile_program(SOURCE, module="drivers"))
+
+
+class TestRunCheckers:
+    def test_all_checkers_run(self, result):
+        names = {cls.name for cls in ALL_CHECKERS}
+        assert set(result.baseline) == names
+        assert set(result.augmented) == names
+
+    def test_all_reports_flattens(self, result):
+        reports = result.all_reports("augmented")
+        assert any(r.checker == "Null" for r in reports)
+        assert any(r.checker == "UNTest" for r in reports)
+
+    def test_subset_of_checkers(self):
+        from repro.checkers import NullChecker
+
+        ctx = run_analyses(compile_program(SOURCE))
+        result = run_checkers(ctx, checkers=[NullChecker()])
+        assert set(result.baseline) == {"Null"}
+
+
+class TestScoring:
+    def test_true_positive_scored(self, result):
+        truth = [GroundTruthBug("Null", "victim", "v")]
+        score = result.score(truth, "augmented", "Null")
+        assert score.true_positives == 1
+        assert score.false_negatives == 0
+
+    def test_false_positive_scored(self, result):
+        score = result.score([], "augmented", "Null")
+        assert score.false_positives == score.reported >= 1
+
+    def test_false_negative_scored(self, result):
+        truth = [GroundTruthBug("Null", "nowhere", "x")]
+        score = result.score(truth, "baseline", "Null")
+        assert score.false_negatives == 1
+
+    def test_truth_for_other_checker_ignored(self, result):
+        truth = [GroundTruthBug("Free", "victim", "v")]
+        score = result.score(truth, "augmented", "Null")
+        assert score.true_positives == 0
+
+    def test_module_breakdown(self, result):
+        breakdown = result.module_breakdown("augmented", "UNTest")
+        assert breakdown.get("drivers", 0) >= 1

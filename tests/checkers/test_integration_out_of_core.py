@@ -1,0 +1,51 @@
+"""Integration: the full checker pipeline running out-of-core.
+
+The paper's point is that these analyses run on developer desktops with
+bounded memory; this exercises the same pipeline used by Tables 3-5 with
+partitions spilled to disk and verifies the results are identical to the
+in-memory run.
+"""
+
+import pytest
+
+from repro.checkers import check_program, run_analyses
+from repro.workloads import httpd_like
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return httpd_like(scale=0.4)
+
+
+def report_keys(result, mode):
+    table = result.baseline if mode == "baseline" else result.augmented
+    return {
+        name: {r.match_key() for r in reports} for name, reports in table.items()
+    }
+
+
+def test_out_of_core_checkers_match_in_memory(workload, tmp_path):
+    pg = workload.compile()
+    in_memory = check_program(pg)
+    from repro.checkers import run_checkers
+
+    ctx = run_analyses(
+        pg, max_edges_per_partition=2000, workdir=tmp_path
+    )
+    out_of_core = run_checkers(ctx)
+    assert report_keys(in_memory, "augmented") == report_keys(
+        out_of_core, "augmented"
+    )
+    assert report_keys(in_memory, "baseline") == report_keys(
+        out_of_core, "baseline"
+    )
+
+
+def test_out_of_core_scores_clean(workload, tmp_path):
+    pg = workload.compile()
+    ctx = run_analyses(pg, max_edges_per_partition=1500, workdir=tmp_path)
+    from repro.checkers import run_checkers
+
+    result = run_checkers(ctx)
+    score = result.score(workload.ground_truth, "augmented", "Null")
+    assert score.false_negatives == 0

@@ -1,0 +1,157 @@
+"""Tests for the Null, PNull, and UNTest checkers."""
+
+import pytest
+
+from repro.checkers import (
+    NullChecker,
+    PNullChecker,
+    UNTestChecker,
+    run_analyses,
+)
+from repro.frontend import compile_program
+
+
+def ctx_for(source):
+    return run_analyses(compile_program(source, module="m"))
+
+
+def reports_of(checker, ctx, mode):
+    fn = checker.check_baseline if mode == "bl" else checker.check_augmented
+    return fn(ctx)
+
+
+class TestNullChecker:
+    def test_baseline_catches_direct_null_return(self):
+        ctx = ctx_for(
+            """
+            void *src(int n) { int *p; p = NULL; if (n) { p = malloc(4); } return p; }
+            void victim(void) { int *v; v = src(0); *v = 1; }
+            """
+        )
+        reports = reports_of(NullChecker(), ctx, "bl")
+        assert [(r.function, r.variable) for r in reports] == [("victim", "v")]
+
+    def test_baseline_misses_deep_chain(self):
+        ctx = ctx_for(
+            """
+            void *src(int n) { int *p; p = NULL; if (n) { p = malloc(4); } return p; }
+            void *mid(int n) { int *x; x = src(n); return x; }
+            void victim(void) { int *v; v = mid(0); *v = 1; }
+            """
+        )
+        assert reports_of(NullChecker(), ctx, "bl") == []
+        augmented = reports_of(NullChecker(), ctx, "gr")
+        assert [(r.function, r.variable) for r in augmented] == [("victim", "v")]
+        assert augmented[0].interprocedural
+
+    def test_guarded_deref_not_reported(self):
+        ctx = ctx_for(
+            """
+            void *src(int n) { int *p; p = NULL; if (n) { p = malloc(4); } return p; }
+            void safe(void) { int *v; v = src(0); if (v) { *v = 1; } }
+            """
+        )
+        assert reports_of(NullChecker(), ctx, "bl") == []
+        assert reports_of(NullChecker(), ctx, "gr") == []
+
+    def test_early_return_guard_idiom_respected(self):
+        ctx = ctx_for(
+            """
+            void *src(void) { int *p; p = NULL; return p; }
+            void safe(void) { int *v; v = src(); if (!v) { return; } *v = 1; }
+            """
+        )
+        assert reports_of(NullChecker(), ctx, "gr") == []
+
+    def test_reassignment_clears_baseline_report(self):
+        ctx = ctx_for(
+            """
+            void *src(void) { int *p; p = NULL; return p; }
+            void fixed(void) { int *v; v = src(); v = malloc(4); *v = 1; }
+            """
+        )
+        assert reports_of(NullChecker(), ctx, "bl") == []
+
+    def test_augmented_flow_insensitive_fp(self):
+        """The documented GR false-positive mode: overwritten NULL."""
+        ctx = ctx_for("void f(void) { int *v; v = NULL; v = malloc(4); *v = 1; }")
+        assert reports_of(NullChecker(), ctx, "bl") == []
+        assert len(reports_of(NullChecker(), ctx, "gr")) == 1
+
+    def test_null_through_parameter(self):
+        ctx = ctx_for(
+            """
+            void use(int *q) { *q = 1; }
+            void top(void) { int *p; p = NULL; use(p); }
+            """
+        )
+        augmented = reports_of(NullChecker(), ctx, "gr")
+        assert ("use", "q") in [(r.function, r.variable) for r in augmented]
+
+
+class TestPNullChecker:
+    SRC = """
+        void *maybe(int n) { int *p; p = NULL; if (n) { p = malloc(4); } return p; }
+        void *hop(int n) { int *m; m = maybe(n); return m; }
+        void bug(void) { int *b; b = hop(0); *b = 1; if (b) { *b = 2; } }
+        void decoy(void) { int *d; d = malloc(4); *d = 1; if (d) { *d = 2; } }
+        void nopattern(void) { int *e; e = hop(0); if (e) { *e = 2; } }
+    """
+
+    def test_baseline_reports_both(self):
+        ctx = ctx_for(self.SRC)
+        reports = reports_of(PNullChecker(), ctx, "bl")
+        found = {(r.function, r.variable) for r in reports}
+        assert found == {("bug", "b"), ("decoy", "d")}
+
+    def test_augmented_filters_never_null(self):
+        ctx = ctx_for(self.SRC)
+        reports = reports_of(PNullChecker(), ctx, "gr")
+        found = {(r.function, r.variable) for r in reports}
+        assert found == {("bug", "b")}
+
+
+class TestUNTestChecker:
+    def test_unnecessary_test_found(self):
+        ctx = ctx_for(
+            "void f(void) { int *u; u = malloc(4); if (u) { *u = 1; } }"
+        )
+        reports = reports_of(UNTestChecker(), ctx, "gr")
+        assert [(r.function, r.variable) for r in reports] == [("f", "u")]
+
+    def test_necessary_test_not_reported(self):
+        ctx = ctx_for(
+            """
+            void *maybe(int n) { int *p; p = NULL; if (n) { p = malloc(4); } return p; }
+            void f(void) { int *t; t = maybe(0); if (t) { *t = 1; } }
+            """
+        )
+        assert reports_of(UNTestChecker(), ctx, "gr") == []
+
+    def test_external_call_results_skipped(self):
+        ctx = ctx_for(
+            "void f(void) { int *x; x = external_thing(); if (x) { *x = 1; } }"
+        )
+        assert reports_of(UNTestChecker(), ctx, "gr") == []
+
+    def test_root_params_skipped(self):
+        ctx = ctx_for("void f(int *p) { if (p) { *p = 1; } }")
+        assert reports_of(UNTestChecker(), ctx, "gr") == []
+
+    def test_called_function_params_checked(self):
+        ctx = ctx_for(
+            """
+            void inner(int *p) { if (p) { *p = 1; } }
+            void outer(void) { int *m; m = malloc(4); inner(m); }
+            """
+        )
+        reports = reports_of(UNTestChecker(), ctx, "gr")
+        assert [(r.function, r.variable) for r in reports] == [("inner", "p")]
+
+    def test_integer_truthiness_not_a_null_test(self):
+        ctx = ctx_for("void f(void) { int n; n = 3; if (n) { n = 4; } }")
+        assert reports_of(UNTestChecker(), ctx, "gr") == []
+
+    def test_no_baseline(self):
+        ctx = ctx_for("void f(void) { }")
+        assert reports_of(UNTestChecker(), ctx, "bl") == []

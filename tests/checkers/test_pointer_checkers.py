@@ -1,0 +1,231 @@
+"""Tests for the Free, Lock, Block, Range, and Size checkers."""
+
+import pytest
+
+from repro.checkers import (
+    BlockChecker,
+    FreeChecker,
+    LockChecker,
+    RangeChecker,
+    SizeChecker,
+    run_analyses,
+)
+from repro.frontend import compile_program
+
+
+def ctx_for(source):
+    return run_analyses(compile_program(source, module="m"))
+
+
+def keys(reports):
+    return {(r.function, r.variable) for r in reports}
+
+
+class TestFreeChecker:
+    def test_baseline_same_name_uaf(self):
+        ctx = ctx_for("void f(void) { int *a; a = malloc(4); free(a); *a = 1; }")
+        assert keys(FreeChecker().check_baseline(ctx)) == {("f", "a")}
+
+    def test_baseline_double_free(self):
+        ctx = ctx_for("void f(void) { int *a; a = malloc(4); free(a); free(a); }")
+        reports = FreeChecker().check_baseline(ctx)
+        assert any("double free" in r.message for r in reports)
+
+    def test_reassignment_stops_baseline(self):
+        ctx = ctx_for(
+            "void f(void) { int *a; a = malloc(4); free(a); a = malloc(4); *a = 1; }"
+        )
+        assert FreeChecker().check_baseline(ctx) == []
+
+    def test_alias_uaf_needs_augmentation(self):
+        src = """
+            void f(void) {
+                int *a;
+                int *b;
+                a = malloc(4);
+                b = a;
+                free(a);
+                *b = 1;
+            }
+        """
+        ctx = ctx_for(src)
+        assert FreeChecker().check_baseline(ctx) == []
+        augmented = FreeChecker().check_augmented(ctx)
+        assert keys(augmented) == {("f", "b")}
+        assert all(r.interprocedural for r in augmented)
+
+    def test_unrelated_pointer_not_flagged(self):
+        ctx = ctx_for(
+            """
+            void f(void) {
+                int *a;
+                int *c;
+                a = malloc(4);
+                c = malloc(8);
+                free(a);
+                *c = 1;
+            }
+            """
+        )
+        assert FreeChecker().check_augmented(ctx) == []
+
+
+class TestLockChecker:
+    def test_baseline_same_name_double_lock(self):
+        ctx = ctx_for("void f(int *l) { lock(l); lock(l); unlock(l); unlock(l); }")
+        reports = LockChecker().check_baseline(ctx)
+        assert any("double acquisition" in r.message for r in reports)
+
+    def test_baseline_unreleased(self):
+        ctx = ctx_for("void f(int *l) { lock(l); }")
+        reports = LockChecker().check_baseline(ctx)
+        assert any("not released" in r.message for r in reports)
+
+    def test_balanced_clean(self):
+        ctx = ctx_for("void f(int *l) { lock(l); unlock(l); }")
+        assert LockChecker().check_baseline(ctx) == []
+
+    def test_aliased_double_lock_needs_augmentation(self):
+        src = """
+            void inner(int *m1, int *m2) { lock(m1); lock(m2); unlock(m1); unlock(m2); }
+            void outer(void) { int *mx; mx = malloc(4); inner(mx, mx); }
+        """
+        ctx = ctx_for(src)
+        assert LockChecker().check_baseline(ctx) == []
+        augmented = LockChecker().check_augmented(ctx)
+        assert keys(augmented) == {("inner", "m2")}
+
+    def test_distinct_locks_not_flagged(self):
+        src = """
+            void inner(int *m1, int *m2) { lock(m1); lock(m2); unlock(m1); unlock(m2); }
+            void outer(void) {
+                int *ma;
+                int *mb;
+                ma = malloc(4);
+                mb = malloc(4);
+                inner(ma, mb);
+            }
+        """
+        ctx = ctx_for(src)
+        assert LockChecker().check_augmented(ctx) == []
+
+
+class TestBlockChecker:
+    def test_baseline_direct_sleep_in_lock(self):
+        ctx = ctx_for("void f(int *l) { lock(l); sleep(); unlock(l); }")
+        assert len(BlockChecker().check_baseline(ctx)) == 1
+
+    def test_sleep_outside_lock_fine(self):
+        ctx = ctx_for("void f(int *l) { sleep(); lock(l); unlock(l); }")
+        assert BlockChecker().check_baseline(ctx) == []
+
+    def test_wrapper_needs_augmentation(self):
+        src = """
+            void wrap(void) { sleep(); }
+            void f(int *l) { lock(l); wrap(); unlock(l); }
+        """
+        ctx = ctx_for(src)
+        assert BlockChecker().check_baseline(ctx) == []
+        augmented = BlockChecker().check_augmented(ctx)
+        assert keys(augmented) == {("f", "wrap")}
+
+    def test_function_pointer_resolved(self):
+        src = """
+            void sleeper(void) { sleep(); }
+            void f(void) {
+                int *l;
+                void *fp;
+                l = malloc(4);
+                fp = sleeper;
+                lock(l);
+                fp();
+                unlock(l);
+            }
+        """
+        ctx = ctx_for(src)
+        assert BlockChecker().check_baseline(ctx) == []
+        augmented = BlockChecker().check_augmented(ctx)
+        assert keys(augmented) == {("f", "fp")}
+
+    def test_nonblocking_fp_target_fine(self):
+        src = """
+            void harmless(void) { }
+            void f(void) {
+                int *l;
+                void *fp;
+                l = malloc(4);
+                fp = harmless;
+                lock(l);
+                fp();
+                unlock(l);
+            }
+        """
+        ctx = ctx_for(src)
+        assert BlockChecker().check_augmented(ctx) == []
+
+
+class TestRangeChecker:
+    def test_baseline_direct_user_index(self):
+        ctx = ctx_for(
+            "void f(void) { int b[8]; int n; n = get_user(); b[n] = 1; }"
+        )
+        assert keys(RangeChecker().check_baseline(ctx)) == {("f", "n")}
+
+    def test_bounds_check_suppresses(self):
+        ctx = ctx_for(
+            "void f(void) { int b[8]; int n; n = get_user(); if (n < 8) { b[n] = 1; } }"
+        )
+        assert RangeChecker().check_baseline(ctx) == []
+        assert RangeChecker().check_augmented(ctx) == []
+
+    def test_transitive_taint_needs_augmentation(self):
+        ctx = ctx_for(
+            """
+            void f(void) {
+                int b[8];
+                int n;
+                int m;
+                n = get_user();
+                m = n + 1;
+                b[m] = 1;
+            }
+            """
+        )
+        assert RangeChecker().check_baseline(ctx) == []
+        assert keys(RangeChecker().check_augmented(ctx)) == {("f", "m")}
+
+    def test_untainted_index_fine(self):
+        ctx = ctx_for("void f(void) { int b[8]; int i; i = 2; b[i] = 1; }")
+        assert RangeChecker().check_augmented(ctx) == []
+
+
+class TestSizeChecker:
+    def test_baseline_bad_size_at_site(self):
+        ctx = ctx_for("void f(void) { long *p; p = malloc(12); }")
+        assert keys(SizeChecker().check_baseline(ctx)) == {("f", "p")}
+
+    def test_multiple_of_elem_size_fine(self):
+        ctx = ctx_for("void f(void) { long *p; p = malloc(16); }")
+        assert SizeChecker().check_baseline(ctx) == []
+
+    def test_unknown_size_skipped(self):
+        ctx = ctx_for("void f(int n) { long *p; p = malloc(n); }")
+        assert SizeChecker().check_baseline(ctx) == []
+
+    def test_flow_inconsistency_needs_augmentation(self):
+        src = """
+            void *mk(void) { int *o; o = malloc(12); return o; }
+            void f(void) { long *q; q = mk(); }
+        """
+        ctx = ctx_for(src)
+        assert SizeChecker().check_baseline(ctx) == []
+        augmented = SizeChecker().check_augmented(ctx)
+        assert ("f", "q") in keys(augmented)
+
+    def test_consistent_flow_fine(self):
+        src = """
+            void *mk(void) { int *o; o = malloc(16); return o; }
+            void f(void) { long *q; q = mk(); }
+        """
+        ctx = ctx_for(src)
+        assert SizeChecker().check_augmented(ctx) == []

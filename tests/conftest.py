@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grammar import (
+    dyck_grammar,
+    nullflow_grammar,
+    pointsto_grammar,
+    pointsto_grammar_extended,
+    reachability_grammar,
+)
+from repro.graph import MemGraph
+
+
+@pytest.fixture(scope="session")
+def reach():
+    return reachability_grammar()
+
+
+@pytest.fixture(scope="session")
+def dyck():
+    return dyck_grammar()
+
+
+@pytest.fixture(scope="session")
+def pointsto():
+    return pointsto_grammar()
+
+
+@pytest.fixture(scope="session")
+def pointsto_ext():
+    return pointsto_grammar_extended()
+
+
+@pytest.fixture(scope="session")
+def nullflow():
+    return nullflow_grammar()
+
+
+@pytest.fixture
+def chain_graph():
+    """0 -> 1 -> ... -> 9, single label E (id 0)."""
+    return MemGraph.from_edges(
+        [(i, i + 1, 0) for i in range(9)], label_names=["E"]
+    )
+
+
+@pytest.fixture
+def diamond_graph():
+    """0 -> {1,2} -> 3, label E."""
+    return MemGraph.from_edges(
+        [(0, 1, 0), (0, 2, 0), (1, 3, 0), (2, 3, 0)], label_names=["E"]
+    )
+
+
+#: A small but representative MiniC program used across frontend and
+#: analysis tests: interprocedural NULL, aliasing through the heap, a
+#: guarded deref, and a function pointer.
+SAMPLE_SOURCE = """
+int *shared;
+
+void *make(void) {
+    int *fresh;
+    fresh = malloc(8);
+    return fresh;
+}
+
+void *risky(int n) {
+    int *p;
+    p = NULL;
+    if (n) { p = malloc(8); }
+    return p;
+}
+
+void sink(void) {
+    sleep();
+}
+
+void driver(void) {
+    int *a;
+    int *b;
+    int *c;
+    void *fp;
+    a = make();
+    b = risky(0);
+    *b = 1;
+    c = a;
+    if (a) { *a = 2; }
+    fp = sink;
+    fp();
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def sample_pg():
+    from repro.frontend import compile_program
+
+    return compile_program(SAMPLE_SOURCE, module="sample")
+
+
+@pytest.fixture(scope="session")
+def sample_analyses(sample_pg):
+    from repro.checkers import run_analyses
+
+    return run_analyses(sample_pg)

@@ -1,0 +1,143 @@
+"""Tests for the GraspanEngine driver: in-memory, out-of-core, alignment."""
+
+import numpy as np
+import pytest
+
+from repro.engine import GraspanEngine, RoundRobinScheduler, naive_closure
+from repro.graph import MemGraph
+from repro.grammar import GrammarError
+
+
+def closure_set(computation):
+    return set(computation.pset.iter_all_edges())
+
+
+class TestInMemory:
+    def test_chain(self, reach, chain_graph):
+        comp = GraspanEngine(reach).run(chain_graph)
+        assert closure_set(comp) == naive_closure(chain_graph.edges(), reach)
+
+    def test_stats_populated(self, reach, chain_graph):
+        comp = GraspanEngine(reach).run(chain_graph)
+        s = comp.stats
+        assert s.original_edges == chain_graph.num_edges
+        assert s.final_edges == comp.num_edges
+        assert s.num_supersteps >= 1
+        assert s.growth_factor > 1.0
+        assert s.initial_partitions == 2  # in-memory mode default
+
+    def test_result_queries(self, reach, chain_graph):
+        comp = GraspanEngine(reach).run(chain_graph)
+        r_edges = list(comp.iter_edges_with_label("R"))
+        assert (0, 9) in r_edges
+        src, dst = comp.edges_with_label_arrays("R")
+        assert set(zip(src.tolist(), dst.tolist())) == set(r_edges)
+        counts = comp.count_by_label()
+        assert counts["R"] == len(r_edges)
+
+    def test_empty_label_query(self, reach, chain_graph):
+        comp = GraspanEngine(reach).run(chain_graph)
+        with pytest.raises(GrammarError):
+            list(comp.iter_edges_with_label("nope"))
+
+
+class TestOutOfCore:
+    def test_matches_in_memory(self, reach, chain_graph, tmp_path):
+        mem = GraspanEngine(reach).run(chain_graph)
+        ooc = GraspanEngine(
+            reach, max_edges_per_partition=3, workdir=tmp_path
+        ).run(chain_graph)
+        assert closure_set(ooc) == closure_set(mem)
+
+    def test_repartitioning_triggered(self, reach, tmp_path):
+        edges = [(i, i + 1, 0) for i in range(40)]
+        graph = MemGraph.from_edges(edges, label_names=["E"])
+        comp = GraspanEngine(
+            reach, max_edges_per_partition=15, workdir=tmp_path
+        ).run(graph)
+        assert comp.stats.repartition_count > 0
+        assert comp.stats.final_partitions > comp.stats.initial_partitions
+        assert closure_set(comp) == naive_closure(edges, reach)
+
+    def test_round_robin_scheduler_agrees(self, reach, chain_graph, tmp_path):
+        ddm = GraspanEngine(
+            reach, max_edges_per_partition=4, workdir=tmp_path / "a"
+        ).run(chain_graph)
+        rr = GraspanEngine(
+            reach,
+            max_edges_per_partition=4,
+            workdir=tmp_path / "b",
+            scheduler=RoundRobinScheduler(),
+        ).run(chain_graph)
+        assert closure_set(ddm) == closure_set(rr)
+
+    def test_io_time_recorded(self, reach, chain_graph, tmp_path):
+        comp = GraspanEngine(
+            reach, max_edges_per_partition=3, workdir=tmp_path
+        ).run(chain_graph)
+        assert comp.stats.timers.get("io") > 0
+
+    def test_load_resident_survives_workdir(self, reach, chain_graph, tmp_path):
+        import shutil
+
+        comp = GraspanEngine(
+            reach, max_edges_per_partition=3, workdir=tmp_path / "w"
+        ).run(chain_graph).load_resident()
+        shutil.rmtree(tmp_path / "w")
+        assert (0, 9) in list(comp.iter_edges_with_label("R"))
+
+    def test_max_supersteps_guard(self, reach, chain_graph, tmp_path):
+        engine = GraspanEngine(
+            reach,
+            max_edges_per_partition=3,
+            workdir=tmp_path,
+            max_supersteps=1,
+        )
+        with pytest.raises(RuntimeError, match="max_supersteps"):
+            engine.run(chain_graph)
+
+
+class TestLabelAlignment:
+    def test_graph_labels_remapped_by_name(self, reach):
+        # graph interned E with a different id position than the grammar
+        graph = MemGraph.from_edges([(0, 1, 1)], label_names=["R", "E"])
+        comp = GraspanEngine(reach).run(graph)
+        assert (0, 1, reach.label_id("E")) in closure_set(comp)
+
+    def test_unknown_label_rejected(self, reach):
+        graph = MemGraph.from_edges([(0, 1, 0)], label_names=["Z"])
+        with pytest.raises(GrammarError):
+            GraspanEngine(reach).run(graph)
+
+    def test_missing_label_names_rejected(self, reach):
+        graph = MemGraph.from_edges([(0, 1, 0)])
+        with pytest.raises(ValueError):
+            GraspanEngine(reach).run(graph)
+
+    def test_aligned_graph_passthrough(self, reach):
+        graph = MemGraph.from_edges([(0, 1, 0)], label_names=list(reach.names))
+        comp = GraspanEngine(reach).run(graph)
+        assert comp.num_edges >= 1
+
+
+class TestThreadsAndDeterminism:
+    def test_num_threads_same_result(self, dyck, tmp_path):
+        import random
+
+        rnd = random.Random(11)
+        edges = [(rnd.randrange(12), rnd.randrange(12), rnd.randrange(2)) for _ in range(40)]
+        graph = MemGraph.from_edges(edges, num_vertices=12, label_names=["OP", "CL"])
+        one = GraspanEngine(dyck, num_threads=1).run(graph)
+        four = GraspanEngine(dyck, num_threads=4).run(graph)
+        assert closure_set(one) == closure_set(four)
+
+    def test_runs_are_deterministic(self, dyck):
+        import random
+
+        rnd = random.Random(13)
+        edges = [(rnd.randrange(10), rnd.randrange(10), rnd.randrange(2)) for _ in range(30)]
+        graph = MemGraph.from_edges(edges, num_vertices=10, label_names=["OP", "CL"])
+        a = GraspanEngine(dyck).run(graph)
+        b = GraspanEngine(dyck).run(graph)
+        assert closure_set(a) == closure_set(b)
+        assert a.stats.num_supersteps == b.stats.num_supersteps

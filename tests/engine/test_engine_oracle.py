@@ -1,0 +1,148 @@
+"""Property-based equivalence: the engine vs the brute-force closure.
+
+The single most important invariant in the repository: for ANY graph and
+ANY grammar, the EP-centric engine — in-memory or out-of-core, with any
+partitioning — must produce exactly the closure the naive reference
+computes.  hypothesis drives random graphs through both.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import GraspanEngine, naive_closure
+from repro.graph import MemGraph
+from repro.grammar import (
+    Grammar,
+    dyck_grammar,
+    pointsto_grammar,
+    reachability_grammar,
+)
+
+from repro.grammar import pointsto_grammar_extended
+
+GRAMMARS = {
+    "reach": reachability_grammar(),
+    "dyck": dyck_grammar(),
+    "pointsto": pointsto_grammar(),
+    "pointsto_ext": pointsto_grammar_extended(),
+}
+
+
+def random_edges(draw, num_vertices, num_edges, num_labels):
+    return [
+        (
+            draw(st.integers(0, num_vertices - 1)),
+            draw(st.integers(0, num_vertices - 1)),
+            draw(st.integers(0, num_labels - 1)),
+        )
+        for _ in range(num_edges)
+    ]
+
+
+@st.composite
+def reach_graphs(draw):
+    n = draw(st.integers(2, 12))
+    edges = random_edges(draw, n, draw(st.integers(1, 20)), 1)
+    return MemGraph.from_edges(edges, num_vertices=n, label_names=["E"])
+
+
+@st.composite
+def dyck_graphs(draw):
+    n = draw(st.integers(2, 12))
+    edges = random_edges(draw, n, draw(st.integers(1, 22)), 2)
+    return MemGraph.from_edges(edges, num_vertices=n, label_names=["OP", "CL"])
+
+
+@st.composite
+def pointsto_graphs(draw):
+    """Random graphs over the six pointer-terminal labels, with inverse
+    edges added the way the frontend would."""
+    grammar = GRAMMARS["pointsto"]
+    n = draw(st.integers(2, 10))
+    base = random_edges(draw, n, draw(st.integers(1, 14)), 3)  # M, A, D
+    edges = []
+    for s, d, l in base:
+        name = grammar.label_name(l)
+        edges.append((s, d, l))
+        edges.append((d, s, grammar.label_id(name + "_bar")))
+    return MemGraph.from_edges(
+        edges, num_vertices=n, label_names=list(grammar.names[:6])
+    )
+
+
+def engine_closure(graph, grammar, **engine_opts):
+    comp = GraspanEngine(grammar, **engine_opts).run(graph)
+    return set(comp.pset.iter_all_edges())
+
+
+def oracle_closure(graph, grammar):
+    from repro.engine.engine import align_graph_labels
+
+    aligned = align_graph_labels(graph, grammar)
+    return naive_closure(aligned.edges(), grammar)
+
+
+@given(reach_graphs())
+@settings(max_examples=40, deadline=None)
+def test_reachability_matches_oracle(graph):
+    grammar = GRAMMARS["reach"]
+    assert engine_closure(graph, grammar) == oracle_closure(graph, grammar)
+
+
+@given(dyck_graphs())
+@settings(max_examples=40, deadline=None)
+def test_dyck_matches_oracle(graph):
+    grammar = GRAMMARS["dyck"]
+    assert engine_closure(graph, grammar) == oracle_closure(graph, grammar)
+
+
+@given(pointsto_graphs())
+@settings(max_examples=30, deadline=None)
+def test_pointsto_matches_oracle(graph):
+    grammar = GRAMMARS["pointsto"]
+    assert engine_closure(graph, grammar) == oracle_closure(graph, grammar)
+
+
+@st.composite
+def small_pointsto_graphs(draw):
+    """Tiny graphs for the extended grammar (its VA relation is dense)."""
+    grammar = GRAMMARS["pointsto_ext"]
+    n = draw(st.integers(2, 7))
+    base = random_edges(draw, n, draw(st.integers(1, 9)), 3)
+    edges = []
+    for s, d, l in base:
+        name = grammar.label_name(l)
+        edges.append((s, d, l))
+        edges.append((d, s, grammar.label_id(name + "_bar")))
+    return MemGraph.from_edges(
+        edges, num_vertices=n, label_names=list(grammar.names[:6])
+    )
+
+
+@given(small_pointsto_graphs())
+@settings(max_examples=25, deadline=None)
+def test_extended_pointsto_matches_oracle(graph):
+    grammar = GRAMMARS["pointsto_ext"]
+    assert engine_closure(graph, grammar) == oracle_closure(graph, grammar)
+
+
+@given(graph=dyck_graphs(), max_edges=st.integers(2, 8))
+@settings(max_examples=20, deadline=None)
+def test_out_of_core_matches_oracle(graph, max_edges, tmp_path_factory):
+    """Any partitioning must not change the answer."""
+    grammar = GRAMMARS["dyck"]
+    workdir = tmp_path_factory.mktemp("ooc")
+    got = engine_closure(
+        graph, grammar, max_edges_per_partition=max_edges, workdir=workdir
+    )
+    assert got == oracle_closure(graph, grammar)
+
+
+@given(dyck_graphs(), st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_partition_count_is_irrelevant(graph, num_partitions):
+    grammar = GRAMMARS["dyck"]
+    got = engine_closure(graph, grammar, num_partitions=num_partitions)
+    assert got == oracle_closure(graph, grammar)

@@ -1,0 +1,116 @@
+"""Tests for the vectorized edge-pair join core."""
+
+import numpy as np
+import pytest
+
+from repro.engine.join import CsrView, apply_unary_closure, join_edges
+from repro.graph import from_pairs, packed
+from repro.grammar import Grammar
+
+
+class TestCsrView:
+    def test_from_dict(self):
+        view = CsrView.from_dict(
+            {3: from_pairs([(1, 0)]), 1: from_pairs([(2, 0), (3, 0)])}
+        )
+        assert list(view.vertices) == [1, 3]
+        assert view.num_edges == 3
+
+    def test_empty(self):
+        view = CsrView.from_dict({})
+        assert view.num_edges == 0
+
+    def test_skips_empty_lists(self):
+        view = CsrView.from_dict({1: packed.EMPTY, 2: from_pairs([(0, 0)])})
+        assert list(view.vertices) == [2]
+
+    def test_rows_for(self):
+        view = CsrView.from_dict({1: from_pairs([(0, 0)]), 5: from_pairs([(0, 0)])})
+        rows, valid = view.rows_for(np.asarray([0, 1, 5, 9], dtype=np.int64))
+        assert list(valid) == [False, True, True, False]
+        assert rows[1] == 0 and rows[2] == 1
+
+
+class TestApplyUnaryClosure:
+    def test_noop_without_unary_rules(self):
+        g = Grammar()
+        g.add_constraint("S", "A", "B")
+        frozen = g.freeze()
+        keys = from_pairs([(1, frozen.label_id("A"))])
+        assert np.array_equal(apply_unary_closure(keys, frozen), keys)
+
+    def test_expands_derivable_labels(self, reach):
+        e, r = reach.label_id("E"), reach.label_id("R")
+        keys = from_pairs([(1, e)])
+        expanded = apply_unary_closure(keys, reach)
+        assert packed.to_pairs(expanded) == [(1, e), (1, r)]
+
+    def test_idempotent(self, reach):
+        keys = from_pairs([(1, reach.label_id("E")), (7, reach.label_id("E"))])
+        once = apply_unary_closure(keys, reach)
+        twice = apply_unary_closure(once, reach)
+        assert np.array_equal(once, twice)
+
+    def test_empty_input(self, reach):
+        assert len(apply_unary_closure(packed.EMPTY, reach)) == 0
+
+
+class TestJoinEdges:
+    def test_basic_join(self, reach):
+        e, r = reach.label_id("E"), reach.label_id("R")
+        # left: 0 -R-> 1 ; right: 1 -E-> 2  =>  0 -R-> 2
+        left_src = np.asarray([0], dtype=np.int64)
+        left_keys = from_pairs([(1, r)])
+        right = CsrView.from_dict({1: from_pairs([(2, e)])})
+        src, keys = join_edges(left_src, left_keys, right, reach, reach.head_labels())
+        assert packed.to_pairs(keys) == [(2, r)]
+        assert list(src) == [0]
+
+    def test_no_match_on_wrong_labels(self, reach):
+        e = reach.label_id("E")
+        # E cannot be rhs1 in R ::= R E (only R can); E alone derives R
+        # via the unary rule — but raw E-E pairs have no binary cell.
+        left_src = np.asarray([0], dtype=np.int64)
+        left_keys = from_pairs([(1, e)])
+        right = CsrView.from_dict({1: from_pairs([(2, e)])})
+        src, keys = join_edges(left_src, left_keys, right, reach, reach.head_labels())
+        assert len(src) == 0
+
+    def test_missing_target_vertex_skipped(self, reach):
+        r = reach.label_id("R")
+        left_src = np.asarray([0], dtype=np.int64)
+        left_keys = from_pairs([(9, r)])  # vertex 9 not in right view
+        right = CsrView.from_dict({1: from_pairs([(2, reach.label_id("E"))])})
+        src, _ = join_edges(left_src, left_keys, right, reach, reach.head_labels())
+        assert len(src) == 0
+
+    def test_fan_out(self, reach):
+        e, r = reach.label_id("E"), reach.label_id("R")
+        left_src = np.asarray([0], dtype=np.int64)
+        left_keys = from_pairs([(1, r)])
+        right = CsrView.from_dict({1: from_pairs([(2, e), (3, e), (4, e)])})
+        src, keys = join_edges(left_src, left_keys, right, reach, reach.head_labels())
+        assert sorted(packed.targets_of(keys)) == [2, 3, 4]
+
+    def test_empty_inputs(self, reach):
+        right = CsrView.from_dict({})
+        src, keys = join_edges(
+            packed.EMPTY, packed.EMPTY, right, reach, reach.head_labels()
+        )
+        assert len(src) == 0 and len(keys) == 0
+
+    def test_multi_lhs_production(self):
+        """A pair producing two labels yields both edges."""
+        g = Grammar()
+        g.add_constraint("X", "A", "B")
+        g.add_constraint("Y", "A", "B")
+        frozen = g.freeze()
+        a, b = frozen.label_id("A"), frozen.label_id("B")
+        left_src = np.asarray([0], dtype=np.int64)
+        left_keys = from_pairs([(1, a)])
+        right = CsrView.from_dict({1: from_pairs([(2, b)])})
+        src, keys = join_edges(left_src, left_keys, right, frozen, frozen.head_labels())
+        labels = sorted(
+            frozen.label_name(int(l)) for l in packed.labels_of(keys)
+        )
+        assert labels == ["X", "Y"]

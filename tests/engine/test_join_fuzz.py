@@ -1,0 +1,65 @@
+"""Fuzz the vectorized join against a plain-Python reference join."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.join import CsrView, join_edges
+from repro.graph import from_pairs, packed
+from repro.grammar import dyck_grammar
+
+DYCK = dyck_grammar()
+
+
+@st.composite
+def join_inputs(draw):
+    n = draw(st.integers(1, 8))
+    num_left = draw(st.integers(0, 10))
+    left = [
+        (
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, DYCK.num_labels - 1)),
+        )
+        for _ in range(num_left)
+    ]
+    num_right = draw(st.integers(0, 12))
+    right = {}
+    for _ in range(num_right):
+        v = draw(st.integers(0, n - 1))
+        d = draw(st.integers(0, n - 1))
+        l = draw(st.integers(0, DYCK.num_labels - 1))
+        right.setdefault(v, set()).add((d, l))
+    return left, right
+
+
+def reference_join(left, right):
+    """The obvious nested-loop join."""
+    out = set()
+    for src, mid, l1 in left:
+        for dst, l2 in right.get(mid, ()):
+            for lhs in DYCK.produced_by_pair(l1, l2):
+                out.add((src, dst, lhs))
+    return out
+
+
+@given(join_inputs())
+@settings(max_examples=120, deadline=None)
+def test_vectorized_join_equals_reference(inputs):
+    left, right = inputs
+    import numpy as np
+
+    left_src = np.asarray([s for s, _, _ in left], dtype=np.int64)
+    left_keys = (
+        np.asarray([(m << packed.LABEL_BITS) | l for _, m, l in left], dtype=np.int64)
+        if left
+        else packed.EMPTY
+    )
+    view = CsrView.from_dict(
+        {v: from_pairs(sorted(pairs)) for v, pairs in right.items()}
+    )
+    src, keys = join_edges(left_src, left_keys, view, DYCK, DYCK.head_labels())
+    got = {
+        (int(s), int(k) >> packed.LABEL_BITS, int(k) & packed.LABEL_MASK)
+        for s, k in zip(src, keys)
+    }
+    assert got == reference_join(left, right)

@@ -1,0 +1,62 @@
+"""Direct tests for the brute-force reference closure (the oracle itself).
+
+The oracle verifies everything else, so it gets hand-computed cases of
+its own.
+"""
+
+from repro.engine import naive_closure
+from repro.grammar import Grammar
+
+
+def grammar_rs():
+    g = Grammar()
+    g.add_constraint("R", "E")
+    g.add_constraint("R", "R", "E")
+    return g.freeze()
+
+
+class TestNaiveClosure:
+    def test_empty(self):
+        assert naive_closure([], grammar_rs()) == set()
+
+    def test_single_edge(self):
+        g = grammar_rs()
+        e, r = g.label_id("E"), g.label_id("R")
+        assert naive_closure([(0, 1, e)], g) == {(0, 1, e), (0, 1, r)}
+
+    def test_two_hop_chain_hand_computed(self):
+        g = grammar_rs()
+        e, r = g.label_id("E"), g.label_id("R")
+        got = naive_closure([(0, 1, e), (1, 2, e)], g)
+        assert got == {
+            (0, 1, e),
+            (1, 2, e),
+            (0, 1, r),
+            (1, 2, r),
+            (0, 2, r),
+        }
+
+    def test_cycle_closes_completely(self):
+        g = grammar_rs()
+        e, r = g.label_id("E"), g.label_id("R")
+        got = naive_closure([(0, 1, e), (1, 0, e)], g)
+        r_facts = {(s, d) for s, d, l in got if l == r}
+        assert r_facts == {(0, 1), (1, 0), (0, 0), (1, 1)}
+
+    def test_duplicate_input_edges_harmless(self):
+        g = grammar_rs()
+        e = g.label_id("E")
+        a = naive_closure([(0, 1, e), (0, 1, e)], g)
+        b = naive_closure([(0, 1, e)], g)
+        assert a == b
+
+    def test_backward_extension(self):
+        """A fact discovered late must extend edges that arrived earlier
+        (the `incoming` half of the worklist step)."""
+        g = Grammar()
+        g.add_constraint("S", "A", "B")
+        g.add_constraint("B", "C")  # B derived late via unary rule
+        frozen = g.freeze()
+        a, c, s = (frozen.label_id(x) for x in ("A", "C", "S"))
+        got = naive_closure([(0, 1, a), (1, 2, c)], frozen)
+        assert (0, 2, s) in got

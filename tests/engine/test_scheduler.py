@@ -1,0 +1,56 @@
+"""Tests for the DDM-delta scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RoundRobinScheduler, Scheduler
+from repro.partition import DestinationDistributionMap
+
+
+def ddm_from(counts):
+    return DestinationDistributionMap(np.asarray(counts, dtype=np.int64))
+
+
+class TestScheduler:
+    def test_none_when_finished(self):
+        ddm = ddm_from([[1, 0], [0, 0]])
+        ddm.mark_synced([0, 1])
+        assert Scheduler().choose_pair(ddm, []) is None
+
+    def test_picks_highest_delta_pair(self):
+        ddm = ddm_from([[0, 1, 0], [0, 0, 9], [0, 0, 0]])
+        pair = Scheduler(slack=0.0).choose_pair(ddm, [])
+        assert pair == (1, 2)
+
+    def test_residency_breaks_ties(self):
+        ddm = ddm_from([[0, 5, 0, 0], [0, 0, 0, 0], [0, 0, 0, 5], [0, 0, 0, 0]])
+        pair = Scheduler(slack=0.1).choose_pair(ddm, [2])
+        assert pair == (2, 3)
+
+    def test_residency_cannot_override_large_gap(self):
+        ddm = ddm_from([[0, 100, 0, 0], [0, 0, 0, 0], [0, 0, 0, 1], [0, 0, 0, 0]])
+        pair = Scheduler(slack=0.1).choose_pair(ddm, [2, 3])
+        assert pair == (0, 1)
+
+    def test_self_pair_allowed(self):
+        ddm = ddm_from([[3, 0], [0, 0]])
+        pair = Scheduler().choose_pair(ddm, [])
+        assert pair == (0, 0)
+
+    def test_deterministic_on_equal_scores(self):
+        ddm = ddm_from([[0, 2, 0], [0, 0, 2], [0, 0, 0]])
+        pairs = {Scheduler().choose_pair(ddm, []) for _ in range(5)}
+        assert len(pairs) == 1
+
+
+class TestRoundRobin:
+    def test_cycles_through_dirty_pairs(self):
+        ddm = ddm_from([[1, 1], [1, 1]])
+        scheduler = RoundRobinScheduler()
+        seen = {scheduler.choose_pair(ddm, []) for _ in range(6)}
+        assert seen == {(0, 0), (0, 1), (1, 1)}
+
+    def test_none_when_finished(self):
+        ddm = ddm_from([[1, 0], [0, 0]])
+        ddm.mark_synced([0, 1])
+        assert RoundRobinScheduler().choose_pair(ddm, []) is None

@@ -1,0 +1,51 @@
+"""Tests for EngineStats (the Table 5 / Figure 4 raw material)."""
+
+import pytest
+
+from repro.engine.stats import EngineStats, SuperstepRecord
+
+
+def record(edges_added, pair=(0, 1)):
+    return SuperstepRecord(
+        pair=pair,
+        iterations=2,
+        edges_added=edges_added,
+        seconds=0.1,
+        completed=True,
+        num_partitions_after=2,
+    )
+
+
+class TestEngineStats:
+    def test_growth_factor(self):
+        s = EngineStats(original_edges=100, final_edges=450)
+        assert s.growth_factor == pytest.approx(4.5)
+
+    def test_growth_factor_empty_graph(self):
+        assert EngineStats().growth_factor == 0.0
+
+    def test_total_edges_added(self):
+        s = EngineStats(original_edges=10)
+        s.supersteps = [record(5), record(3), record(0)]
+        assert s.total_edges_added == 8
+        assert s.num_supersteps == 3
+
+    def test_added_fraction_series(self):
+        s = EngineStats(original_edges=10)
+        s.supersteps = [record(5), record(20)]
+        assert s.added_fraction_series() == [0.5, 2.0]
+
+    def test_cumulative_added_fraction_is_monotone(self):
+        s = EngineStats(original_edges=10)
+        s.supersteps = [record(5), record(2), record(0), record(3)]
+        cumulative = s.cumulative_added_fraction()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(1.0)
+
+    def test_summary_keys(self):
+        s = EngineStats(original_edges=10, final_edges=20, num_vertices=5)
+        summary = s.summary()
+        for key in ("edges_before", "edges_after", "growth", "supersteps",
+                    "compute_s", "io_s", "total_s"):
+            assert key in summary
+        assert summary["growth"] == 2.0

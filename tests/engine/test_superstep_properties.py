@@ -1,0 +1,83 @@
+"""Property-based tests for superstep invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import naive_closure, run_superstep
+from repro.graph import from_pairs, packed
+from repro.grammar import dyck_grammar, reachability_grammar
+
+DYCK = dyck_grammar()
+REACH = reachability_grammar()
+
+
+@st.composite
+def edge_sets(draw, num_labels=2, max_vertices=10, max_edges=18):
+    n = draw(st.integers(2, max_vertices))
+    count = draw(st.integers(1, max_edges))
+    return [
+        (
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, n - 1)),
+            draw(st.integers(0, num_labels - 1)),
+        )
+        for _ in range(count)
+    ]
+
+
+def adjacency_of(edges):
+    by_src = {}
+    for s, d, l in edges:
+        by_src.setdefault(s, []).append((d, l))
+    return {v: from_pairs(pairs) for v, pairs in by_src.items()}
+
+
+def edges_of(result):
+    out = set()
+    for v, keys in result.adjacency.items():
+        for d, l in packed.to_pairs(keys):
+            out.add((v, d, l))
+    return out
+
+
+@given(edge_sets())
+@settings(max_examples=50, deadline=None)
+def test_superstep_equals_oracle(edges):
+    result = run_superstep(adjacency_of(edges), DYCK)
+    assert result.completed
+    assert edges_of(result) == naive_closure(edges, DYCK)
+
+
+@given(edge_sets())
+@settings(max_examples=50, deadline=None)
+def test_adjacency_stays_sorted_unique(edges):
+    result = run_superstep(adjacency_of(edges), DYCK)
+    for keys in result.adjacency.values():
+        assert np.all(np.diff(keys) > 0)  # strictly increasing = sorted+unique
+
+
+@given(edge_sets())
+@settings(max_examples=50, deadline=None)
+def test_original_edges_preserved(edges):
+    result = run_superstep(adjacency_of(edges), DYCK)
+    assert set(edges) <= edges_of(result)
+
+
+@given(edge_sets())
+@settings(max_examples=40, deadline=None)
+def test_added_count_consistent(edges):
+    result = run_superstep(adjacency_of(edges), DYCK)
+    assert result.edges_added == len(edges_of(result)) - len(set(edges))
+
+
+@given(edge_sets(num_labels=1), st.integers(5, 60))
+@settings(max_examples=30, deadline=None)
+def test_memory_limited_run_is_sound_prefix(edges, limit):
+    """Stopping early must never invent edges."""
+    edges = [(s, d, 0) for s, d, _ in edges]
+    result = run_superstep(adjacency_of(edges), REACH, memory_limit_edges=limit)
+    oracle = naive_closure(edges, REACH)
+    assert edges_of(result) <= oracle
+    if result.completed:
+        assert edges_of(result) == oracle

@@ -1,0 +1,80 @@
+"""Tests for call-graph construction and SCC collapsing."""
+
+import pytest
+
+from repro.frontend import build_callgraph, lower_program, parse
+
+
+def callgraph(src):
+    return build_callgraph(lower_program(parse(src)))
+
+
+class TestDirectCalls:
+    def test_edges_collected(self):
+        cg = callgraph(
+            "void a(void) { b(); b(); } void b(void) { c(); } void c(void) { }"
+        )
+        assert [s.callee for s in cg.callees["a"]] == ["b", "b"]
+        assert [s.callee for s in cg.callees["b"]] == ["c"]
+        assert cg.callees["c"] == []
+
+    def test_roots(self):
+        cg = callgraph("void a(void) { b(); } void b(void) { } void z(void) { }")
+        assert sorted(cg.roots()) == ["a", "z"]
+
+    def test_external_callees(self):
+        cg = callgraph("void a(void) { printk(); }")
+        assert "printk" in cg.external_callees
+
+    def test_indirect_via_local(self):
+        cg = callgraph(
+            "void t(void) { } void a(void) { void *fp; fp = t; fp(); }"
+        )
+        assert len(cg.indirect_sites) == 1
+        assert cg.indirect_sites[0].pointer_var == "fp"
+
+    def test_indirect_via_global(self):
+        cg = callgraph("int *gfp;\nvoid a(void) { gfp(); }")
+        assert len(cg.indirect_sites) == 1
+
+
+class TestSCCs:
+    def test_self_recursion(self):
+        cg = callgraph("void a(int n) { if (n) { a(n - 1); } }")
+        assert cg.is_recursive_call("a", "a")
+        assert cg.scc_members("a") == ["a"]
+
+    def test_mutual_recursion_collapsed(self):
+        cg = callgraph(
+            "void a(int n) { b(n); } void b(int n) { if (n) { a(n - 1); } }"
+        )
+        assert cg.scc_of["a"] == cg.scc_of["b"]
+        assert sorted(cg.scc_members("a")) == ["a", "b"]
+
+    def test_non_recursive_in_own_scc(self):
+        cg = callgraph("void a(void) { b(); } void b(void) { }")
+        assert cg.scc_of["a"] != cg.scc_of["b"]
+        assert not cg.is_recursive_call("a", "b")
+
+    def test_three_cycle(self):
+        cg = callgraph(
+            "void a(int n) { b(n); } void b(int n) { c(n); } "
+            "void c(int n) { if (n) { a(n - 1); } }"
+        )
+        assert len({cg.scc_of[f] for f in "abc"}) == 1
+
+    def test_topo_order_callees_first(self):
+        cg = callgraph(
+            "void a(void) { b(); c(); } void b(void) { c(); } void c(void) { }"
+        )
+        order = cg.topo_order
+        pos = {scc: i for i, scc in enumerate(order)}
+        assert pos[cg.scc_of["c"]] < pos[cg.scc_of["b"]] < pos[cg.scc_of["a"]]
+
+    def test_deep_chain_no_recursion_limit(self):
+        """Tarjan must be iterative: 5000-deep call chains are realistic."""
+        n = 5000
+        parts = [f"void f{i}(void) {{ f{i + 1}(); }}" for i in range(n - 1)]
+        parts.append(f"void f{n - 1}(void) {{ }}")
+        cg = callgraph("\n".join(parts))
+        assert len(cg.sccs) == n

@@ -1,0 +1,85 @@
+"""Tests for `for` loops (desugared to init + while)."""
+
+import pytest
+
+from repro.analysis import TaintDataflowAnalysis, PointsToAnalysis
+from repro.frontend import compile_program, lower_program, parse
+from repro.frontend import ast
+
+
+class TestForParsing:
+    def test_desugars_to_while(self):
+        prog = parse("void f(void) { int i; for (i = 0; i < 4; i = i + 1) { } }")
+        body = prog.function("f").body
+        # decl, init assign, while
+        assert isinstance(body[-2], ast.Assign)
+        assert isinstance(body[-1], ast.While)
+
+    def test_step_runs_inside_body(self):
+        prog = parse(
+            "void f(void) { int i; int s; for (i = 0; i < 4; i = i + 1) { s = i; } }"
+        )
+        loop = prog.function("f").body[-1]
+        assert isinstance(loop, ast.While)
+        assert len(loop.body) == 2  # original statement + the step
+        assert isinstance(loop.body[-1], ast.Assign)
+
+    def test_empty_clauses(self):
+        prog = parse("void f(void) { for (;;) { } }")
+        loop = prog.function("f").body[0]
+        assert isinstance(loop, ast.While)
+
+    def test_condition_becomes_guard(self):
+        src = "void f(int *p) { for (; p; ) { *p = 1; } }"
+        lowered = lower_program(parse(src))
+        store = [s for s in lowered.functions["f"].stmts if s.kind == "store"][0]
+        assert store.guards[0].var == "p"
+
+    def test_range_condition_detected(self):
+        src = "void f(void) { int b[8]; int i; for (i = 0; i < 8; i = i + 1) { b[i] = 0; } }"
+        lowered = lower_program(parse(src))
+        kinds = [s.kind for s in lowered.functions["f"].stmts]
+        assert "rangetest" in kinds
+
+    def test_call_step(self):
+        prog = parse("void g(void) { } void f(void) { for (; ; g()) { } }")
+        loop = prog.function("f").body[0]
+        assert isinstance(loop.body[-1], ast.ExprStmt)
+
+
+class TestForSemantics:
+    def test_taint_through_loop(self):
+        pg = compile_program(
+            """
+            void f(void) {
+                int acc;
+                int i;
+                acc = 0;
+                for (i = get_user(); i < 8; i = i + 1) {
+                    acc = acc + i;
+                }
+            }
+            """
+        )
+        pts = PointsToAnalysis().run(pg)
+        taint = TaintDataflowAnalysis().run(pg, pointsto=pts)
+        assert taint.may_receive("f", "i")
+        assert taint.may_receive("f", "acc")
+
+    def test_pointer_flow_through_loop(self):
+        pg = compile_program(
+            """
+            void f(void) {
+                int *cur;
+                int *start;
+                int i;
+                start = malloc(8);
+                cur = start;
+                for (i = 0; i < 3; i = i + 1) {
+                    cur = start;
+                }
+            }
+            """
+        )
+        pts = PointsToAnalysis().run(pg)
+        assert pts.vars_may_alias("f", "cur", "f", "start")

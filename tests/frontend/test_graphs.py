@@ -1,0 +1,80 @@
+"""Tests for pointer/dataflow graph assembly from generated edges."""
+
+import pytest
+
+from repro.frontend import compile_program, dataflow_graph, pointer_graph
+from repro.frontend.graphs import DATAFLOW_LABELS, POINTER_LABELS
+
+
+@pytest.fixture(scope="module")
+def pg():
+    return compile_program(
+        """
+        void f(void) {
+            int x;
+            int *p;
+            int *q;
+            int n;
+            p = &x;
+            *p = 1;
+            q = p;
+            q = NULL;
+            n = get_user();
+            n = n + 1;
+        }
+        """
+    )
+
+
+class TestPointerGraph:
+    def test_labels(self, pg):
+        g = pointer_graph(pg)
+        assert g.label_names == POINTER_LABELS
+
+    def test_every_terminal_has_inverse(self, pg):
+        g = pointer_graph(pg)
+        names = list(g.label_names)
+        edges = set(g.edges())
+        for src, dst, lab in edges:
+            name = names[lab]
+            bar = name[:-4] if name.endswith("_bar") else name + "_bar"
+            assert (dst, src, names.index(bar)) in edges
+
+    def test_null_and_taint_edges_excluded(self, pg):
+        g = pointer_graph(pg)
+        # exactly 2x the M/A/D edge count (each with an inverse)
+        m = len(pg.edges_of_kind("M")[0])
+        a = len(pg.edges_of_kind("A")[0])
+        d = len(pg.edges_of_kind("D")[0])
+        assert g.num_edges == 2 * (m + a + d)
+
+
+class TestDataflowGraph:
+    def test_labels(self, pg):
+        g = dataflow_graph(pg)
+        assert g.label_names == DATAFLOW_LABELS
+
+    def test_null_mode_sources(self, pg):
+        g = dataflow_graph(pg, taint=False)
+        n_label = DATAFLOW_LABELS.index("N")
+        sources = list(g.edges_with_label(n_label))
+        assert len(sources) == 1  # the single `q = NULL`
+
+    def test_taint_mode_sources_and_arith(self, pg):
+        null_g = dataflow_graph(pg, taint=False)
+        taint_g = dataflow_graph(pg, taint=True)
+        # taint adds TF (arithmetic) edges on top of the A edges
+        df = DATAFLOW_LABELS.index("DF")
+        assert len(list(taint_g.edges_with_label(df))) > len(
+            list(null_g.edges_with_label(df))
+        )
+
+    def test_alias_bridges_bidirectional(self, pg):
+        g = dataflow_graph(pg, alias_pairs=[(3, 7)])
+        df = DATAFLOW_LABELS.index("DF")
+        edges = set(g.edges_with_label(df))
+        assert (3, 7) in edges and (7, 3) in edges
+
+    def test_empty_alias_pairs_ok(self, pg):
+        g = dataflow_graph(pg, alias_pairs=[])
+        assert g.num_edges > 0

@@ -1,0 +1,55 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.frontend import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestTokenize:
+    def test_keywords_vs_idents(self):
+        toks = kinds("int foo while whilex")
+        assert toks == [
+            ("keyword", "int"),
+            ("ident", "foo"),
+            ("keyword", "while"),
+            ("ident", "whilex"),
+        ]
+
+    def test_numbers(self):
+        assert kinds("42 007") == [("number", "42"), ("number", "007")]
+
+    def test_two_char_symbols_win(self):
+        assert [t for _, t in kinds("a==b")] == ["a", "==", "b"]
+        assert [t for _, t in kinds("p->f")] == ["p", "->", "f"]
+        assert [t for _, t in kinds("a!=b<=c>=d")] == ["a", "!=", "b", "<=", "c", ">=", "d"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n\nc")
+        lines = {t.text: t.line for t in toks if t.kind == "ident"}
+        assert lines == {"a": 1, "b": 2, "c": 4}
+
+    def test_line_comments_skipped(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comments_skipped_and_lines_counted(self):
+        toks = tokenize("a /* x\ny */ b")
+        b = [t for t in toks if t.text == "b"][0]
+        assert b.line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_null_is_keyword(self):
+        assert kinds("NULL")[0] == ("keyword", "NULL")

@@ -1,0 +1,144 @@
+"""Tests for three-address lowering."""
+
+import pytest
+
+from repro.frontend import lower_program, parse
+
+
+def lowered(src):
+    return lower_program(parse(src))
+
+
+def stmts_of(src, name="f"):
+    return lowered(src).functions[name].stmts
+
+
+class TestBasicForms:
+    def test_copy(self):
+        s = stmts_of("void f(int *a, int *b) { a = b; }")
+        assert [(x.kind, x.lhs, x.rhs) for x in s] == [("copy", "a", "b")]
+
+    def test_load(self):
+        s = stmts_of("void f(int *a, int **b) { a = *b; }")
+        assert s[0].kind == "load" and s[0].lhs == "a" and s[0].rhs == "b"
+
+    def test_store(self):
+        s = stmts_of("void f(int *a, int *b) { *a = b; }")
+        assert s[0].kind == "store" and s[0].lhs == "a" and s[0].rhs == "b"
+
+    def test_addrof(self):
+        s = stmts_of("void f(void) { int x; int *p; p = &x; }")
+        assert s[0].kind == "addrof" and s[0].lhs == "p" and s[0].rhs == "x"
+
+    def test_alloc_with_size(self):
+        s = stmts_of("void f(void) { int *p; p = malloc(12); }")
+        assert s[0].kind == "alloc" and s[0].size == 12
+
+    def test_null(self):
+        s = stmts_of("void f(void) { int *p; p = NULL; }")
+        assert s[0].kind == "null" and s[0].lhs == "p"
+
+    def test_nested_deref_uses_temps(self):
+        s = stmts_of("void f(int ***t, int *a) { a = **t; }")
+        loads = [x for x in s if x.kind == "load"]
+        assert len(loads) == 2
+        assert loads[0].lhs.startswith("%t")
+        assert loads[1].rhs == loads[0].lhs
+
+    def test_store_of_expression(self):
+        s = stmts_of("void f(int *a) { *a = 1 + 2; }")
+        kinds = [x.kind for x in s]
+        assert kinds[-1] == "store"
+        assert "binop" in kinds
+
+
+class TestCallsAndReturns:
+    def test_direct_call_with_lhs(self):
+        s = stmts_of("void g(int x) { } void f(void) { int r; r = g(1); }")
+        call = [x for x in s if x.kind == "call"][0]
+        assert call.callee == "g" and call.lhs == "r"
+        assert len(call.args) == 1
+
+    def test_effect_call_has_no_lhs(self):
+        s = stmts_of("void g(void) { } void f(void) { g(); }")
+        call = [x for x in s if x.kind == "call"][0]
+        assert call.lhs is None
+
+    def test_builtins(self):
+        src = "void f(int *p) { free(p); lock(p); unlock(p); }"
+        kinds = [x.kind for x in stmts_of(src)]
+        assert kinds == ["free", "lock", "unlock"]
+
+    def test_funcref(self):
+        s = stmts_of("void g(void) { } void f(void) { void *fp; fp = g; }")
+        assert s[0].kind == "funcref" and s[0].callee == "g"
+
+    def test_return_vars_collected(self):
+        lp = lowered("int *f(int n) { int *p; p = NULL; if (n) { return p; } return p; }")
+        assert lp.functions["f"].return_vars() == ["p", "p"]
+
+    def test_return_expression_gets_temp(self):
+        lp = lowered("int *f(void) { return malloc(4); }")
+        f = lp.functions["f"]
+        assert f.return_vars()[0].startswith("%t")
+        assert f.stmts[0].kind == "alloc"
+
+
+class TestGuards:
+    def test_then_branch_guarded(self):
+        s = stmts_of("void f(int *p) { if (p) { *p = 1; } }")
+        store = [x for x in s if x.kind == "store"][0]
+        assert [(g.var, g.nonnull) for g in store.guards] == [("p", True)]
+
+    def test_else_branch_negated(self):
+        s = stmts_of("void f(int *p, int *q) { if (p) { *p = 1; } else { *q = 2; } }")
+        stores = [x for x in s if x.kind == "store"]
+        assert [(g.var, g.nonnull) for g in stores[1].guards] == [("p", False)]
+
+    def test_nested_guards_stack(self):
+        s = stmts_of("void f(int *p, int *q) { if (p) { if (q) { *p = 1; } } }")
+        store = [x for x in s if x.kind == "store"][0]
+        assert len(store.guards) == 2
+
+    def test_guard_popped_after_branch(self):
+        s = stmts_of("void f(int *p) { if (p) { *p = 1; } *p = 2; }")
+        stores = [x for x in s if x.kind == "store"]
+        assert stores[1].guards == ()
+
+    def test_test_stmt_emitted(self):
+        s = stmts_of("void f(int *p) { if (!p) { return; } }")
+        test = [x for x in s if x.kind == "test"][0]
+        assert test.rhs == "p" and test.nonnull is False
+
+    def test_rangetest_emitted(self):
+        s = stmts_of("void f(int n) { if (n < 4) { n = 0; } }")
+        assert [x for x in s if x.kind == "rangetest"][0].rhs == "n"
+
+    def test_while_guard(self):
+        s = stmts_of("void f(int *p) { while (p) { *p = 1; } }")
+        store = [x for x in s if x.kind == "store"][0]
+        assert store.guards[0].var == "p"
+
+
+class TestIndicesAndMetadata:
+    def test_index_var_on_store(self):
+        s = stmts_of("void f(void) { int b[4]; int i; b[i] = 1; }")
+        store = [x for x in s if x.kind == "store"][0]
+        assert store.index_var == "i"
+
+    def test_index_var_on_load(self):
+        s = stmts_of("void f(void) { int b[4]; int i; int x; x = b[i]; }")
+        load = [x for x in s if x.kind == "load"][0]
+        assert load.index_var == "i"
+
+    def test_pointer_vars_and_sizes(self):
+        lp = lowered("void f(long *p, int n) { char *q; q = NULL; }")
+        f = lp.functions["f"]
+        assert f.pointer_vars == {"p", "q"}
+        assert f.var_sizes["p"] == 8
+        assert f.var_sizes["q"] == 1
+        assert f.var_sizes["n"] == 4
+
+    def test_globals_listed(self):
+        lp = lowered("int *g;\nvoid f(void) { }")
+        assert lp.global_vars == ["g"]

@@ -1,0 +1,62 @@
+"""Multi-file programs: cross-module calls, globals, and error paths."""
+
+import pytest
+
+from repro.analysis import PointsToAnalysis
+from repro.frontend import compile_program, lower_program, parse_files
+from repro.frontend.parser import parse
+
+ALLOC_MODULE = """
+int *registry;
+
+void *alloc_obj(void) {
+    int *fresh;
+    fresh = malloc(64);
+    registry = fresh;
+    return fresh;
+}
+"""
+
+USER_MODULE = """
+void consume(void) {
+    int *mine;
+    int *shared;
+    mine = alloc_obj();
+    shared = registry;
+    *mine = 1;
+}
+"""
+
+
+class TestMultiModule:
+    def test_cross_module_calls_resolve(self):
+        pg = compile_program([("mm", ALLOC_MODULE), ("fs", USER_MODULE)])
+        pts = PointsToAnalysis().run(pg)
+        assert pts.var_points_to("consume", "mine")
+
+    def test_globals_link_modules(self):
+        pg = compile_program([("mm", ALLOC_MODULE), ("fs", USER_MODULE)])
+        pts = PointsToAnalysis().run(pg)
+        # `shared` reads the global written in the other module
+        assert pts.vars_may_alias("consume", "shared", "consume", "mine")
+
+    def test_module_labels_preserved(self):
+        program = parse_files([("mm", ALLOC_MODULE), ("fs", USER_MODULE)])
+        assert program.function("alloc_obj").module == "mm"
+        assert program.function("consume").module == "fs"
+
+    def test_duplicate_function_rejected(self):
+        program = parse_files(
+            [("a", "void f(void) { }"), ("b", "void f(void) { }")]
+        )
+        with pytest.raises(ValueError, match="duplicate function"):
+            lower_program(program)
+
+    def test_unknown_function_lookup(self):
+        program = parse("void f(void) { }")
+        with pytest.raises(KeyError):
+            program.function("ghost")
+
+    def test_loc_counts_lines(self):
+        program = parse("void f(void) {\n int x;\n x = 1;\n}\n")
+        assert program.loc() >= 3

@@ -1,0 +1,66 @@
+"""Tests for the vertex namer (id <-> source translation, §4.4)."""
+
+from repro.frontend import VertexNamer
+
+
+class TestContexts:
+    def test_root_context_exists(self):
+        namer = VertexNamer()
+        assert namer.num_contexts == 1
+        assert namer.context_chain(0) == []
+
+    def test_context_chain(self):
+        namer = VertexNamer()
+        c1 = namer.new_context(0, "main:3->f")
+        c2 = namer.new_context(c1, "f:7->g")
+        assert namer.context_chain(c2) == ["main:3->f", "f:7->g"]
+
+
+class TestVertices:
+    def test_dense_ids(self):
+        namer = VertexNamer()
+        assert namer.new_vertex("f", 0, "p") == 0
+        assert namer.new_vertex("f", 0, "q") == 1
+        assert namer.num_vertices == 2
+
+    def test_info_roundtrip(self):
+        namer = VertexNamer()
+        vid = namer.new_vertex("f", 0, "*p", line=12)
+        info = namer.info(vid)
+        assert (info.function, info.context, info.symbol, info.line) == (
+            "f",
+            0,
+            "*p",
+            12,
+        )
+
+    def test_clones_share_lookup_key(self):
+        namer = VertexNamer()
+        c1 = namer.new_context(0, "a")
+        c2 = namer.new_context(0, "b")
+        v1 = namer.new_vertex("f", c1, "p")
+        v2 = namer.new_vertex("f", c2, "p")
+        assert namer.vertices_for("f", "p") == [v1, v2]
+
+    def test_unknown_lookup_is_empty(self):
+        assert VertexNamer().vertices_for("f", "p") == []
+
+    def test_is_deref_symbol(self):
+        namer = VertexNamer()
+        deref = namer.new_vertex("f", 0, "*p")
+        plain = namer.new_vertex("f", 0, "p")
+        assert namer.is_deref_symbol(deref)
+        assert not namer.is_deref_symbol(plain)
+
+    def test_describe_readable(self):
+        namer = VertexNamer()
+        vid = namer.new_vertex("f", 0, "p")
+        gid = namer.new_vertex("", 0, "@g")
+        assert "f::p" in namer.describe(vid)
+        assert "<global>" in namer.describe(gid)
+
+    def test_iter_vertices(self):
+        namer = VertexNamer()
+        namer.new_vertex("f", 0, "a")
+        namer.new_vertex("f", 0, "b")
+        assert [v.symbol for v in namer.iter_vertices()] == ["a", "b"]

@@ -1,0 +1,155 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.frontend import ParseError, parse
+from repro.frontend import ast
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        prog = parse("int *g;\nvoid f(void) { }\n")
+        assert prog.global_names() == ["g"]
+        assert prog.function_names() == ["f"]
+        assert prog.globals[0].is_pointer
+
+    def test_multi_declarator_global(self):
+        prog = parse("int a, *b, c;")
+        assert [(g.name, g.is_pointer) for g in prog.globals] == [
+            ("a", False),
+            ("b", True),
+            ("c", False),
+        ]
+
+    def test_function_params(self):
+        prog = parse("void f(int *a, char b) { }")
+        f = prog.function("f")
+        assert f.params == ["a", "b"]
+        assert f.pointer_params == [True, False]
+        assert f.param_sizes == [4, 1]
+
+    def test_returns_pointer(self):
+        prog = parse("int *f(void) { return NULL; }")
+        assert prog.function("f").returns_pointer
+
+    def test_module_attached(self):
+        prog = parse("void f(void) { }", module="drivers")
+        assert prog.function("f").module == "drivers"
+
+    def test_struct_type(self):
+        prog = parse("struct foo *f(struct bar x) { return NULL; }")
+        assert prog.function("f").returns_pointer
+
+
+class TestStatements:
+    def test_declarations_with_init(self):
+        prog = parse("void f(void) { int *p = NULL; int q = 3, r; }")
+        body = prog.function("f").body
+        assert isinstance(body[0], ast.Decl)
+        assert isinstance(body[0].init, ast.Null)
+        assert len(body) == 3
+
+    def test_array_declarator_decays_to_pointer(self):
+        prog = parse("void f(void) { int buf[8]; }")
+        decl = prog.function("f").body[0]
+        assert decl.is_pointer
+
+    def test_if_else_chain(self):
+        prog = parse(
+            "void f(int n) { if (n) { n = 1; } else if (n < 3) { n = 2; } else { n = 3; } }"
+        )
+        outer = prog.function("f").body[0]
+        assert isinstance(outer, ast.If)
+        inner = outer.else_body[0]
+        assert isinstance(inner, ast.If)
+        assert inner.else_body
+
+    def test_while(self):
+        prog = parse("void f(int n) { while (n > 0) { n = n - 1; } }")
+        loop = prog.function("f").body[0]
+        assert isinstance(loop, ast.While)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { int x }")
+
+
+class TestExpressions:
+    def body(self, stmt_src):
+        return parse(f"void f(int *p, int n) {{ {stmt_src} }}").function("f").body
+
+    def test_deref_assignment(self):
+        stmt = self.body("*p = 3;")[0]
+        assert isinstance(stmt.lhs, ast.Deref)
+
+    def test_addr_of(self):
+        stmt = self.body("int *q; q = &n;")[1]
+        assert isinstance(stmt.rhs, ast.AddrOf)
+
+    def test_arrow_lowered_to_deref(self):
+        stmt = self.body("n = p->field;")[0]
+        assert isinstance(stmt.rhs, ast.Deref)
+
+    def test_dot_is_transparent(self):
+        stmt = self.body("n = p.field;")[0]
+        assert isinstance(stmt.rhs, ast.Var)
+
+    def test_array_index_becomes_deref(self):
+        stmt = self.body("n = p[n];")[0]
+        assert isinstance(stmt.rhs, ast.Deref)
+        assert isinstance(stmt.rhs.operand, ast.BinOp)
+        assert stmt.rhs.operand.op == "[]"
+
+    def test_malloc_with_size(self):
+        stmt = self.body("p = malloc(16);")[0]
+        assert isinstance(stmt.rhs, ast.Malloc)
+        assert stmt.rhs.size == 16
+
+    def test_malloc_without_literal_size(self):
+        stmt = self.body("p = malloc(n);")[0]
+        assert stmt.rhs.size is None
+
+    def test_call_args(self):
+        stmt = self.body("g(p, n + 1);")[0]
+        assert isinstance(stmt.expr, ast.Call)
+        assert len(stmt.expr.args) == 2
+
+    def test_nested_parens(self):
+        stmt = self.body("n = (n + 1) - 2;")[0]
+        assert isinstance(stmt.rhs, ast.BinOp)
+
+
+class TestConds:
+    def cond(self, text):
+        return parse(f"void f(int *p, int n) {{ if ({text}) {{ }} }}").function(
+            "f"
+        ).body[0].cond
+
+    def test_plain_pointer_test(self):
+        c = self.cond("p")
+        assert c.var == "p" and c.nonnull_when_true
+
+    def test_negated_test(self):
+        c = self.cond("!p")
+        assert c.var == "p" and not c.nonnull_when_true
+
+    def test_eq_null(self):
+        c = self.cond("p == NULL")
+        assert c.var == "p" and not c.nonnull_when_true
+
+    def test_ne_null(self):
+        c = self.cond("p != NULL")
+        assert c.var == "p" and c.nonnull_when_true
+
+    def test_range_comparison(self):
+        c = self.cond("n < 10")
+        assert c.var is None
+        assert c.range_var == "n"
+
+    def test_range_comparison_var_on_right(self):
+        c = self.cond("0 < n")
+        assert c.range_var == "n"
+
+    def test_opaque_condition(self):
+        c = self.cond("g(n)")
+        assert c.var is None and c.range_var is None

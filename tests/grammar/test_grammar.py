@@ -1,0 +1,154 @@
+"""Tests for repro.grammar.grammar: interning, productions, tables."""
+
+import numpy as np
+import pytest
+
+from repro.grammar import Grammar, GrammarError, MAX_LABELS, bar_name
+
+
+class TestLabelInterning:
+    def test_labels_get_dense_ids(self):
+        g = Grammar()
+        assert g.label("A") == 0
+        assert g.label("B") == 1
+        assert g.label("A") == 0  # idempotent
+
+    def test_label_name_roundtrip(self):
+        g = Grammar()
+        lid = g.label("valueFlow")
+        assert g.label_name(lid) == "valueFlow"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar().label("")
+
+    def test_too_many_labels_rejected(self):
+        g = Grammar()
+        for i in range(MAX_LABELS):
+            g.label(f"L{i}")
+        with pytest.raises(GrammarError):
+            g.label("one-too-many")
+
+    def test_unknown_label_id_rejected(self):
+        g = Grammar()
+        g.label("A")
+        with pytest.raises(GrammarError):
+            g.add_constraint(5, 0)
+
+    def test_has_label(self):
+        g = Grammar()
+        g.label("A")
+        assert g.has_label("A")
+        assert not g.has_label("B")
+
+
+class TestBarName:
+    def test_bar_is_involution(self):
+        assert bar_name("D") == "D_bar"
+        assert bar_name("D_bar") == "D"
+        assert bar_name(bar_name("X")) == "X"
+
+
+class TestAddConstraint:
+    def test_unary_production(self):
+        g = Grammar()
+        p = g.add_constraint("R", "E")
+        assert p.is_unary
+        assert p.rhs2 is None
+
+    def test_binary_production(self):
+        g = Grammar()
+        p = g.add_constraint("R", "R", "E")
+        assert not p.is_unary
+
+    def test_accepts_label_ids(self):
+        g = Grammar()
+        e = g.label("E")
+        r = g.label("R")
+        p = g.add_constraint(r, e)
+        assert p.lhs == r and p.rhs1 == e
+
+
+class TestAddRule:
+    def test_epsilon_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar().add_rule("S", [])
+
+    def test_short_rules_become_constraints(self):
+        g = Grammar()
+        g.add_rule("R", ["E"])
+        g.add_rule("R", ["R", "E"])
+        frozen = g.freeze()
+        assert len(frozen.productions) == 2
+
+    def test_long_rule_binarized_on_freeze(self):
+        g = Grammar()
+        g.add_rule("S", ["A", "B", "C", "D"])
+        frozen = g.freeze()
+        # 4 terms -> 3 binary productions with 2 fresh intermediates
+        assert len(frozen.productions) == 3
+        assert all(not p.is_unary for p in frozen.productions)
+        assert frozen.num_labels == 5 + 2  # A B C D S + 2 intermediates
+
+
+class TestFrozenGrammar:
+    def test_unary_closure_includes_self(self, reach):
+        e = reach.label_id("E")
+        assert e in reach.closure_of(e)
+
+    def test_unary_closure_follows_chains(self):
+        g = Grammar()
+        g.add_constraint("B", "A")
+        g.add_constraint("C", "B")
+        frozen = g.freeze()
+        names = {frozen.label_name(x) for x in frozen.closure_of("A")}
+        assert names == {"A", "B", "C"}
+
+    def test_unary_closure_handles_cycles(self):
+        g = Grammar()
+        g.add_constraint("A", "B")
+        g.add_constraint("B", "A")
+        frozen = g.freeze()
+        assert set(frozen.closure_of("A")) == set(frozen.closure_of("B"))
+
+    def test_binary_lookup(self, reach):
+        r, e = reach.label_id("R"), reach.label_id("E")
+        produced = reach.produced_by_pair(r, e)
+        assert reach.label_id("R") in produced
+
+    def test_binary_lookup_miss(self, reach):
+        e = reach.label_id("E")
+        # E E is not a production in R ::= E | R E ... but E derives R, so
+        # the (R, E) pair covers it; the raw (E, E) cell must be empty.
+        assert reach.produced_by_pair(e, e) == ()
+
+    def test_binary_results_closed_under_unary(self):
+        g = Grammar()
+        g.add_constraint("R", "A", "B")
+        g.add_constraint("S", "R")  # unary on the output
+        frozen = g.freeze()
+        produced = {
+            frozen.label_name(x)
+            for x in frozen.produced_by_pair(
+                frozen.label_id("A"), frozen.label_id("B")
+            )
+        }
+        assert produced == {"R", "S"}
+
+    def test_head_and_continuation_masks(self, reach):
+        heads = reach.head_labels()
+        conts = reach.continuation_labels()
+        r, e = reach.label_id("R"), reach.label_id("E")
+        assert heads[r] and not heads[e]
+        assert conts[e] and not conts[r]
+
+    def test_label_id_unknown_raises(self, reach):
+        with pytest.raises(GrammarError):
+            reach.label_id("nope")
+
+    def test_num_binary_pairs(self, reach):
+        assert reach.num_binary_pairs == 1
+
+    def test_binary_index_is_dense_matrix(self, reach):
+        assert reach.binary_index.shape == (reach.num_labels, reach.num_labels)
+        assert reach.binary_index.dtype == np.int16

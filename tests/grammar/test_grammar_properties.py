@@ -1,0 +1,76 @@
+"""Property-based tests (hypothesis) for grammar invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grammar import Grammar
+from repro.grammar.grammar import FrozenGrammar
+
+MAX_TEST_LABELS = 8
+
+
+@st.composite
+def random_grammars(draw) -> FrozenGrammar:
+    """Small random grammars over labels L0..L7."""
+    num_labels = draw(st.integers(2, MAX_TEST_LABELS))
+    g = Grammar()
+    names = [f"L{i}" for i in range(num_labels)]
+    for name in names:
+        g.label(name)
+    num_rules = draw(st.integers(1, 10))
+    for _ in range(num_rules):
+        lhs = draw(st.sampled_from(names))
+        rhs_len = draw(st.integers(1, 4))
+        rhs = [draw(st.sampled_from(names)) for _ in range(rhs_len)]
+        g.add_rule(lhs, rhs)
+    return g.freeze()
+
+
+@given(random_grammars())
+@settings(max_examples=60, deadline=None)
+def test_unary_closure_is_transitively_closed(grammar):
+    """closure(closure(l)) == closure(l) for every label."""
+    for label in range(grammar.num_labels):
+        closure = set(grammar.unary_closure[label])
+        for derived in closure:
+            assert set(grammar.unary_closure[derived]) <= closure
+
+
+@given(random_grammars())
+@settings(max_examples=60, deadline=None)
+def test_unary_closure_contains_self(grammar):
+    for label in range(grammar.num_labels):
+        assert label in grammar.unary_closure[label]
+
+
+@given(random_grammars())
+@settings(max_examples=60, deadline=None)
+def test_binary_results_closed_under_unary(grammar):
+    """Whatever a pair produces includes the unary closure of each LHS."""
+    for l1 in range(grammar.num_labels):
+        for l2 in range(grammar.num_labels):
+            produced = set(grammar.produced_by_pair(l1, l2))
+            for lhs in produced:
+                assert set(grammar.unary_closure[lhs]) <= produced
+
+
+@given(random_grammars())
+@settings(max_examples=60, deadline=None)
+def test_every_binary_production_is_in_tables(grammar):
+    for p in grammar.productions:
+        if p.is_unary:
+            assert p.lhs in grammar.unary_closure[p.rhs1]
+        else:
+            assert p.lhs in grammar.produced_by_pair(p.rhs1, p.rhs2)
+
+
+@given(random_grammars())
+@settings(max_examples=60, deadline=None)
+def test_masks_agree_with_index(grammar):
+    heads = grammar.head_labels()
+    conts = grammar.continuation_labels()
+    for l1 in range(grammar.num_labels):
+        for l2 in range(grammar.num_labels):
+            if grammar.binary_index[l1, l2] >= 0:
+                assert heads[l1]
+                assert conts[l2]

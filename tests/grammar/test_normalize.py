@@ -1,0 +1,64 @@
+"""Tests for grammar binarization (repro.grammar.normalize)."""
+
+import pytest
+
+from repro.engine import naive_closure
+from repro.grammar import Grammar, is_intermediate
+from repro.grammar.normalize import binarize_long_rules
+
+
+class TestBinarize:
+    def test_three_term_rule(self):
+        g = Grammar()
+        g.add_rule("S", ["A", "B", "C"])
+        frozen = g.freeze()
+        assert len(frozen.productions) == 2
+        intermediates = [n for n in frozen.names if is_intermediate(n)]
+        assert len(intermediates) == 1
+
+    def test_rejects_short_rules(self):
+        g = Grammar()
+        a, b, s = g.label("A"), g.label("B"), g.label("S")
+        with pytest.raises(ValueError):
+            binarize_long_rules(g, [(s, (a, b))])
+
+    def test_intermediate_names_are_flagged(self):
+        assert is_intermediate("S$0.1")
+        assert not is_intermediate("S")
+
+    def test_distinct_rules_get_distinct_intermediates(self):
+        g = Grammar()
+        g.add_rule("S", ["A", "B", "C"])
+        g.add_rule("T", ["A", "B", "C"])
+        frozen = g.freeze()
+        intermediates = {n for n in frozen.names if is_intermediate(n)}
+        assert len(intermediates) == 2
+
+    def test_binarized_semantics_match_direct_chain(self):
+        """S ::= A B C accepts exactly label strings 'ABC'."""
+        g = Grammar()
+        for name in ("A", "B", "C"):
+            g.label(name)
+        g.add_rule("S", ["A", "B", "C"])
+        frozen = g.freeze()
+        a, b, c, s = (frozen.label_id(x) for x in ("A", "B", "C", "S"))
+
+        closure = naive_closure([(0, 1, a), (1, 2, b), (2, 3, c)], frozen)
+        assert (0, 3, s) in closure
+        # wrong order: no S
+        closure = naive_closure([(0, 1, b), (1, 2, a), (2, 3, c)], frozen)
+        assert not any(l == s for _, _, l in closure)
+
+    def test_five_term_rule(self):
+        g = Grammar()
+        for name in "ABCDE":
+            g.label(name)
+        g.add_rule("S", list("ABCDE"))
+        frozen = g.freeze()
+        ids = [frozen.label_id(x) for x in "ABCDE"]
+        edges = [(i, i + 1, lab) for i, lab in enumerate(ids)]
+        closure = naive_closure(edges, frozen)
+        assert (0, 5, frozen.label_id("S")) in closure
+        # a proper prefix must not derive S
+        closure = naive_closure(edges[:-1], frozen)
+        assert not any(l == frozen.label_id("S") for _, _, l in closure)

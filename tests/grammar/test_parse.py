@@ -1,0 +1,91 @@
+"""Tests for the grammar text format."""
+
+import pytest
+
+from repro.engine import GraspanEngine, naive_closure
+from repro.graph import MemGraph
+from repro.grammar import (
+    GrammarError,
+    grammar_to_text,
+    parse_grammar_text,
+    reachability_grammar,
+)
+
+
+class TestParseGrammarText:
+    def test_basic(self):
+        g = parse_grammar_text("R ::= E\nR ::= R E\n")
+        assert g.label_id("R") >= 0
+        assert len(g.productions) == 2
+
+    def test_alternatives(self):
+        g = parse_grammar_text("R ::= E | R E")
+        assert len(g.productions) == 2
+
+    def test_comments_and_blanks(self):
+        g = parse_grammar_text("# a comment\n\nR ::= E  # trailing\n")
+        assert len(g.productions) == 1
+
+    def test_long_rhs_binarized(self):
+        g = parse_grammar_text("S ::= A B C")
+        assert all(p.rhs2 is not None for p in g.productions)
+        assert len(g.productions) == 2
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(GrammarError, match="expected"):
+            parse_grammar_text("R = E")
+
+    def test_bad_lhs_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_grammar_text("R S ::= E")
+
+    def test_empty_alternative_rejected(self):
+        with pytest.raises(GrammarError, match="epsilon"):
+            parse_grammar_text("R ::= E | ")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(GrammarError, match="no productions"):
+            parse_grammar_text("# nothing\n")
+
+    def test_parsed_grammar_computes(self):
+        g = parse_grammar_text("R ::= E | R E")
+        graph = MemGraph.from_edges(
+            [(0, 1, 0), (1, 2, 0)], label_names=["E"]
+        )
+        comp = GraspanEngine(g).run(graph)
+        assert (0, 2) in list(comp.iter_edges_with_label("R"))
+
+    def test_text_semantics_match_builtin(self):
+        text_g = parse_grammar_text("R ::= E | R E")
+        builtin = reachability_grammar()
+        edges = [(0, 1, 0), (1, 2, 0), (2, 0, 0)]
+
+        def by_name(grammar):
+            return {
+                (s, d, grammar.label_name(l))
+                for s, d, l in naive_closure(
+                    [(s, d, grammar.label_id("E")) for s, d, _ in edges], grammar
+                )
+            }
+
+        assert by_name(text_g) == by_name(builtin)
+
+
+class TestRoundtrip:
+    def test_grammar_to_text_reparses(self):
+        original = parse_grammar_text("S ::= A B C | A\n")
+        text = grammar_to_text(original)
+        reparsed = parse_grammar_text(text)
+
+        def named_productions(grammar):
+            return {
+                (
+                    grammar.label_name(p.lhs),
+                    grammar.label_name(p.rhs1),
+                    None if p.rhs2 is None else grammar.label_name(p.rhs2),
+                )
+                for p in grammar.productions
+            }
+
+        # label interning order may differ; the productions must not
+        assert named_productions(reparsed) == named_productions(original)

@@ -1,0 +1,82 @@
+"""Tests for the text and binary edge-list disk formats."""
+
+import pytest
+
+from repro.graph import (
+    MemGraph,
+    read_binary,
+    read_text,
+    write_binary,
+    write_text,
+)
+
+
+@pytest.fixture
+def graph():
+    return MemGraph.from_edges(
+        [(0, 1, 0), (1, 2, 1), (2, 0, 0)],
+        num_vertices=4,
+        label_names=["A", "D"],
+    )
+
+
+class TestTextFormat:
+    def test_roundtrip(self, graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        write_text(graph, path)
+        loaded = read_text(path)
+        assert list(loaded.edges()) == list(graph.edges())
+        assert loaded.label_names == graph.label_names
+
+    def test_human_readable_labels(self, graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        write_text(graph, path)
+        body = path.read_text()
+        assert "\tA\n" in body and "\tD\n" in body
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("not an edge list\n")
+        with pytest.raises(ValueError, match="not a graspan"):
+            read_text(path)
+
+    def test_malformed_line_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        write_text(graph, path)
+        with path.open("a") as f:
+            f.write("1 2 3\n")  # spaces, not tabs
+        with pytest.raises(ValueError, match="malformed"):
+            read_text(path)
+
+    def test_unknown_label_rejected(self, graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        write_text(graph, path)
+        with path.open("a") as f:
+            f.write("1\t2\tZZZ\n")
+        with pytest.raises(ValueError, match="unknown label"):
+            read_text(path)
+
+    def test_comments_and_blanks_skipped(self, graph, tmp_path):
+        path = tmp_path / "g.tsv"
+        write_text(graph, path)
+        with path.open("a") as f:
+            f.write("\n# a comment\n")
+        assert read_text(path).num_edges == graph.num_edges
+
+
+class TestBinaryFormat:
+    def test_roundtrip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        write_binary(graph, path)
+        loaded = read_binary(path)
+        assert list(loaded.edges()) == list(graph.edges())
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.label_names == graph.label_names
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        g = MemGraph.from_edges([], num_vertices=5, label_names=["E"])
+        path = tmp_path / "empty.npz"
+        write_binary(g, path)
+        loaded = read_binary(path)
+        assert loaded.num_edges == 0
+        assert loaded.num_vertices == 5

@@ -1,0 +1,29 @@
+"""Edge cases in the disk formats."""
+
+import pytest
+
+from repro.graph import MemGraph, read_text, write_text
+
+
+class TestTextFormatEdgeCases:
+    def test_unnamed_label_falls_back_to_number(self, tmp_path):
+        # only one name for two labels: label 1 renders as its number
+        g = MemGraph.from_edges([(0, 1, 0), (0, 1, 1)], label_names=["A"])
+        path = tmp_path / "g.tsv"
+        write_text(g, path)
+        assert "\t1\n" in path.read_text()
+
+    def test_large_vertex_ids(self, tmp_path):
+        g = MemGraph.from_edges([(10**9, 2 * 10**9, 0)], label_names=["E"])
+        path = tmp_path / "g.tsv"
+        write_text(g, path)
+        loaded = read_text(path)
+        assert list(loaded.edges()) == [(10**9, 2 * 10**9, 0)]
+
+    def test_empty_graph_text_roundtrip(self, tmp_path):
+        g = MemGraph.from_edges([], num_vertices=0, label_names=["E"])
+        path = tmp_path / "g.tsv"
+        write_text(g, path)
+        loaded = read_text(path)
+        assert loaded.num_edges == 0
+        assert loaded.label_names == ("E",)

@@ -1,0 +1,93 @@
+"""Tests for MemGraph construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.graph import MemGraph, add_inverse_edges
+
+
+class TestConstruction:
+    def test_from_edges_sorts_and_dedups(self):
+        g = MemGraph.from_edges([(2, 0, 1), (0, 1, 0), (0, 1, 0)])
+        assert g.num_edges == 2
+        assert list(g.edges()) == [(0, 1, 0), (2, 0, 1)]
+
+    def test_num_vertices_inferred(self):
+        g = MemGraph.from_edges([(0, 7, 0)])
+        assert g.num_vertices == 8
+
+    def test_num_vertices_explicit_isolated(self):
+        g = MemGraph.from_edges([(0, 1, 0)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.out_degree(9) == 0
+
+    def test_empty_graph(self):
+        g = MemGraph.from_edges([], num_vertices=3)
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_label_names_kept(self):
+        g = MemGraph.from_edges([(0, 1, 0)], label_names=["E"])
+        assert g.label_names == ("E",)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            MemGraph(
+                np.zeros(2, dtype=np.int64),
+                np.zeros(1, dtype=np.int64),
+                2,
+                (),
+            )
+
+
+class TestQueries:
+    @pytest.fixture
+    def graph(self):
+        return MemGraph.from_edges(
+            [(0, 1, 0), (0, 2, 1), (1, 2, 0), (2, 0, 0)], label_names=["E", "F"]
+        )
+
+    def test_out_keys_sorted(self, graph):
+        keys = graph.out_keys(0)
+        assert len(keys) == 2
+        assert np.all(np.diff(keys) > 0)
+
+    def test_out_degrees(self, graph):
+        assert list(graph.out_degrees()) == [2, 1, 1]
+
+    def test_in_degrees(self, graph):
+        assert list(graph.in_degrees()) == [1, 1, 2]
+
+    def test_has_edge(self, graph):
+        assert graph.has_edge(0, 1, 0)
+        assert not graph.has_edge(0, 1, 1)
+        assert not graph.has_edge(1, 0, 0)
+
+    def test_edges_with_label(self, graph):
+        assert list(graph.edges_with_label(1)) == [(0, 2)]
+
+    def test_count_by_label(self, graph):
+        assert graph.count_by_label() == {0: 3, 1: 1}
+
+    def test_with_edges_adds(self, graph):
+        g2 = graph.with_edges([(1, 0, 1)])
+        assert g2.num_edges == graph.num_edges + 1
+        assert g2.has_edge(1, 0, 1)
+        # original untouched
+        assert not graph.has_edge(1, 0, 1)
+
+    def test_with_edges_noop_on_empty(self, graph):
+        assert graph.with_edges([]) is graph
+
+
+class TestInverseEdges:
+    def test_adds_bar_edges(self):
+        edges = [(0, 1, 0), (1, 2, 1)]
+        out = add_inverse_edges(edges, {0: 2, 1: 3})
+        assert (1, 0, 2) in out
+        assert (2, 1, 3) in out
+        assert len(out) == 4
+
+    def test_labels_without_inverse_skipped(self):
+        out = add_inverse_edges([(0, 1, 5)], {0: 2})
+        assert out == [(0, 1, 5)]

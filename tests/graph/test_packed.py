@@ -1,0 +1,113 @@
+"""Tests for packed edge keys and sorted-array set operations."""
+
+import numpy as np
+import pytest
+
+from repro.graph import packed
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        targets = np.asarray([0, 5, 123456], dtype=np.int64)
+        labels = np.asarray([0, 3, 255], dtype=np.int64)
+        keys = packed.pack(targets, labels)
+        assert np.array_equal(packed.targets_of(keys), targets)
+        assert np.array_equal(packed.labels_of(keys), labels)
+
+    def test_pack_one(self):
+        key = packed.pack_one(7, 3)
+        assert key == (7 << packed.LABEL_BITS) | 3
+
+    def test_sort_order_is_target_major(self):
+        # (target=1, label=255) < (target=2, label=0)
+        assert packed.pack_one(1, 255) < packed.pack_one(2, 0)
+
+    def test_unpack(self):
+        keys = packed.from_pairs([(4, 1), (2, 0)])
+        targets, labels = packed.unpack(keys)
+        assert list(targets) == [2, 4]
+        assert list(labels) == [0, 1]
+
+    def test_max_vertex_id_fits(self):
+        key = packed.pack_one(packed.MAX_VERTEX_ID, packed.LABEL_MASK)
+        assert key > 0  # no sign overflow
+        assert packed.targets_of(np.asarray([key]))[0] == packed.MAX_VERTEX_ID
+
+
+class TestMergeUnique:
+    def test_empty_inputs(self):
+        assert len(packed.merge_unique([])) == 0
+        assert len(packed.merge_unique([packed.EMPTY, packed.EMPTY])) == 0
+
+    def test_single_array_deduped(self):
+        a = np.asarray([1, 1, 2], dtype=np.int64)
+        assert list(packed.merge_unique([a])) == [1, 2]
+
+    def test_cross_array_duplicates_collapse(self):
+        a = packed.from_pairs([(1, 0), (2, 0)])
+        b = packed.from_pairs([(2, 0), (3, 0)])
+        merged = packed.merge_unique([a, b])
+        assert list(packed.targets_of(merged)) == [1, 2, 3]
+
+    def test_heap_merge_matches_vectorized(self):
+        rng = np.random.default_rng(3)
+        arrays = [
+            np.unique(rng.integers(0, 100, size=20).astype(np.int64))
+            for _ in range(5)
+        ]
+        assert np.array_equal(
+            packed.merge_unique(arrays), packed.heap_merge_unique(arrays)
+        )
+
+    def test_result_is_sorted(self):
+        arrays = [packed.from_pairs([(5, 0), (1, 1)]), packed.from_pairs([(3, 0)])]
+        merged = packed.merge_unique(arrays)
+        assert np.all(np.diff(merged) > 0)
+
+
+class TestIsinSorted:
+    def test_membership(self):
+        hay = np.asarray([1, 3, 5, 7], dtype=np.int64)
+        needles = np.asarray([0, 1, 4, 7, 9], dtype=np.int64)
+        mask = packed.isin_sorted(needles, hay)
+        assert list(mask) == [False, True, False, True, False]
+
+    def test_empty_haystack(self):
+        needles = np.asarray([1, 2], dtype=np.int64)
+        assert not packed.isin_sorted(needles, packed.EMPTY).any()
+
+    def test_empty_needles(self):
+        hay = np.asarray([1], dtype=np.int64)
+        assert len(packed.isin_sorted(packed.EMPTY, hay)) == 0
+
+    def test_needle_beyond_max(self):
+        hay = np.asarray([1, 2], dtype=np.int64)
+        needles = np.asarray([99], dtype=np.int64)
+        assert not packed.isin_sorted(needles, hay).any()
+
+
+class TestSetdiffSorted:
+    def test_difference(self):
+        a = np.asarray([1, 2, 3, 4], dtype=np.int64)
+        b = np.asarray([2, 4], dtype=np.int64)
+        assert list(packed.setdiff_sorted(a, b)) == [1, 3]
+
+    def test_disjoint(self):
+        a = np.asarray([1, 3], dtype=np.int64)
+        b = np.asarray([2], dtype=np.int64)
+        assert list(packed.setdiff_sorted(a, b)) == [1, 3]
+
+    def test_complete_overlap(self):
+        a = np.asarray([1, 2], dtype=np.int64)
+        assert len(packed.setdiff_sorted(a, a)) == 0
+
+    def test_empty_operands(self):
+        a = np.asarray([1], dtype=np.int64)
+        assert list(packed.setdiff_sorted(a, packed.EMPTY)) == [1]
+        assert len(packed.setdiff_sorted(packed.EMPTY, a)) == 0
+
+
+class TestPairs:
+    def test_from_pairs_sorts_and_dedups(self):
+        keys = packed.from_pairs([(3, 1), (1, 0), (3, 1)])
+        assert packed.to_pairs(keys) == [(1, 0), (3, 1)]

@@ -1,0 +1,59 @@
+"""Property-based tests for the packed sorted-array operations.
+
+The engine's correctness hinges on these primitives agreeing with plain
+Python set semantics; hypothesis hunts the edge cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import packed
+
+key_arrays = st.lists(
+    st.integers(0, 500), min_size=0, max_size=60
+).map(lambda xs: np.unique(np.asarray(xs, dtype=np.int64)))
+
+
+@given(st.lists(key_arrays, min_size=0, max_size=6))
+@settings(max_examples=100, deadline=None)
+def test_merge_unique_equals_set_union(arrays):
+    merged = packed.merge_unique(arrays)
+    expected = sorted(set().union(*[set(a.tolist()) for a in arrays]) if arrays else set())
+    assert merged.tolist() == expected
+
+
+@given(st.lists(key_arrays, min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_heap_merge_matches_vectorized(arrays):
+    assert np.array_equal(
+        packed.merge_unique(arrays), packed.heap_merge_unique(arrays)
+    )
+
+
+@given(key_arrays, key_arrays)
+@settings(max_examples=100, deadline=None)
+def test_setdiff_equals_set_difference(a, b):
+    got = packed.setdiff_sorted(a, b).tolist()
+    assert got == sorted(set(a.tolist()) - set(b.tolist()))
+
+
+@given(key_arrays, key_arrays)
+@settings(max_examples=100, deadline=None)
+def test_isin_equals_membership(needles, hay)    :
+    mask = packed.isin_sorted(needles, hay)
+    hay_set = set(hay.tolist())
+    assert [bool(m) for m in mask] == [x in hay_set for x in needles.tolist()]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10_000), st.integers(0, 255)),
+        min_size=0,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_pack_roundtrip(pairs):
+    keys = packed.from_pairs(pairs)
+    assert packed.to_pairs(keys) == sorted(set(pairs))

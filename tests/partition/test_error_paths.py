@@ -1,0 +1,66 @@
+"""Error paths and invariant guards in the partition layer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import MemGraph, from_pairs
+from repro.partition import (
+    DestinationDistributionMap,
+    Interval,
+    Partition,
+    PartitionSet,
+    PartitionStore,
+    VertexIntervalTable,
+    preprocess,
+)
+
+
+class TestPartitionSetGuards:
+    def test_vit_partition_mismatch_rejected(self):
+        vit = VertexIntervalTable.even(10, 2)
+        ddm = DestinationDistributionMap(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="disagree"):
+            PartitionSet(vit, ddm, [Partition(vit.interval(0), {})], PartitionStore())
+
+    def test_note_mutated_requires_residency(self, tmp_path):
+        g = MemGraph.from_edges([(0, 1, 0), (2, 3, 0)], label_names=["E"])
+        pset = preprocess(g, num_partitions=2, workdir=tmp_path)
+        with pytest.raises(RuntimeError, match="not resident"):
+            pset.note_mutated(0)
+
+    def test_acquire_missing_everything_fails(self, tmp_path):
+        g = MemGraph.from_edges([(0, 1, 0), (2, 3, 0)], label_names=["E"])
+        pset = preprocess(g, num_partitions=2, workdir=tmp_path)
+        path = pset._slots[0].path
+        path.unlink()
+        with pytest.raises(FileNotFoundError):
+            pset.acquire(0)
+
+    def test_evict_of_nonresident_is_noop(self, tmp_path):
+        g = MemGraph.from_edges([(0, 1, 0)], label_names=["E"])
+        pset = preprocess(g, num_partitions=1, workdir=tmp_path)
+        pset.evict(0)
+        pset.evict(0)  # second eviction: nothing to do, no error
+
+    def test_repr_smoke(self, tmp_path):
+        g = MemGraph.from_edges([(0, 1, 0)], label_names=["E"])
+        pset = preprocess(g, num_partitions=1)
+        assert "PartitionSet" in repr(pset)
+        assert "Partition" in repr(pset.acquire(0))
+        assert "DestinationDistributionMap" in repr(pset.ddm)
+
+
+class TestIntervalsExhaustive:
+    def test_even_partitions_cover_exactly(self):
+        for n in (1, 2, 7, 100):
+            for k in (1, 2, 3, n):
+                vit = VertexIntervalTable.even(n, k)
+                seen = []
+                for iv in vit.intervals():
+                    seen.extend(range(iv.lo, iv.hi + 1))
+                assert seen == list(range(n)), (n, k)
+
+    def test_single_vertex_graph(self):
+        g = MemGraph.from_edges([(0, 0, 0)], label_names=["E"])
+        pset = preprocess(g, num_partitions=1)
+        assert pset.total_edges() == 1

@@ -1,0 +1,81 @@
+"""Tests for vertex intervals and the VIT."""
+
+import pytest
+
+from repro.partition import Interval, VertexIntervalTable
+
+
+class TestInterval:
+    def test_contains(self):
+        iv = Interval(2, 5)
+        assert 2 in iv and 5 in iv
+        assert 1 not in iv and 6 not in iv
+
+    def test_len(self):
+        assert len(Interval(0, 0)) == 1
+        assert len(Interval(3, 7)) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_split_at(self):
+        left, right = Interval(0, 9).split_at(3)
+        assert (left.lo, left.hi) == (0, 3)
+        assert (right.lo, right.hi) == (4, 9)
+
+    def test_split_at_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, 9).split_at(9)  # right half would be empty
+        with pytest.raises(ValueError):
+            Interval(5, 9).split_at(4)
+
+
+class TestVertexIntervalTable:
+    def test_single(self):
+        vit = VertexIntervalTable.single(100)
+        assert vit.num_partitions == 1
+        assert vit.num_vertices == 100
+
+    def test_even_split(self):
+        vit = VertexIntervalTable.even(10, 3)
+        assert vit.num_partitions == 3
+        assert vit.as_tuples() == [(0, 2), (3, 6), (7, 9)]
+
+    def test_even_more_partitions_than_vertices(self):
+        vit = VertexIntervalTable.even(2, 5)
+        assert vit.num_partitions == 2
+
+    def test_partition_of(self):
+        vit = VertexIntervalTable.even(10, 3)
+        assert vit.partition_of(0) == 0
+        assert vit.partition_of(3) == 1
+        assert vit.partition_of(9) == 2
+
+    def test_partition_of_out_of_range(self):
+        vit = VertexIntervalTable.even(10, 3)
+        with pytest.raises(KeyError):
+            vit.partition_of(10)
+        with pytest.raises(KeyError):
+            vit.partition_of(-1)
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(ValueError):
+            VertexIntervalTable([Interval(0, 2), Interval(4, 6)])
+
+    def test_split_shifts_later_partitions(self):
+        vit = VertexIntervalTable.even(12, 3)  # [0-3][4-7][8-11]
+        left, right = vit.split(1, 5)
+        assert (left, right) == (1, 2)
+        assert vit.num_partitions == 4
+        assert vit.as_tuples() == [(0, 3), (4, 5), (6, 7), (8, 11)]
+        assert vit.partition_of(6) == 2
+        assert vit.partition_of(8) == 3
+
+    def test_coverage_invariant_after_splits(self):
+        vit = VertexIntervalTable.single(20)
+        vit.split(0, 9)
+        vit.split(1, 14)
+        for v in range(20):
+            pid = vit.partition_of(v)
+            assert v in vit.interval(pid)

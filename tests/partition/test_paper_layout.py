@@ -1,0 +1,70 @@
+"""Reconstruction of the paper's Figure 2(a)/(b) partition layout.
+
+Figure 2(a) is a 7-vertex directed graph; Figure 2(b) shows its
+partition layout for vertex intervals 0-2, 3-4, 5-6, where each
+partition holds the edges whose *source* falls in the interval, sorted
+by source then target (§4.1).  This test pins that exact layout.
+"""
+
+from repro.graph import MemGraph
+from repro.partition import Interval, VertexIntervalTable, preprocess
+
+#: Figure 2(a): a small directed graph (labels are irrelevant to the
+#: layout, so everything carries label 0).
+FIGURE2_EDGES = [
+    (0, 1, 0),
+    (0, 4, 0),
+    (1, 2, 0),
+    (1, 3, 0),
+    (2, 5, 0),
+    (3, 0, 0),
+    (4, 2, 0),
+    (4, 6, 0),
+    (5, 6, 0),
+    (6, 3, 0),
+]
+
+
+def figure2_pset():
+    graph = MemGraph.from_edges(FIGURE2_EDGES, num_vertices=7, label_names=["E"])
+    # Pin the paper's exact intervals from Figure 2(b).
+    pset = preprocess(graph, intervals=[(0, 2), (3, 4), (5, 6)])
+    assert pset.vit.as_tuples() == [(0, 2), (3, 4), (5, 6)]
+    return pset
+
+
+def test_partition_intervals_match_figure():
+    figure2_pset()
+
+
+def test_partition_contents_match_figure():
+    pset = figure2_pset()
+    expected = {
+        0: [(0, 1, 0), (0, 4, 0), (1, 2, 0), (1, 3, 0), (2, 5, 0)],
+        1: [(3, 0, 0), (4, 2, 0), (4, 6, 0)],
+        2: [(5, 6, 0), (6, 3, 0)],
+    }
+    for pid, edges in expected.items():
+        assert list(pset.acquire(pid).edges()) == edges
+
+
+def test_edge_lists_sorted_by_target_within_source():
+    pset = figure2_pset()
+    p0 = pset.acquire(0)
+    # vertex 0's list: targets 1 then 4 (sorted on target ids, §4.1)
+    from repro.graph import targets_of
+
+    assert list(targets_of(p0.out_keys(0))) == [1, 4]
+
+
+def test_new_edge_goes_to_source_partition():
+    """'When a new edge is found ... it is always added to the partition
+    to which the source of the edge belongs' (§4.1)."""
+    pset = figure2_pset()
+    from repro.graph import from_pairs
+
+    p1 = pset.acquire(1)
+    p1.merge_new_edges(3, from_pairs([(6, 0)]))
+    pset.note_mutated(1)
+    assert (3, 6, 0) in list(p1.edges())
+    assert pset.edge_count(1) == 4

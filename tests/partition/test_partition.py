@@ -1,0 +1,79 @@
+"""Tests for the Partition data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_pairs, pack_one
+from repro.partition import Interval, Partition, VertexIntervalTable
+
+
+@pytest.fixture
+def partition():
+    return Partition(
+        Interval(0, 4),
+        {
+            0: from_pairs([(1, 0), (4, 0)]),
+            1: from_pairs([(2, 0), (3, 0)]),
+            4: from_pairs([(2, 0)]),
+        },
+    )
+
+
+class TestPartition:
+    def test_counts(self, partition):
+        assert partition.num_edges == 5
+        assert partition.num_source_vertices == 3
+
+    def test_vertex_outside_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(Interval(0, 2), {5: from_pairs([(0, 0)])})
+
+    def test_out_keys_missing_vertex(self, partition):
+        assert len(partition.out_keys(3)) == 0
+
+    def test_edges_iteration_sorted(self, partition):
+        edges = list(partition.edges())
+        assert edges == [(0, 1, 0), (0, 4, 0), (1, 2, 0), (1, 3, 0), (4, 2, 0)]
+
+    def test_merge_new_edges_dedups(self, partition):
+        added = partition.merge_new_edges(0, from_pairs([(1, 0), (5, 0)]))
+        assert added == 1  # (1,0) already exists
+        assert partition.num_edges == 6
+
+    def test_merge_new_edges_empty(self, partition):
+        assert partition.merge_new_edges(0, from_pairs([])) == 0
+
+    def test_merge_outside_interval_rejected(self, partition):
+        with pytest.raises(ValueError):
+            partition.merge_new_edges(9, from_pairs([(1, 0)]))
+
+    def test_out_degree_file(self, partition):
+        assert partition.out_degree_file() == {0: 2, 1: 2, 4: 1}
+
+    def test_destination_counts(self, partition):
+        vit = VertexIntervalTable([Interval(0, 2), Interval(3, 4)])
+        counts = partition.destination_counts(vit)
+        # targets: 1,4,2,3,2 -> interval0: {1,2,2}=3, interval1: {4,3}=2
+        assert list(counts) == [3, 2]
+
+    def test_split(self, partition):
+        left, right = partition.split(0)
+        assert left.interval == Interval(0, 0)
+        assert right.interval == Interval(1, 4)
+        assert left.num_edges == 2
+        assert right.num_edges == 3
+
+    def test_median_split_point_balances_edges(self, partition):
+        mid = partition.median_split_point()
+        left, right = partition.split(mid)
+        assert abs(left.num_edges - right.num_edges) <= partition.num_edges // 2
+
+    def test_median_split_unsplittable(self):
+        p = Partition(Interval(3, 3), {3: from_pairs([(0, 0)])})
+        with pytest.raises(ValueError):
+            p.median_split_point()
+
+    def test_from_triples(self):
+        p = Partition.from_triples(Interval(0, 1), [(0, 3, 1), (0, 3, 1), (1, 0, 0)])
+        assert p.num_edges == 2
+        assert p.out_keys(0)[0] == pack_one(3, 1)

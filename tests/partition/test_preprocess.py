@@ -1,0 +1,93 @@
+"""Tests for preprocessing (sharding, §4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import MemGraph
+from repro.partition import balanced_intervals, choose_num_partitions, preprocess
+
+
+class TestChooseNumPartitions:
+    def test_explicit_count_wins(self):
+        assert choose_num_partitions(100, max_edges_per_partition=10, num_partitions=3) == 3
+
+    def test_from_max_edges(self):
+        assert choose_num_partitions(100, 30, None) == 4
+
+    def test_default_is_two(self):
+        """No sizing hints -> the paper's in-memory two-partition mode."""
+        assert choose_num_partitions(100, None, None) == 2
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            choose_num_partitions(10, None, 0)
+        with pytest.raises(ValueError):
+            choose_num_partitions(10, 0, None)
+
+
+class TestBalancedIntervals:
+    def test_balances_edge_mass(self):
+        # all edges come from vertex 0-1; a naive vertex split would put
+        # all mass in partition 0
+        edges = [(0, i, 0) for i in range(2, 50)] + [(1, i, 0) for i in range(2, 50)]
+        g = MemGraph.from_edges(edges)
+        vit = balanced_intervals(g, 2)
+        assert vit.partition_of(0) == 0
+        assert vit.partition_of(1) == 1  # mass split between the two hubs
+
+    def test_covers_all_vertices(self):
+        g = MemGraph.from_edges([(0, 1, 0)], num_vertices=17)
+        vit = balanced_intervals(g, 4)
+        assert vit.num_vertices == 17
+        for v in range(17):
+            vit.partition_of(v)
+
+    def test_empty_graph_rejected(self):
+        g = MemGraph.from_edges([], num_vertices=0)
+        with pytest.raises(ValueError):
+            balanced_intervals(g, 2)
+
+    def test_partitions_capped_by_vertices(self):
+        g = MemGraph.from_edges([(0, 1, 0)], num_vertices=2)
+        vit = balanced_intervals(g, 10)
+        assert vit.num_partitions <= 2
+
+
+class TestPreprocess:
+    def test_edge_conservation(self):
+        g = MemGraph.from_edges(
+            [(i, (i * 7) % 20, i % 3) for i in range(20)], label_names=["A", "B", "C"]
+        )
+        pset = preprocess(g, num_partitions=4)
+        assert pset.total_edges() == g.num_edges
+        assert sorted(pset.iter_all_edges()) == sorted(g.edges())
+
+    def test_edges_assigned_by_source(self):
+        g = MemGraph.from_edges([(0, 9, 0), (9, 0, 0)], num_vertices=10)
+        pset = preprocess(g, num_partitions=2)
+        for pid in range(pset.num_partitions):
+            interval = pset.vit.interval(pid)
+            for src, _, _ in pset.acquire(pid).edges():
+                assert src in interval
+
+    def test_ddm_counts_are_exact(self):
+        g = MemGraph.from_edges(
+            [(0, 5, 0), (1, 5, 0), (5, 0, 0), (5, 6, 0)], num_vertices=8
+        )
+        pset = preprocess(g, num_partitions=2)
+        n = pset.vit.num_partitions
+        expected = np.zeros((n, n), dtype=np.int64)
+        for src, dst, _ in g.edges():
+            expected[pset.vit.partition_of(src), pset.vit.partition_of(dst)] += 1
+        assert np.array_equal(pset.ddm.counts, expected)
+
+    def test_degree_files_present(self):
+        g = MemGraph.from_edges([(0, 1, 0), (1, 0, 0), (1, 2, 0)])
+        pset = preprocess(g, num_partitions=2)
+        assert list(pset.out_degrees) == [1, 2, 0]
+        assert list(pset.in_degrees) == [1, 1, 1]
+
+    def test_timers_record_preprocess_phase(self):
+        g = MemGraph.from_edges([(0, 1, 0)])
+        pset = preprocess(g, num_partitions=1)
+        assert pset.store.timers.get("preprocess") > 0

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import MemGraph, write_text
+
+BUGGY_SOURCE = """
+void *risky(void) { int *p; p = NULL; return p; }
+void top(void) { int *v; v = risky(); *v = 1; }
+"""
+
+CLEAN_SOURCE = """
+void top(void) { int *v; v = malloc(4); *v = 1; }
+"""
+
+
+class TestAnalyze:
+    def test_reports_bug_and_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(BUGGY_SOURCE)
+        code = main(["analyze", str(src)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[AU:Null]" in out
+        assert "top" in out
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(CLEAN_SOURCE)
+        code = main(["analyze", str(src)])
+        assert code == 0
+
+    def test_checker_filter(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(BUGGY_SOURCE)
+        main(["analyze", str(src), "--checkers", "Free"])
+        out = capsys.readouterr().out
+        assert "Null" not in out
+
+    def test_baseline_mode(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(BUGGY_SOURCE)
+        main(["analyze", str(src), "--mode", "baseline"])
+        out = capsys.readouterr().out
+        assert "[BA:" in out or out == ""
+
+
+class TestClosure:
+    def test_closure_label_output(self, tmp_path, capsys):
+        graph = MemGraph.from_edges(
+            [(0, 1, 0), (1, 2, 0)], label_names=["E"]
+        )
+        graph_file = tmp_path / "g.tsv"
+        write_text(graph, graph_file)
+        grammar_file = tmp_path / "g.grammar"
+        grammar_file.write_text("R ::= E | R E\n")
+        code = main(
+            [
+                "closure",
+                "--graph",
+                str(graph_file),
+                "--grammar",
+                str(grammar_file),
+                "--label",
+                "R",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0\t2\tR" in out
+
+    def test_closure_out_file(self, tmp_path, capsys):
+        from repro.graph import read_text
+
+        graph = MemGraph.from_edges([(0, 1, 0)], label_names=["E"])
+        graph_file = tmp_path / "g.tsv"
+        write_text(graph, graph_file)
+        grammar_file = tmp_path / "g.grammar"
+        grammar_file.write_text("R ::= E\n")
+        out_file = tmp_path / "closure.tsv"
+        main(
+            [
+                "closure",
+                "--graph",
+                str(graph_file),
+                "--grammar",
+                str(grammar_file),
+                "--out",
+                str(out_file),
+            ]
+        )
+        closure = read_text(out_file)
+        assert closure.num_edges == 2  # E + derived R
+
+    def test_out_of_core_flags(self, tmp_path, capsys):
+        graph = MemGraph.from_edges(
+            [(i, i + 1, 0) for i in range(12)], label_names=["E"]
+        )
+        graph_file = tmp_path / "g.tsv"
+        write_text(graph, graph_file)
+        grammar_file = tmp_path / "g.grammar"
+        grammar_file.write_text("R ::= E | R E\n")
+        code = main(
+            [
+                "closure",
+                "--graph", str(graph_file),
+                "--grammar", str(grammar_file),
+                "--max-edges-per-partition", "5",
+                "--workdir", str(tmp_path / "work"),
+            ]
+        )
+        assert code == 0
+
+
+class TestWorkload:
+    def test_generates_sources_and_truth(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        code = main(["workload", "httpd", "--scale", "0.3", "--out", str(out)])
+        assert code == 0
+        sources = list(out.glob("*.c"))
+        assert sources
+        truth = json.loads((out / "ground_truth.json").read_text())
+        assert truth and {"checker", "function", "variable"} <= set(truth[0])
+
+    def test_generated_sources_reparse(self, tmp_path):
+        from repro.frontend import parse_files
+
+        out = tmp_path / "wl"
+        main(["workload", "httpd", "--scale", "0.3", "--out", str(out)])
+        program = parse_files(
+            [(p.stem, p.read_text()) for p in sorted(out.glob("*.c"))]
+        )
+        assert program.functions

@@ -1,0 +1,64 @@
+"""The documented public API surface: imports, quickstart flow, examples."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README quickstart, verbatim in spirit."""
+        pg = repro.compile_program(
+            """
+            void *risky(void) { int *p; p = NULL; return p; }
+            void main_fn(void) { int *v; v = risky(); *v = 1; }
+            """
+        )
+        pts = repro.PointsToAnalysis().run(pg)
+        nulls = repro.NullDataflowAnalysis().run(pg, pointsto=pts)
+        assert nulls.may_receive("main_fn", "v")
+
+    def test_grammar_engine_flow(self):
+        g = repro.Grammar()
+        g.add_constraint("R", "E")
+        g.add_constraint("R", "R", "E")
+        frozen = g.freeze()
+        graph = repro.MemGraph.from_edges(
+            [(0, 1, 0), (1, 2, 0)], label_names=["E"]
+        )
+        comp = repro.GraspanEngine(frozen).run(graph)
+        assert (0, 2) in list(comp.iter_edges_with_label("R"))
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", []),
+        ("custom_analysis.py", []),
+        ("kernel_bug_hunt.py", ["0.08"]),
+        ("compare_backends.py", ["httpd", "0.4"]),
+        ("escape_analysis.py", ["0.08"]),
+    ],
+)
+def test_examples_run(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=480,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,66 @@
+"""Tests for repro.util.memory (the baselines' OOM machinery)."""
+
+import pytest
+
+from repro.util.memory import (
+    BYTES_PER_EDGE,
+    MemoryBudget,
+    MemoryBudgetExceeded,
+    approx_sizeof_edges,
+)
+
+
+class TestMemoryBudget:
+    def test_charge_within_budget(self):
+        budget = MemoryBudget(100)
+        budget.charge(60)
+        assert budget.used == 60
+
+    def test_exceeding_raises_with_details(self):
+        budget = MemoryBudget(100)
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            budget.charge(150)
+        assert excinfo.value.used_bytes == 150
+        assert excinfo.value.budget_bytes == 100
+
+    def test_exception_is_a_memory_error(self):
+        assert issubclass(MemoryBudgetExceeded, MemoryError)
+
+    def test_high_water_tracks_peak(self):
+        budget = MemoryBudget(100)
+        budget.charge(80)
+        budget.release(50)
+        budget.charge(10)
+        assert budget.high_water == 80
+        assert budget.used == 40
+
+    def test_release_never_goes_negative(self):
+        budget = MemoryBudget(100)
+        budget.charge(10)
+        budget.release(50)
+        assert budget.used == 0
+
+    def test_exact_budget_boundary_is_allowed(self):
+        budget = MemoryBudget(100)
+        budget.charge(100)  # exactly at budget: fine
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.charge(1)
+
+    def test_charge_edges_uses_edge_cost(self):
+        budget = MemoryBudget(BYTES_PER_EDGE * 10)
+        budget.charge_edges(10)
+        assert budget.used == BYTES_PER_EDGE * 10
+
+    def test_would_fit_edges(self):
+        budget = MemoryBudget(BYTES_PER_EDGE * 10)
+        assert budget.would_fit_edges(10)
+        assert not budget.would_fit_edges(11)
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+
+
+def test_approx_sizeof_edges():
+    assert approx_sizeof_edges(0) == 0
+    assert approx_sizeof_edges(5) == 5 * BYTES_PER_EDGE

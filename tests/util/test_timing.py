@@ -1,0 +1,91 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch, TimeBreakdown
+
+
+class TestStopwatch:
+    def test_accumulates_elapsed_time(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        elapsed = sw.stop()
+        assert elapsed >= 0.009
+        assert sw.elapsed == elapsed
+
+    def test_multiple_intervals_accumulate(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.005)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.005)
+        total = sw.stop()
+        assert total > first
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_property(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset_clears_state(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+
+class TestTimeBreakdown:
+    def test_phase_context_manager_accumulates(self):
+        tb = TimeBreakdown()
+        with tb.phase("io"):
+            time.sleep(0.005)
+        with tb.phase("io"):
+            time.sleep(0.005)
+        assert tb.get("io") >= 0.009
+
+    def test_phases_are_independent(self):
+        tb = TimeBreakdown()
+        with tb.phase("compute"):
+            pass
+        with tb.phase("io"):
+            pass
+        assert set(tb.as_dict()) == {"compute", "io"}
+
+    def test_phase_records_even_on_exception(self):
+        tb = TimeBreakdown()
+        with pytest.raises(ValueError):
+            with tb.phase("compute"):
+                raise ValueError("boom")
+        assert tb.get("compute") >= 0.0
+        assert "compute" in tb.as_dict()
+
+    def test_add_and_total(self):
+        tb = TimeBreakdown()
+        tb.add("io", 1.5)
+        tb.add("compute", 0.5)
+        assert tb.total() == pytest.approx(2.0)
+
+    def test_unknown_phase_is_zero(self):
+        assert TimeBreakdown().get("nothing") == 0.0
+
+    def test_repr_mentions_phases(self):
+        tb = TimeBreakdown()
+        tb.add("io", 1.0)
+        assert "io" in repr(tb)

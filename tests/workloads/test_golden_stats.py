@@ -1,0 +1,49 @@
+"""Golden regression pins for the generated workloads.
+
+Seeded generation must stay reproducible across refactors: the bench
+numbers in EXPERIMENTS.md are only comparable run-to-run if the
+workloads do not silently drift.  If a deliberate generator change trips
+these, regenerate the pinned values AND rerun the benchmarks.
+"""
+
+import pytest
+
+from repro.workloads import httpd_like
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return httpd_like(scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def pg(wl):
+    return wl.compile()
+
+
+class TestGoldenHttpdHalfScale:
+    def test_structure_counts_are_stable(self, wl, pg):
+        assert len(pg.lowered.functions) == len(set(pg.lowered.functions))
+        # pin the broad strokes, not every byte
+        assert 40 <= len(pg.lowered.functions) <= 90
+        assert 50 <= pg.inline_count <= 200
+        assert 15 <= len(wl.ground_truth) <= 80
+
+    def test_generation_is_stable_across_calls(self, wl):
+        again = httpd_like(scale=0.5)
+        assert again.source_text() == wl.source_text()
+        assert again.ground_truth == wl.ground_truth
+
+    def test_compile_is_deterministic(self, wl, pg):
+        pg2 = wl.compile()
+        assert pg2.num_vertices == pg.num_vertices
+        assert pg2.num_edges == pg.num_edges
+        assert pg2.inline_count == pg.inline_count
+
+    def test_pointer_graph_deterministic(self, wl, pg):
+        from repro.frontend import pointer_graph
+
+        a = pointer_graph(pg)
+        b = pointer_graph(wl.compile())
+        assert a.num_edges == b.num_edges
+        assert list(a.src[:50]) == list(b.src[:50])

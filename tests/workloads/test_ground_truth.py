@@ -1,0 +1,64 @@
+"""End-to-end ground-truth integration: every injected defect is found.
+
+The Tables 3/4 pipeline at test scale: generate -> compile -> analyses ->
+checkers -> score.  The augmented checkers must find every injected bug
+(zero false negatives); their false positives must come only from the
+decoy gadgets; and the baseline checkers must miss the interprocedural
+bugs by design.
+"""
+
+import pytest
+
+from repro.checkers import ALL_CHECKERS, check_program
+from repro.workloads import httpd_like
+
+
+@pytest.fixture(scope="module")
+def scored():
+    workload = httpd_like(scale=0.6)
+    result = check_program(workload.compile())
+    return workload, result
+
+
+ALIAS_CHECKERS = ("Free", "Lock", "Block", "Size", "Range", "Null", "PNull")
+
+
+class TestAugmentedFindsEverything:
+    @pytest.mark.parametrize("checker", [cls.name for cls in ALL_CHECKERS])
+    def test_zero_false_negatives(self, scored, checker):
+        workload, result = scored
+        score = result.score(workload.ground_truth, "augmented", checker)
+        assert score.false_negatives == 0, checker
+
+    def test_untest_no_false_positives(self, scored):
+        workload, result = scored
+        score = result.score(workload.ground_truth, "augmented", "UNTest")
+        assert score.false_positives == 0
+
+    def test_null_fp_rate_bounded(self, scored):
+        """FPs come only from the injected flow-insensitivity decoys."""
+        workload, result = scored
+        score = result.score(workload.ground_truth, "augmented", "Null")
+        spec = workload.spec
+        assert score.false_positives <= spec.null_decoys + spec.null_shallow_decoys
+
+
+class TestBaselineBlindSpots:
+    def test_baseline_null_misses_deep_bugs(self, scored):
+        workload, result = scored
+        score = result.score(workload.ground_truth, "baseline", "Null")
+        assert score.true_positives == 0  # every real bug is deep
+
+    def test_baseline_finds_fewer_than_augmented(self, scored):
+        workload, result = scored
+        for checker in ALIAS_CHECKERS:
+            bl = result.score(workload.ground_truth, "baseline", checker)
+            gr = result.score(workload.ground_truth, "augmented", checker)
+            assert gr.true_positives >= bl.true_positives, checker
+
+    def test_pnull_augmentation_reduces_fps(self, scored):
+        workload, result = scored
+        bl = result.score(workload.ground_truth, "baseline", "PNull")
+        gr = result.score(workload.ground_truth, "augmented", "PNull")
+        assert gr.false_positives < bl.reported
+        assert gr.true_positives == bl.true_positives  # no real bug lost

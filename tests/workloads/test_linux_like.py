@@ -1,0 +1,43 @@
+"""Linux-like workload specifics: module taxonomy and Table 4 shape."""
+
+import pytest
+
+from repro.checkers import check_program
+from repro.workloads import linux_like
+
+
+@pytest.fixture(scope="module")
+def tiny_linux():
+    return linux_like(scale=0.2)
+
+
+class TestLinuxShape:
+    def test_module_taxonomy(self, tiny_linux):
+        modules = {m for m, _ in tiny_linux.sources}
+        assert "drivers" in modules
+        assert len(modules) >= 8
+
+    def test_drivers_gets_most_source_mass(self, tiny_linux):
+        sizes = {m: len(src) for m, src in tiny_linux.sources}
+        assert max(sizes, key=sizes.get) == "drivers"
+
+    def test_untest_mass_scales(self):
+        small = linux_like(scale=0.2)
+        big = linux_like(scale=0.5)
+        assert len(big.truth_for("UNTest")) > len(small.truth_for("UNTest"))
+
+    def test_table4_shape_at_tiny_scale(self, tiny_linux):
+        """drivers should lead the UNTest breakdown even at small scale."""
+        result = check_program(tiny_linux.compile())
+        breakdown = result.module_breakdown("augmented", "UNTest")
+        assert breakdown
+        top = max(breakdown, key=breakdown.get)
+        assert top == "drivers"
+
+    def test_null_return_plumbing_present(self, tiny_linux):
+        text = tiny_linux.source_text()
+        assert "err0 = NULL" in text  # error-path gadgets exist
+
+    def test_recursion_gadgets_present(self, tiny_linux):
+        text = tiny_linux.source_text()
+        assert "rec_even_" in text and "rec_odd_" in text

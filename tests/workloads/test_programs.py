@@ -1,0 +1,56 @@
+"""Tests for the named evaluation workloads (Table 2 stand-ins)."""
+
+import pytest
+
+from repro.workloads import (
+    ALL_WORKLOADS,
+    PAPER_TABLE2,
+    httpd_like,
+    linux_like,
+    postgresql_like,
+    workload_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def small():
+    return {
+        "linux": linux_like(scale=0.15),
+        "postgresql": postgresql_like(scale=0.3),
+        "httpd": httpd_like(scale=0.5),
+    }
+
+
+class TestNamedWorkloads:
+    def test_all_compile(self, small):
+        for name, wl in small.items():
+            pg = wl.compile()
+            assert pg.inline_count > 0, name
+
+    def test_table2_ordering_preserved(self, small):
+        """linux >> postgresql > httpd in inline counts, as in the paper."""
+        inlines = {n: wl.compile().inline_count for n, wl in small.items()}
+        assert inlines["linux"] > inlines["postgresql"] > inlines["httpd"]
+
+    def test_paper_reference_values_present(self):
+        assert PAPER_TABLE2["linux"]["inlines"] == 317_000_000
+        assert set(PAPER_TABLE2) == {"linux", "postgresql", "httpd"}
+
+    def test_workload_by_name(self):
+        wl = workload_by_name("httpd", scale=0.4)
+        assert wl.name == "httpd-like"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            workload_by_name("solaris")
+
+    def test_registry_complete(self):
+        assert set(ALL_WORKLOADS) == {"linux", "postgresql", "httpd"}
+
+    def test_linux_modules_match_taxonomy(self, small):
+        modules = {m for m, _ in small["linux"].sources}
+        assert "drivers" in modules
+
+    def test_postgres_has_own_taxonomy(self, small):
+        modules = {m for m, _ in small["postgresql"].sources}
+        assert "backend" in modules
