@@ -1,0 +1,61 @@
+"""Join-backend scaling: serial vs thread pool vs shared-memory processes.
+
+Table 6 style sweep on the postgresql-like pointer analysis.  Shape
+contract: every configuration completes and every configuration lands
+on the *same* final edge count — the backends are interchangeable data
+planes, not different algorithms.  (Absolute speedups depend on the
+host's core count; on a single-core CI box the pooled backends may be
+slower than serial, which is fine — the telemetry columns still show
+what the pool did.)
+"""
+
+from repro.bench import render_table, rows_from_dicts, save_and_print, scaling_rows
+from benchmarks.conftest import results_path
+
+
+def test_scaling_threads(benchmark, postgresql):
+    graph = postgresql.pointer
+    rows = benchmark.pedantic(
+        scaling_rows,
+        args=(graph,),
+        kwargs={"max_edges_per_partition": max(1000, graph.num_edges // 4)},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(r["status"] == "ok" for r in rows)
+    edge_counts = {r["final_edges"] for r in rows}
+    assert len(edge_counts) == 1  # identical closure in every config
+    assert edge_counts.pop() > graph.num_edges
+    serial = next(r for r in rows if r["backend"] == "serial")
+    assert serial["chunks"] > 0
+    text = render_table(
+        "Scaling: join backend x workers (postgresql-like pointer analysis)",
+        [
+            "backend",
+            "workers",
+            "status",
+            "edges",
+            "wall (s)",
+            "CT (s)",
+            "chunks",
+            "balance",
+            "est. speedup",
+        ],
+        rows_from_dicts(
+            rows,
+            [
+                "backend",
+                "workers",
+                "status",
+                "final_edges",
+                "wall_s",
+                "compute_s",
+                "chunks",
+                "balance",
+                "speedup_est",
+            ],
+        ),
+        note="same closure in every config; speedup estimated as "
+        "summed per-chunk kernel time over pool wall time",
+    )
+    save_and_print(text, results_path("scaling_threads.txt"))

@@ -89,6 +89,7 @@ class SourceTrackingAnalysis:
     max_edges_per_partition: Optional[int] = None
     workdir: Optional[PathLike] = None
     num_threads: int = 1
+    parallel_backend: Optional[str] = None
 
     def run(
         self,
@@ -105,6 +106,7 @@ class SourceTrackingAnalysis:
             max_edges_per_partition=self.max_edges_per_partition,
             workdir=self.workdir,
             num_threads=self.num_threads,
+            parallel_backend=self.parallel_backend,
         )
         computation = engine.run(graph)
         return SourceFlowResult(

@@ -133,6 +133,7 @@ class PointsToAnalysis:
     max_edges_per_partition: Optional[int] = None
     workdir: Optional[PathLike] = None
     num_threads: int = 1
+    parallel_backend: Optional[str] = None
 
     def run(self, pg: ProgramGraphs) -> PointsToResult:
         grammar = self.grammar if self.grammar is not None else pointsto_grammar_extended()
@@ -141,6 +142,7 @@ class PointsToAnalysis:
             max_edges_per_partition=self.max_edges_per_partition,
             workdir=self.workdir,
             num_threads=self.num_threads,
+            parallel_backend=self.parallel_backend,
         )
         computation = engine.run(pointer_graph(pg))
         return PointsToResult(pg, computation)

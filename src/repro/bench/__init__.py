@@ -31,6 +31,7 @@ from repro.bench.ablation import (
     ablation_oldnew,
     ablation_scheduler,
 )
+from repro.bench.scaling import DEFAULT_SWEEP, scaling_rows
 
 __all__ = [
     "SCALE_ENV",
@@ -58,4 +59,6 @@ __all__ = [
     "ablation_dedup_merge",
     "ablation_oldnew",
     "ablation_scheduler",
+    "DEFAULT_SWEEP",
+    "scaling_rows",
 ]

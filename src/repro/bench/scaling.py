@@ -1,0 +1,98 @@
+"""Backend/thread-count scaling study (the Table 6 style, §5.3).
+
+The paper ran Graspan with 8 threads; this study sweeps the join data
+plane (serial / thread / process) across worker counts on one workload
+and reports wall time, the backend's own speedup estimate, and — the
+real acceptance criterion — that every configuration lands on the same
+closure.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import measure
+from repro.engine.engine import GraspanEngine
+from repro.grammar.builtin import pointsto_grammar_extended
+from repro.graph.graph import MemGraph
+
+#: The default sweep: the serial baseline plus pooled backends at two
+#: worker counts each.
+DEFAULT_SWEEP: Tuple[Tuple[str, int], ...] = (
+    ("serial", 1),
+    ("thread", 2),
+    ("thread", 4),
+    ("process", 2),
+    ("process", 4),
+)
+
+
+def scaling_rows(
+    graph: MemGraph,
+    grammar=None,
+    sweep: Sequence[Tuple[str, int]] = DEFAULT_SWEEP,
+    max_edges_per_partition: Optional[int] = None,
+    workdir: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Run the closure once per (backend, workers) config; one row each.
+
+    With ``max_edges_per_partition`` set the runs go out-of-core (a
+    temporary directory is used when ``workdir`` is not given), so the
+    sweep exercises the same disk path as the paper's runs.
+    """
+    if grammar is None:
+        grammar = pointsto_grammar_extended()
+    rows: List[Dict[str, object]] = []
+    for backend, workers in sweep:
+        rows.append(
+            _one_run(
+                graph, grammar, backend, workers, max_edges_per_partition, workdir
+            )
+        )
+    return rows
+
+
+def _one_run(
+    graph, grammar, backend, workers, max_edges, workdir
+) -> Dict[str, object]:
+    def build_engine(wd):
+        return GraspanEngine(
+            grammar,
+            max_edges_per_partition=max_edges,
+            workdir=wd,
+            num_threads=workers,
+            parallel_backend=backend,
+        )
+
+    try:
+        if max_edges is not None and workdir is None:
+            with tempfile.TemporaryDirectory(prefix="graspan-scaling-") as tmp:
+                measured = measure(lambda: build_engine(tmp).run(graph).stats)
+        else:
+            measured = measure(lambda: build_engine(workdir).run(graph).stats)
+    except Exception as exc:  # a failed config is a row, not a crash
+        return {
+            "backend": backend,
+            "workers": workers,
+            "status": f"error: {type(exc).__name__}",
+            "final_edges": 0,
+            "wall_s": 0.0,
+            "compute_s": 0.0,
+            "chunks": 0,
+            "balance": 0.0,
+            "speedup_est": 0.0,
+        }
+    stats = measured.value
+    par = stats.parallelism_summary()
+    return {
+        "backend": par["backend"],  # flags e.g. thread(process-fallback)
+        "workers": workers,
+        "status": "ok",
+        "final_edges": stats.final_edges,
+        "wall_s": round(measured.seconds, 2),
+        "compute_s": round(stats.timers.get("compute"), 2),
+        "chunks": par["chunks"],
+        "balance": par["worst_chunk_balance"],
+        "speedup_est": par["speedup_estimate"],
+    }

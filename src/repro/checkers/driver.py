@@ -109,22 +109,26 @@ def run_analyses(
     max_edges_per_partition: Optional[int] = None,
     workdir: Optional[PathLike] = None,
     num_threads: int = 1,
+    parallel_backend: Optional[str] = None,
 ) -> AnalysisContext:
     """Run pointer, NULL, and taint analyses; bundle into a context."""
     pointsto = PointsToAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
+        parallel_backend=parallel_backend,
     ).run(pg)
     nullflow = NullDataflowAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
+        parallel_backend=parallel_backend,
     ).run(pg, pointsto=pointsto)
     taintflow = TaintDataflowAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
+        parallel_backend=parallel_backend,
     ).run(pg, pointsto=pointsto)
     return AnalysisContext(
         pg=pg, pointsto=pointsto, nullflow=nullflow, taintflow=taintflow

@@ -72,6 +72,7 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         max_edges_per_partition=args.max_edges_per_partition,
         workdir=args.workdir,
         num_threads=args.threads,
+        parallel_backend=args.backend,
     )
     computation = engine.run(graph).load_resident()
     stats = computation.stats
@@ -82,6 +83,14 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         f"({stats.repartition_count} repartitions); "
         f"compute {stats.timers.get('compute'):.2f}s "
         f"io {stats.timers.get('io'):.2f}s",
+        file=sys.stderr,
+    )
+    par = stats.parallelism_summary()
+    print(
+        f"join backend {par['backend']}: {par['chunks']} chunks "
+        f"(worst balance {par['worst_chunk_balance']}x), "
+        f"pool {par['pool_s']}s vs serial-estimate {par['serial_estimate_s']}s "
+        f"(~{par['speedup_estimate']}x)",
         file=sys.stderr,
     )
     if args.label:
@@ -151,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     closure.add_argument("--workdir", default=None)
     closure.add_argument("--threads", type=int, default=1)
+    closure.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="join data plane (default: thread when --threads > 1, else "
+        "serial; process = shared-memory worker pool)",
+    )
     closure.set_defaults(func=_cmd_closure)
 
     workload = sub.add_parser("workload", help="generate an evaluation codebase")

@@ -7,6 +7,16 @@ from repro.engine.engine import (
 )
 from repro.engine.join import CsrView, apply_unary_closure, join_edges
 from repro.engine.naive import naive_closure
+from repro.engine.parallel import (
+    BACKENDS,
+    JoinBackend,
+    JoinTelemetry,
+    ProcessJoinBackend,
+    SerialJoinBackend,
+    ThreadJoinBackend,
+    make_backend,
+    shared_memory_available,
+)
 from repro.engine.scheduler import RoundRobinScheduler, Scheduler
 from repro.engine.stats import EngineStats, SuperstepRecord
 from repro.engine.superstep import SuperstepResult, run_superstep
@@ -19,6 +29,14 @@ __all__ = [
     "apply_unary_closure",
     "join_edges",
     "naive_closure",
+    "BACKENDS",
+    "JoinBackend",
+    "JoinTelemetry",
+    "ProcessJoinBackend",
+    "SerialJoinBackend",
+    "ThreadJoinBackend",
+    "make_backend",
+    "shared_memory_available",
     "Scheduler",
     "RoundRobinScheduler",
     "EngineStats",

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.engine.parallel import BACKENDS, JoinBackend, make_backend
 from repro.engine.scheduler import Scheduler
 from repro.engine.stats import EngineStats, SuperstepRecord
 from repro.engine.superstep import run_superstep
@@ -119,7 +120,16 @@ class GraspanEngine:
         Directory for partition files.  ``None`` keeps all partitions
         resident (only sensible with small graphs).
     num_threads:
-        Worker threads for the parallel join (the paper used 8).
+        Workers for the parallel join (the paper used 8) — threads for
+        the ``thread`` backend, processes for ``process``.
+    parallel_backend:
+        Which join data plane to use: ``"serial"``, ``"thread"``, or
+        ``"process"`` (shared-memory worker pool, the only one that
+        escapes the GIL).  ``None`` auto-selects from ``num_threads``:
+        ``thread`` when ``num_threads > 1``, else ``serial``.  The pool
+        is created once per :meth:`run` and reused across supersteps;
+        ``process`` falls back to ``thread`` when shared memory is
+        unavailable.
     """
 
     def __init__(
@@ -132,12 +142,19 @@ class GraspanEngine:
         scheduler: Optional[Scheduler] = None,
         max_supersteps: int = 1_000_000,
         repartition_growth: float = 2.0,
+        parallel_backend: Optional[str] = None,
     ) -> None:
+        if parallel_backend is not None and parallel_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown parallel_backend {parallel_backend!r}; "
+                f"choose from {BACKENDS}"
+            )
         self.grammar = grammar
         self.max_edges_per_partition = max_edges_per_partition
         self.num_partitions = num_partitions
         self.workdir = workdir
         self.num_threads = num_threads
+        self.parallel_backend = parallel_backend
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.max_supersteps = max_supersteps
         self.repartition_growth = repartition_growth
@@ -160,30 +177,45 @@ class GraspanEngine:
         )
         stats.initial_partitions = pset.num_partitions
 
-        mid_limit = 0
-        if self.max_edges_per_partition is not None:
-            # Two partitions loaded at once; allow growth before the
-            # mid-superstep bail-out kicks in.
-            mid_limit = int(
-                2 * self.max_edges_per_partition * max(self.repartition_growth, 1.0) * 2
-            )
+        mid_limit = self.mid_superstep_limit()
 
-        while True:
-            pair = self.scheduler.choose_pair(pset.ddm, pset.resident_pids())
-            if pair is None:
-                break
-            if len(stats.supersteps) >= self.max_supersteps:
-                raise RuntimeError(
-                    f"exceeded max_supersteps={self.max_supersteps}; "
-                    "the computation may be diverging"
-                )
-            self._run_one_superstep(pset, pair, mid_limit, stats)
+        # The backend (and its worker pool / shared segments) lives for
+        # the whole run; the context manager guarantees shutdown even if
+        # a superstep raises.
+        with make_backend(
+            self.parallel_backend, self.grammar, self.num_threads
+        ) as backend:
+            while True:
+                pair = self.scheduler.choose_pair(pset.ddm, pset.resident_pids())
+                if pair is None:
+                    break
+                if len(stats.supersteps) >= self.max_supersteps:
+                    raise RuntimeError(
+                        f"exceeded max_supersteps={self.max_supersteps}; "
+                        "the computation may be diverging"
+                    )
+                self._run_one_superstep(pset, pair, mid_limit, stats, backend)
 
         if pset.store.disk_backed:
             pset.evict_all_except(())
         stats.final_edges = pset.total_edges()
         stats.final_partitions = pset.num_partitions
         return GraspanComputation(pset, self.grammar, stats)
+
+    def mid_superstep_limit(self) -> int:
+        """The resident-edge budget that triggers a mid-superstep bail-out.
+
+        Two partitions are loaded at once, each allowed to grow by
+        ``repartition_growth`` before splitting — so the budget is
+        exactly ``2 * max_edges_per_partition * growth``.  (A historical
+        bug doubled this again, silently quadrupling the documented
+        budget and delaying the §4.3 bail-out.)  0 disables the check.
+        """
+        if self.max_edges_per_partition is None:
+            return 0
+        return int(
+            2 * self.max_edges_per_partition * max(self.repartition_growth, 1.0)
+        )
 
     def _empty_computation(self, graph: MemGraph) -> GraspanComputation:
         """A trivial result for graphs with nothing to compute."""
@@ -211,6 +243,7 @@ class GraspanEngine:
         pair: Tuple[int, int],
         mid_limit: int,
         stats: EngineStats,
+        backend: JoinBackend,
     ) -> None:
         p, q = min(pair), max(pair)
         loaded = (p,) if p == q else (p, q)
@@ -229,6 +262,7 @@ class GraspanEngine:
                 self.grammar,
                 memory_limit_edges=mid_limit,
                 num_threads=self.num_threads,
+                backend=backend,
             )
         seconds = watch.stop()
 
@@ -253,6 +287,7 @@ class GraspanEngine:
 
         self._maybe_repartition(pset, loaded, stats)
 
+        telemetry = result.telemetry
         stats.supersteps.append(
             SuperstepRecord(
                 pair=(p, q),
@@ -261,6 +296,13 @@ class GraspanEngine:
                 seconds=seconds,
                 completed=result.completed,
                 num_partitions_after=pset.num_partitions,
+                backend=telemetry.backend if telemetry else "serial",
+                chunk_count=telemetry.chunk_count if telemetry else 0,
+                chunk_balance=telemetry.chunk_balance if telemetry else 1.0,
+                pool_seconds=telemetry.pool_seconds if telemetry else 0.0,
+                serial_estimate_seconds=(
+                    telemetry.serial_estimate_seconds if telemetry else 0.0
+                ),
             )
         )
 

@@ -174,37 +174,12 @@ def join_edges_chunked(
     parallelism ("create a separate thread to process each vertex"); the
     result is identical regardless of chunk boundaries because duplicates
     are eliminated downstream.
+
+    Convenience wrapper over the :mod:`repro.engine.parallel` backends
+    for one-shot joins; the engine itself holds a persistent backend so
+    pools and shared-memory snapshots survive across supersteps.
     """
-    tasks = []
-    for right in rights:
-        if right.num_edges == 0:
-            continue
-        if num_threads <= 1 or len(left_src) < 2 * num_threads:
-            tasks.append((left_src, left_keys, right))
-        else:
-            bounds = np.linspace(0, len(left_src), num_threads + 1, dtype=np.int64)
-            for i in range(num_threads):
-                lo, hi = int(bounds[i]), int(bounds[i + 1])
-                if hi > lo:
-                    tasks.append((left_src[lo:hi], left_keys[lo:hi], right))
+    from repro.engine.parallel import make_backend
 
-    if not tasks:
-        return packed.EMPTY, packed.EMPTY
-
-    if num_threads <= 1 or len(tasks) == 1:
-        results = [join_edges(s, k, r, grammar, head_mask) for s, k, r in tasks]
-    else:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=num_threads) as pool:
-            results = list(
-                pool.map(
-                    lambda t: join_edges(t[0], t[1], t[2], grammar, head_mask), tasks
-                )
-            )
-
-    srcs = [s for s, _ in results if len(s)]
-    keys = [k for _, k in results if len(k)]
-    if not srcs:
-        return packed.EMPTY, packed.EMPTY
-    return np.concatenate(srcs), np.concatenate(keys)
+    with make_backend(None, grammar, num_threads, head_mask=head_mask) as backend:
+        return backend.join_arrays(left_src, left_keys, rights)

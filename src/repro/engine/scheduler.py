@@ -22,10 +22,18 @@ class Scheduler:
 
     ``slack`` is the relative score window within which pairs are
     considered "similar" and residency breaks the tie (0.1 = within 10%
-    of the best score).
+    of the best score).  Must lie in ``[0, 1)``: a negative slack (or
+    ``>= 1``) would make the score threshold non-positive and silently
+    degrade pair selection to "any dirty pair wins on residency".
     """
 
     slack: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.slack < 1.0:
+            raise ValueError(
+                f"slack must be in [0, 1); got {self.slack!r}"
+            )
 
     def choose_pair(
         self,

@@ -10,7 +10,15 @@ from repro.util.timing import TimeBreakdown
 
 @dataclass
 class SuperstepRecord:
-    """One row of the superstep log."""
+    """One row of the superstep log.
+
+    The last five fields carry the join backend's parallelism telemetry
+    (see :class:`repro.engine.parallel.JoinTelemetry`): how many left
+    chunks were dispatched, how uneven the largest chunk was relative to
+    the mean (1.0 = perfectly balanced), wall time spent in the pool,
+    and the summed per-chunk kernel time — the serial estimate the pool
+    wall time is compared against to gauge realized speedup.
+    """
 
     pair: Tuple[int, int]
     iterations: int
@@ -18,6 +26,17 @@ class SuperstepRecord:
     seconds: float
     completed: bool
     num_partitions_after: int
+    backend: str = "serial"
+    chunk_count: int = 0
+    chunk_balance: float = 1.0
+    pool_seconds: float = 0.0
+    serial_estimate_seconds: float = 0.0
+
+    @property
+    def speedup_estimate(self) -> float:
+        if self.pool_seconds <= 0.0:
+            return 1.0
+        return self.serial_estimate_seconds / self.pool_seconds
 
 
 @dataclass
@@ -68,6 +87,29 @@ class EngineStats:
             out.append(running)
         return out
 
+    def parallelism_summary(self) -> Dict[str, object]:
+        """Aggregate join-backend telemetry across all supersteps.
+
+        ``speedup_estimate`` compares the summed per-chunk kernel time
+        against the pool wall time — the realized parallel efficiency
+        without paying for a second, serial run.
+        """
+        pool = sum(r.pool_seconds for r in self.supersteps)
+        serial = sum(r.serial_estimate_seconds for r in self.supersteps)
+        chunks = sum(r.chunk_count for r in self.supersteps)
+        backend = self.supersteps[-1].backend if self.supersteps else "serial"
+        worst_balance = max(
+            (r.chunk_balance for r in self.supersteps), default=1.0
+        )
+        return {
+            "backend": backend,
+            "chunks": chunks,
+            "worst_chunk_balance": round(worst_balance, 2),
+            "pool_s": round(pool, 3),
+            "serial_estimate_s": round(serial, 3),
+            "speedup_estimate": round(serial / pool, 2) if pool > 0 else 1.0,
+        }
+
     def summary(self) -> Dict[str, object]:
         """A flat dict for table rendering and JSON dumps."""
         return {
@@ -84,4 +126,8 @@ class EngineStats:
             "preprocess_s": round(self.timers.get("preprocess"), 3),
             "total_s": round(self.timers.total(), 3),
             "peak_resident_edges": self.peak_resident_edges,
+            "backend": (
+                self.supersteps[-1].backend if self.supersteps else "serial"
+            ),
+            "parallel_speedup": self.parallelism_summary()["speedup_estimate"],
         }

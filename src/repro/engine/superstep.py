@@ -19,11 +19,11 @@ iteration adds an edge, or early when the in-memory edge count crosses
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.join import CsrView, apply_unary_closure, join_edges_chunked
+from repro.engine.join import CsrView, apply_unary_closure
 from repro.graph import packed
 from repro.grammar.grammar import FrozenGrammar
 
@@ -37,6 +37,7 @@ class SuperstepResult:
     added_keys: np.ndarray  # packed (target, label) of every edge added
     iterations: int
     completed: bool  # False if stopped early by the memory limit
+    telemetry: Optional["JoinTelemetry"] = None  # backend parallelism counters
 
     @property
     def edges_added(self) -> int:
@@ -58,7 +59,14 @@ def _edges_of(adjacency: Dict[int, np.ndarray]) -> Tuple[np.ndarray, np.ndarray]
 def _group_candidates(
     cand_src: np.ndarray, cand_keys: np.ndarray
 ) -> List[Tuple[int, np.ndarray]]:
-    """Sort/dedup raw join output and group it by source vertex."""
+    """Sort/dedup raw join output and group it by source vertex.
+
+    Safe on empty input (a per-worker shard of the process backend can
+    legitimately produce nothing): returns an empty list rather than
+    tripping over the degenerate ``[0, 0]`` boundary array.
+    """
+    if len(cand_src) == 0:
+        return []
     order = np.lexsort((cand_keys, cand_src))
     src, keys = cand_src[order], cand_keys[order]
     keep = np.ones(len(src), dtype=bool)
@@ -77,14 +85,29 @@ def run_superstep(
     grammar: FrozenGrammar,
     memory_limit_edges: int = 0,
     num_threads: int = 1,
+    backend: Optional["JoinBackend"] = None,
 ) -> SuperstepResult:
     """Run Algorithm 1 to a fixed point over ``adjacency``.
 
     ``adjacency`` maps every loaded source vertex to its sorted packed
     edge array (the combined edge lists of the loaded partitions).  A
     ``memory_limit_edges`` of 0 disables the early-stop check.
+
+    All edge-pair joins route through ``backend`` (a
+    :class:`~repro.engine.parallel.JoinBackend`).  When ``backend`` is
+    None a transient one is built from ``num_threads`` (the historical
+    behaviour: a thread pool when ``num_threads > 1``) and torn down
+    before returning.
     """
-    head_mask = grammar.head_labels()
+    from repro.engine.parallel import make_backend
+
+    if backend is None:
+        with make_backend(None, grammar, num_threads) as owned:
+            return run_superstep(
+                adjacency, grammar, memory_limit_edges, num_threads, owned
+            )
+
+    backend.begin_superstep()
 
     old: Dict[int, np.ndarray] = {}
     new: Dict[int, np.ndarray] = {}
@@ -112,19 +135,14 @@ def run_superstep(
             break
         iterations += 1
 
+        backend.begin_iteration()
         new_csr = CsrView.from_dict(new)
         old_csr = CsrView.from_dict(old)
-        old_src, old_keys = _edges_of(old)
-        new_src, new_keys = _edges_of(new)
 
         # Component 1 (lines 7-14): old edges × new continuation lists.
-        c1_src, c1_keys = join_edges_chunked(
-            old_src, old_keys, [new_csr], grammar, head_mask, num_threads
-        )
+        c1_src, c1_keys = backend.join_views(old_csr, [new_csr])
         # Component 2 (lines 15-20): new edges × all continuation lists.
-        c2_src, c2_keys = join_edges_chunked(
-            new_src, new_keys, [old_csr, new_csr], grammar, head_mask, num_threads
-        )
+        c2_src, c2_keys = backend.join_views(new_csr, [old_csr, new_csr])
         cand_src = np.concatenate([c1_src, c2_src])
         cand_keys = np.concatenate([c1_keys, c2_keys])
 
@@ -173,10 +191,12 @@ def run_superstep(
     else:
         added_src, added_keys = packed.EMPTY, packed.EMPTY
 
+    backend.end_superstep()
     return SuperstepResult(
         adjacency=final,
         added_src=added_src,
         added_keys=added_keys,
         iterations=iterations,
         completed=completed,
+        telemetry=backend.telemetry,
     )

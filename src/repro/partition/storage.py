@@ -8,6 +8,7 @@ Graspan's I/O cost low (§5.2).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -22,7 +23,14 @@ PathLike = Union[str, Path]
 
 
 def save_partition(partition: Partition, path: PathLike) -> None:
-    """Serialize ``partition`` to ``path`` (.npz)."""
+    """Serialize ``partition`` to ``path`` (.npz), atomically.
+
+    The bytes land in a ``*.tmp`` sibling first and are renamed into
+    place with :func:`os.replace`, so a crash mid-write can never leave
+    a truncated archive at the final path — readers see either the old
+    complete file or the new complete file, never a torn one.
+    """
+    path = Path(path)
     vertices = np.asarray(sorted(partition.adjacency), dtype=np.int64)
     lengths = np.asarray(
         [len(partition.adjacency[int(v)]) for v in vertices], dtype=np.int64
@@ -33,18 +41,32 @@ def save_partition(partition: Partition, path: PathLike) -> None:
         keys = np.concatenate([partition.adjacency[int(v)] for v in vertices])
     else:
         keys = packed.EMPTY
-    np.savez(
-        Path(path),
-        lo=np.asarray([partition.interval.lo], dtype=np.int64),
-        hi=np.asarray([partition.interval.hi], dtype=np.int64),
-        vertices=vertices,
-        indptr=indptr,
-        keys=keys,
-    )
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        # np.savez on an open file object: no implicit .npz suffix games.
+        with open(tmp, "wb") as fh:
+            np.savez(
+                fh,
+                lo=np.asarray([partition.interval.lo], dtype=np.int64),
+                hi=np.asarray([partition.interval.hi], dtype=np.int64),
+                vertices=vertices,
+                indptr=indptr,
+                keys=keys,
+            )
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def load_partition(path: PathLike) -> Partition:
-    """Deserialize a partition written by :func:`save_partition`."""
+    """Deserialize a partition written by :func:`save_partition`.
+
+    Adjacency rows are zero-copy slices of the one ``keys`` array loaded
+    from the archive (they share its buffer); callers never mutate rows
+    in place — merges always allocate fresh arrays — so the per-row copy
+    this used to make was pure overhead.
+    """
     with np.load(Path(path)) as data:
         interval = Interval(int(data["lo"][0]), int(data["hi"][0]))
         vertices = data["vertices"]
@@ -52,7 +74,7 @@ def load_partition(path: PathLike) -> Partition:
         keys = data["keys"]
         adjacency: Dict[int, np.ndarray] = {}
         for i, v in enumerate(vertices):
-            adjacency[int(v)] = keys[indptr[i] : indptr[i + 1]].copy()
+            adjacency[int(v)] = keys[indptr[i] : indptr[i + 1]]
     return Partition(interval, adjacency)
 
 

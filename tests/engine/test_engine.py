@@ -120,6 +120,36 @@ class TestLabelAlignment:
         assert comp.num_edges >= 1
 
 
+class TestMidSuperstepLimit:
+    def test_limit_is_twice_partition_budget(self, reach):
+        """Regression: the budget was doubled twice (2 * max * growth * 2),
+        silently quadrupling the documented resident-edge ceiling."""
+        engine = GraspanEngine(
+            reach, max_edges_per_partition=15, repartition_growth=2.0
+        )
+        assert engine.mid_superstep_limit() == 60  # 2 * 15 * 2.0
+
+    def test_limit_disabled_in_memory_mode(self, reach):
+        assert GraspanEngine(reach).mid_superstep_limit() == 0
+
+    def test_growth_below_one_clamped(self, reach):
+        engine = GraspanEngine(
+            reach, max_edges_per_partition=10, repartition_growth=0.5
+        )
+        assert engine.mid_superstep_limit() == 20
+
+    def test_limit_triggers_incomplete_supersteps(self, reach, tmp_path):
+        """With small partitions the bail-out must actually fire — at the
+        quadrupled limit this run completed every superstep in one go."""
+        edges = [(i, i + 1, 0) for i in range(40)]
+        graph = MemGraph.from_edges(edges, label_names=["E"])
+        comp = GraspanEngine(
+            reach, max_edges_per_partition=15, workdir=tmp_path
+        ).run(graph)
+        assert any(not r.completed for r in comp.stats.supersteps)
+        assert closure_set(comp) == naive_closure(edges, reach)
+
+
 class TestThreadsAndDeterminism:
     def test_num_threads_same_result(self, dyck, tmp_path):
         import random

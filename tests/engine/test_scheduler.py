@@ -43,6 +43,19 @@ class TestScheduler:
         assert len(pairs) == 1
 
 
+class TestSlackValidation:
+    @pytest.mark.parametrize("slack", [-0.1, -1.0, 1.0, 1.5])
+    def test_out_of_range_slack_rejected(self, slack):
+        """Regression: slack >= 1 made every dirty pair 'within slack' of
+        the best, so residency silently overrode the DDM priorities."""
+        with pytest.raises(ValueError, match="slack"):
+            Scheduler(slack=slack)
+
+    @pytest.mark.parametrize("slack", [0.0, 0.1, 0.99])
+    def test_valid_slack_accepted(self, slack):
+        assert Scheduler(slack=slack).slack == slack
+
+
 class TestRoundRobin:
     def test_cycles_through_dirty_pairs(self):
         ddm = ddm_from([[1, 1], [1, 1]])

@@ -1,0 +1,93 @@
+"""Regression tests for atomic partition writes and zero-copy loads.
+
+A crash mid-``save_partition`` used to leave a truncated ``.npz`` at the
+final path, which a later superstep would try to load; writes now land
+in a ``*.tmp`` sibling and are renamed into place with ``os.replace``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_pairs
+from repro.partition import Interval, Partition, load_partition, save_partition
+from repro.partition import storage
+
+
+def make_partition():
+    return Partition(
+        Interval(0, 9),
+        {1: from_pairs([(2, 0), (3, 1)]), 4: from_pairs([(1, 0)])},
+    )
+
+
+class CrashMidWrite(RuntimeError):
+    pass
+
+
+@pytest.fixture
+def crashing_savez(monkeypatch):
+    """np.savez that writes some real bytes, then dies (a torn write)."""
+
+    def boom(fh, **arrays):
+        fh.write(b"PK\x03\x04 partial archive bytes")
+        raise CrashMidWrite("disk full")
+
+    monkeypatch.setattr(storage.np, "savez", boom)
+
+
+class TestAtomicSave:
+    def test_roundtrip_still_works(self, tmp_path):
+        p = make_partition()
+        path = tmp_path / "p.npz"
+        save_partition(p, path)
+        loaded = load_partition(path)
+        assert loaded.interval == p.interval
+        assert list(loaded.edges()) == list(p.edges())
+        assert list(tmp_path.iterdir()) == [path]  # no tmp leftovers
+
+    def test_crash_leaves_no_file(self, tmp_path, crashing_savez):
+        path = tmp_path / "p.npz"
+        with pytest.raises(CrashMidWrite):
+            save_partition(make_partition(), path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []  # tmp sibling cleaned up too
+
+    def test_crash_preserves_previous_version(self, tmp_path, monkeypatch):
+        p = make_partition()
+        path = tmp_path / "p.npz"
+        save_partition(p, path)
+
+        real_savez = storage.np.savez
+
+        def boom(fh, **arrays):
+            real_savez(fh, **{k: v[: len(v) // 2] for k, v in arrays.items()})
+            raise CrashMidWrite("power loss")
+
+        monkeypatch.setattr(storage.np, "savez", boom)
+        with pytest.raises(CrashMidWrite):
+            save_partition(Partition(Interval(0, 9), {}), path)
+        # the old complete file is still there, fully readable
+        loaded = load_partition(path)
+        assert list(loaded.edges()) == list(p.edges())
+        assert list(tmp_path.iterdir()) == [path]
+
+
+class TestZeroCopyLoad:
+    def test_rows_share_one_buffer(self, tmp_path):
+        """Adjacency rows are slices of the loaded keys array, not copies."""
+        path = tmp_path / "p.npz"
+        save_partition(make_partition(), path)
+        loaded = load_partition(path)
+        bases = {id(row.base) for row in loaded.adjacency.values()}
+        assert all(row.base is not None for row in loaded.adjacency.values())
+        assert len(bases) == 1
+
+    def test_merge_after_load_does_not_corrupt_siblings(self, tmp_path):
+        """Merging into one row must not disturb rows sharing the buffer."""
+        path = tmp_path / "p.npz"
+        save_partition(make_partition(), path)
+        loaded = load_partition(path)
+        before = {v: row.copy() for v, row in loaded.adjacency.items()}
+        loaded.merge_new_edges(1, from_pairs([(7, 1)]))
+        assert np.array_equal(loaded.adjacency[4], before[4])
+        assert len(loaded.adjacency[1]) == len(before[1]) + 1
