@@ -15,7 +15,7 @@ from repro.bench import (
     rows_from_dicts,
     save_and_print,
 )
-from repro.grammar import pointsto_grammar_extended, reachability_grammar
+from repro.grammar import pointsto_grammar_extended
 from benchmarks.conftest import results_path
 
 

@@ -7,7 +7,6 @@ are sequential"), and large graphs need several partitions and
 supersteps.
 """
 
-import pytest
 
 from repro.bench import (
     figure4_series,

@@ -36,6 +36,8 @@ from repro.analysis import (
     NullDataflowAnalysis,
     PointsToAnalysis,
     PointsToResult,
+    RaceAnalysis,
+    RaceResult,
     SourceFlowResult,
     TaintDataflowAnalysis,
 )
@@ -49,7 +51,7 @@ from repro.grammar import (
     pointsto_grammar_extended,
 )
 from repro.graph import MemGraph
-from repro.checkers import check_program, run_analyses, run_checkers
+from repro.checkers import RaceChecker, check_program, run_analyses, run_checkers
 
 __version__ = "1.0.0"
 
@@ -75,6 +77,9 @@ __all__ = [
     "SourceFlowResult",
     "EscapeAnalysis",
     "EscapeResult",
+    "RaceAnalysis",
+    "RaceResult",
+    "RaceChecker",
     "check_program",
     "run_analyses",
     "run_checkers",

@@ -19,6 +19,12 @@ from repro.analysis.dataflow import (
     TaintDataflowAnalysis,
 )
 from repro.analysis.escape import EscapeAnalysis, EscapeInfo, EscapeResult
+from repro.analysis.races import (
+    Access,
+    RaceAnalysis,
+    RaceReport,
+    RaceResult,
+)
 
 __all__ = [
     "PointsToAnalysis",
@@ -30,4 +36,8 @@ __all__ = [
     "EscapeAnalysis",
     "EscapeInfo",
     "EscapeResult",
+    "Access",
+    "RaceAnalysis",
+    "RaceReport",
+    "RaceResult",
 ]

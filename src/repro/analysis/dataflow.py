@@ -18,9 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
-
-import numpy as np
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.engine.engine import GraspanComputation, GraspanEngine
 from repro.frontend.graphgen import ProgramGraphs

@@ -21,16 +21,19 @@ tree *is* the call tree.  An object allocated in clone ``c`` of function
 * a **dereference** vertex (stored into some heap cell; field-insensitive
   like the rest of the system, so any heap store is treated as escaping),
 * a **same-context vertex of a different function** (only possible inside
-  a collapsed recursion group, where frame lifetimes are merged).
+  a collapsed recursion group, where frame lifetimes are merged), or
+* a **spawned-thread clone** (the value crossed a ``spawn`` boundary on
+  its way down: the thread runs concurrently with — and may outlive —
+  the allocator's frame, so thread-locality is gone).
 
-Flowing *down* into callee clones is not an escape: those frames die
-before the allocator's does.
+Flowing *down* into (non-spawned) callee clones is not an escape: those
+frames die before the allocator's does.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.analysis.pointsto import PointsToResult
 from repro.frontend.graphgen import ProgramGraphs
@@ -45,7 +48,8 @@ class EscapeInfo:
     context: int
     symbol: str  # e.g. "alloc@12.1"
     escapes: bool
-    reasons: Tuple[str, ...]  # subset of {"global", "caller", "heap", "recursion"}
+    #: subset of {"global", "caller", "heap", "recursion", "thread"}
+    reasons: Tuple[str, ...]
 
 
 class EscapeResult:
@@ -121,7 +125,9 @@ class EscapeAnalysis:
                     acc.add("recursion")
                 continue  # same frame: stays local
             if namer.is_context_ancestor(obj_ctx, var_ctx):
-                continue  # flowed *down* into a callee: dies first
+                if self._crosses_spawn(pg, obj_ctx, var_ctx):
+                    acc.add("thread")
+                continue  # flowed *down* into a plain callee: dies first
             acc.add("caller")
 
         infos = [
@@ -136,3 +142,17 @@ class EscapeAnalysis:
             for obj, reason_set in sorted(reasons.items())
         ]
         return EscapeResult(infos)
+
+    @staticmethod
+    def _crosses_spawn(pg: ProgramGraphs, obj_ctx: int, var_ctx: int) -> bool:
+        """Does the context path from ``obj_ctx`` down to ``var_ctx`` cross
+        a ``spawn`` boundary?  ``var_ctx`` must be a strict descendant."""
+        if not pg.spawn_contexts:
+            return False
+        namer = pg.namer
+        ctx = var_ctx
+        while ctx != obj_ctx and ctx != 0:
+            if ctx in pg.spawn_contexts:
+                return True
+            ctx = namer.context_parent(ctx)
+        return False

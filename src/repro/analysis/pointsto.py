@@ -12,8 +12,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
-import numpy as np
-
 from repro.engine.engine import GraspanComputation, GraspanEngine
 from repro.frontend.graphgen import ProgramGraphs
 from repro.frontend.graphs import pointer_graph

@@ -1,0 +1,367 @@
+"""Lockset-based data race detection: a fourth client of the engine.
+
+The paper's thesis is that many interprocedural analyses become cheap
+once the transitive closure is materialized (§3, §6).  This module adds
+the classic concurrency example: an **Eraser-style lockset race
+detector**, made interprocedural and alias-aware by the already-computed
+pointer closure — no second engine run is needed.
+
+The pieces, all derived from existing artifacts:
+
+* **Threads.**  ``spawn f(args);`` sites create clone contexts marked in
+  :attr:`ProgramGraphs.spawn_contexts`.  Every context belongs to the
+  thread of its nearest spawn ancestor (the root context is the main
+  thread), so the clone tree partitions all code into static threads.
+
+* **Shared objects.**  An allocation-site clone can be touched by two
+  threads only if it escapes its allocating frame: it reached a global,
+  or flowed *down across a spawn boundary* (the escape analysis'
+  ``thread`` reason).  Non-escaping objects are thread-local by
+  construction — context-sensitive cloning already gives each spawned
+  thread its own copy of the allocation sites it executes.
+
+* **Locksets.**  Each function instance is scanned once; ``lock(x)`` /
+  ``unlock(x)`` maintain the set of held locks, where a lock's
+  *identity* is the points-to set of ``x`` in that clone — two
+  differently-named variables holding the same lock object protect the
+  same data, and ``unlock`` through an alias releases the matching
+  acquisition.  At a call site the callee clone inherits the caller's
+  current lockset (summary-based must-hold propagation down the context
+  tree); at a ``spawn`` site the new thread starts with an **empty**
+  lockset — locks held while spawning are not held by the spawned body.
+
+* **Races.**  Two accesses to one shared object race when they come from
+  different threads, at least one writes, and their locksets share no
+  lock identity.
+
+Like the checkers, the per-function scan is straight-line (guards are
+ignored); path-sensitive must-hold information is out of scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from repro.analysis.escape import EscapeAnalysis, EscapeResult
+from repro.analysis.pointsto import PointsToResult
+from repro.frontend.graphgen import ProgramGraphs
+
+#: A lock identity token: an allocation-site vertex id, or a name-based
+#: fallback string when the lock variable has no points-to facts.
+LockToken = Union[int, str]
+
+
+@dataclass(frozen=True)
+class HeldLock:
+    """One acquired lock: the acquiring variable plus its identity."""
+
+    name: str  # source variable at the acquisition site
+    tokens: FrozenSet[LockToken]  # identity: points-to objects (or name)
+
+
+Lockset = FrozenSet[HeldLock]
+
+
+def locksets_share_lock(a: Lockset, b: Lockset) -> bool:
+    """Do the two locksets hold at least one common lock object?"""
+    for la in a:
+        for lb in b:
+            if la.tokens & lb.tokens:
+                return True
+    return False
+
+
+@dataclass(frozen=True)
+class Access:
+    """One heap access (a load or store through a pointer) in one clone."""
+
+    function: str
+    context: int
+    thread: int  # spawn context of the owning thread (0 = main)
+    var: str  # the pointer variable dereferenced
+    line: int
+    is_write: bool
+    objects: FrozenSet[int]  # allocation-site vertices it may touch
+    lockset: Lockset
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two conflicting accesses on one shared object."""
+
+    object_vid: int
+    object_desc: str
+    first: Access
+    second: Access
+
+    def describe(self) -> str:
+        def side(a: Access) -> str:
+            kind = "write" if a.is_write else "read"
+            locks = (
+                "{" + ", ".join(sorted(h.name for h in a.lockset)) + "}"
+                if a.lockset
+                else "{}"
+            )
+            return f"{kind} of *{a.var} in {a.function}:{a.line} holding {locks}"
+
+        return (
+            f"race on {self.object_desc}: "
+            f"{side(self.first)} vs {side(self.second)}"
+        )
+
+
+class RaceResult:
+    """Race reports plus the intermediate facts, for reporting."""
+
+    def __init__(
+        self,
+        reports: List[RaceReport],
+        shared_objects: Dict[int, str],
+        accesses: List[Access],
+        num_threads: int,
+    ) -> None:
+        self.reports = reports
+        self.shared_objects = shared_objects
+        self.accesses = accesses
+        self.num_threads = num_threads
+
+    @property
+    def num_reports(self) -> int:
+        return len(self.reports)
+
+    @property
+    def num_shared_objects(self) -> int:
+        return len(self.shared_objects)
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.accesses)
+
+
+@dataclass
+class RaceAnalysis:
+    """Interprocedural lockset race detection over the pointer closure.
+
+    ``run`` consumes an existing :class:`PointsToResult` (and optionally
+    an existing :class:`EscapeResult`); it never launches a second
+    engine computation.
+    """
+
+    def run(
+        self,
+        pg: ProgramGraphs,
+        pointsto: PointsToResult,
+        escape: Optional[EscapeResult] = None,
+    ) -> RaceResult:
+        if not pg.spawn_contexts:
+            return RaceResult([], {}, [], num_threads=1)
+        if escape is None:
+            escape = EscapeAnalysis().run(pg, pointsto)
+
+        namer = pg.namer
+        escaping: Dict[int, bool] = {i.object_vid: i.escapes for i in escape}
+        thread_of = self._thread_map(pg)
+
+        # child contexts per (parent ctx, caller, line, callee) call site
+        children: Dict[Tuple[int, str, int, str], List[int]] = {}
+        for ctx, site in pg.context_call_sites.items():
+            key = (namer.context_parent(ctx), site.caller, site.line, site.callee)
+            children.setdefault(key, []).append(ctx)
+
+        ctx_functions: Dict[int, List[str]] = {}
+        for fname, ctxs in pg.instance_contexts.items():
+            for ctx in ctxs:
+                ctx_functions.setdefault(ctx, []).append(fname)
+
+        entry_locks: Dict[int, Lockset] = {0: frozenset()}
+        accesses: List[Access] = []
+        # Ascending order: every context id is greater than its parent's,
+        # so a clone's entry lockset is always recorded before its scan.
+        for ctx in sorted(ctx_functions):
+            entry = entry_locks.get(ctx, frozenset())
+            for fname in sorted(ctx_functions[ctx]):
+                self._scan_instance(
+                    pg, pointsto, fname, ctx, entry, thread_of,
+                    children, entry_locks, accesses,
+                )
+
+        return self._pair_races(namer, escaping, accesses, thread_of)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _thread_map(pg: ProgramGraphs) -> Dict[int, int]:
+        """context -> owning thread (its nearest spawn ancestor, or 0)."""
+        namer = pg.namer
+        thread_of: Dict[int, int] = {0: 0}
+        for ctx in range(1, namer.num_contexts):
+            if ctx in pg.spawn_contexts:
+                thread_of[ctx] = ctx
+            else:
+                thread_of[ctx] = thread_of[namer.context_parent(ctx)]
+        return thread_of
+
+    def _scan_instance(
+        self,
+        pg: ProgramGraphs,
+        pointsto: PointsToResult,
+        fname: str,
+        ctx: int,
+        entry: Lockset,
+        thread_of: Dict[int, int],
+        children: Dict[Tuple[int, str, int, str], List[int]],
+        entry_locks: Dict[int, Lockset],
+        accesses: List[Access],
+    ) -> None:
+        """One straight-line pass over a function clone: maintain the
+        lockset, record heap accesses, seed callee-clone entry locksets."""
+        namer = pg.namer
+        func = pg.lowered.functions[fname]
+        local_names = set(func.params) | set(func.locals)
+        held: List[HeldLock] = list(entry)
+        for stmt in func.stmts:
+            if stmt.kind == "lock" and stmt.rhs:
+                held.append(
+                    HeldLock(
+                        name=stmt.rhs,
+                        tokens=self._lock_identity(
+                            pg, pointsto, fname, ctx, local_names, stmt.rhs
+                        ),
+                    )
+                )
+            elif stmt.kind == "unlock" and stmt.rhs:
+                identity = self._lock_identity(
+                    pg, pointsto, fname, ctx, local_names, stmt.rhs
+                )
+                self._release(held, stmt.rhs, identity)
+            elif stmt.kind in ("load", "store"):
+                var = stmt.rhs if stmt.kind == "load" else stmt.lhs
+                if not var:
+                    continue
+                vid = self._var_vid(pg, fname, ctx, local_names, var)
+                if vid is None:
+                    continue
+                objects = frozenset(
+                    obj
+                    for obj in pointsto.points_to(vid)
+                    if namer.symbol(obj).startswith("alloc@")
+                )
+                if not objects:
+                    continue
+                accesses.append(
+                    Access(
+                        function=fname,
+                        context=ctx,
+                        thread=thread_of[ctx],
+                        var=var,
+                        line=stmt.line,
+                        is_write=stmt.kind == "store",
+                        objects=objects,
+                        lockset=frozenset(held),
+                    )
+                )
+            elif stmt.kind in ("call", "spawn") and stmt.callee:
+                key = (ctx, fname, stmt.line, stmt.callee)
+                for child in children.get(key, ()):
+                    entry_locks[child] = (
+                        frozenset() if stmt.kind == "spawn" else frozenset(held)
+                    )
+
+    @staticmethod
+    def _release(held: List[HeldLock], name: str, identity: FrozenSet) -> None:
+        """Drop the most recent acquisition matching by name or identity."""
+        for i in range(len(held) - 1, -1, -1):
+            if held[i].name == name or (held[i].tokens & identity):
+                del held[i]
+                return
+
+    def _lock_identity(
+        self,
+        pg: ProgramGraphs,
+        pointsto: PointsToResult,
+        fname: str,
+        ctx: int,
+        local_names: Set[str],
+        var: str,
+    ) -> FrozenSet[LockToken]:
+        """A lock variable's identity: its points-to set in this clone,
+        falling back to the (alias-blind) name when it points nowhere."""
+        vid = self._var_vid(pg, fname, ctx, local_names, var)
+        if vid is not None:
+            objs = pointsto.points_to(vid)
+            if objs:
+                return frozenset(int(o) for o in objs)
+        if var not in local_names:
+            return frozenset({"@" + var})
+        return frozenset({f"{fname}:{var}"})
+
+    @staticmethod
+    def _var_vid(
+        pg: ProgramGraphs,
+        fname: str,
+        ctx: int,
+        local_names: Set[str],
+        var: str,
+    ) -> Optional[int]:
+        """The vertex of ``var`` as seen from clone ``ctx`` of ``fname``."""
+        namer = pg.namer
+        if var in local_names:
+            for vid in namer.vertices_for(fname, var):
+                if namer.context(vid) == ctx:
+                    return vid
+            return None
+        vids = namer.vertices_for("", "@" + var)
+        return vids[0] if vids else None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pair_races(
+        namer,
+        escaping: Dict[int, bool],
+        accesses: List[Access],
+        thread_of: Dict[int, int],
+    ) -> RaceResult:
+        by_object: Dict[int, List[Access]] = {}
+        for access in accesses:
+            for obj in access.objects:
+                by_object.setdefault(obj, []).append(access)
+
+        shared: Dict[int, str] = {}
+        reports: List[RaceReport] = []
+        seen: Set[Tuple] = set()
+        for obj in sorted(by_object):
+            obj_accesses = by_object[obj]
+            threads = {a.thread for a in obj_accesses}
+            # Shared = escaping AND actually touched by two threads.
+            if len(threads) < 2 or not escaping.get(obj, True):
+                continue
+            shared[obj] = namer.describe(obj)
+            for i, a in enumerate(obj_accesses):
+                for b in obj_accesses[i + 1 :]:
+                    if a.thread == b.thread:
+                        continue
+                    if not (a.is_write or b.is_write):
+                        continue
+                    if locksets_share_lock(a.lockset, b.lockset):
+                        continue
+                    first, second = sorted(
+                        (a, b), key=lambda x: (x.function, x.line, x.var)
+                    )
+                    key = (
+                        obj,
+                        first.function, first.var, first.line, first.is_write,
+                        second.function, second.var, second.line, second.is_write,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    reports.append(
+                        RaceReport(
+                            object_vid=obj,
+                            object_desc=namer.describe(obj),
+                            first=first,
+                            second=second,
+                        )
+                    )
+        num_threads = len(set(thread_of.values()))
+        return RaceResult(reports, shared, accesses, num_threads=num_threads)

@@ -23,11 +23,11 @@ argument for a purpose-built system.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.graph.graph import MemGraph
-from repro.grammar.grammar import FrozenGrammar, Production
+from repro.grammar.grammar import FrozenGrammar
 from repro.util.memory import MemoryBudget, MemoryBudgetExceeded
 
 #: Bytes charged per stored Datalog tuple (pair + two hash indexes).

@@ -18,6 +18,7 @@ from repro.bench.tables import (
     dataflow_input,
     figure4_series,
     graphchi_rows,
+    race_rows,
     run_graspan_out_of_core,
     table1_rows,
     table2_rows,
@@ -49,6 +50,7 @@ __all__ = [
     "dataflow_input",
     "figure4_series",
     "graphchi_rows",
+    "race_rows",
     "run_graspan_out_of_core",
     "table1_rows",
     "table2_rows",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 #: Environment variable scaling all benchmark workloads.
 SCALE_ENV = "REPRO_BENCH_SCALE"

@@ -6,6 +6,7 @@ from repro.checkers.free import FreeChecker
 from repro.checkers.lock import LockChecker
 from repro.checkers.null import NullChecker
 from repro.checkers.pnull import PNullChecker
+from repro.checkers.race import RaceChecker
 from repro.checkers.range import RangeChecker
 from repro.checkers.size import SizeChecker
 from repro.checkers.untest import UNTestChecker
@@ -35,6 +36,7 @@ __all__ = [
     "LockChecker",
     "NullChecker",
     "PNullChecker",
+    "RaceChecker",
     "RangeChecker",
     "SizeChecker",
     "UNTestChecker",

@@ -8,11 +8,13 @@ consults the interprocedural pointer/alias and dataflow analyses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dataflow import SourceFlowResult
+from repro.analysis.escape import EscapeResult
 from repro.analysis.pointsto import PointsToResult
+from repro.analysis.races import RaceResult
 from repro.frontend.graphgen import ProgramGraphs
 from repro.frontend.lower import LoweredFunction, LStmt
 
@@ -42,6 +44,9 @@ class AnalysisContext:
     pointsto: Optional[PointsToResult] = None
     nullflow: Optional[SourceFlowResult] = None
     taintflow: Optional[SourceFlowResult] = None
+    # Closure *clients* — derived from pointsto without an engine run.
+    escape: Optional[EscapeResult] = None
+    races: Optional[RaceResult] = None
 
     @property
     def lowered(self):

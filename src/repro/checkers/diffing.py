@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Set, Tuple, Union
+from typing import Iterable, List, Set, Tuple, Union
 
 from repro.checkers.base import BugReport
 from repro.checkers.driver import CheckerRunResult

@@ -9,22 +9,21 @@ from manual inspection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.analysis.dataflow import (
-    NullDataflowAnalysis,
-    SourceFlowResult,
-    TaintDataflowAnalysis,
-)
-from repro.analysis.pointsto import PointsToAnalysis, PointsToResult
+from repro.analysis.dataflow import NullDataflowAnalysis, TaintDataflowAnalysis
+from repro.analysis.escape import EscapeAnalysis
+from repro.analysis.pointsto import PointsToAnalysis
+from repro.analysis.races import RaceAnalysis
 from repro.checkers.base import AnalysisContext, BugReport, Checker
 from repro.checkers.block import BlockChecker
 from repro.checkers.free import FreeChecker
 from repro.checkers.lock import LockChecker
 from repro.checkers.null import NullChecker
 from repro.checkers.pnull import PNullChecker
+from repro.checkers.race import RaceChecker
 from repro.checkers.range import RangeChecker
 from repro.checkers.size import SizeChecker
 from repro.checkers.untest import UNTestChecker
@@ -32,7 +31,8 @@ from repro.frontend.graphgen import ProgramGraphs
 
 PathLike = Union[str, Path]
 
-#: The checker registry, in Table 1 order plus the new UNTest checker.
+#: The checker registry, in Table 1 order plus the new UNTest and Race
+#: checkers.
 ALL_CHECKERS: Tuple[type, ...] = (
     BlockChecker,
     NullChecker,
@@ -42,6 +42,7 @@ ALL_CHECKERS: Tuple[type, ...] = (
     SizeChecker,
     PNullChecker,
     UNTestChecker,
+    RaceChecker,
 )
 
 
@@ -111,7 +112,8 @@ def run_analyses(
     num_threads: int = 1,
     parallel_backend: Optional[str] = None,
 ) -> AnalysisContext:
-    """Run pointer, NULL, and taint analyses; bundle into a context."""
+    """Run pointer, NULL, and taint analyses (plus the closure-reusing
+    escape and race clients); bundle into a context."""
     pointsto = PointsToAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
@@ -130,8 +132,17 @@ def run_analyses(
         num_threads=num_threads,
         parallel_backend=parallel_backend,
     ).run(pg, pointsto=pointsto)
+    # Closure clients: escape + race facts fall out of the pointer
+    # closure already in hand — no further engine runs.
+    escape = EscapeAnalysis().run(pg, pointsto)
+    races = RaceAnalysis().run(pg, pointsto, escape=escape)
     return AnalysisContext(
-        pg=pg, pointsto=pointsto, nullflow=nullflow, taintflow=taintflow
+        pg=pg,
+        pointsto=pointsto,
+        nullflow=nullflow,
+        taintflow=taintflow,
+        escape=escape,
+        races=races,
     )
 
 

@@ -1,12 +1,16 @@
-"""Lock: double acquisition and unreleased locks (Table 1, row 4).
+"""Lock: double acquisition, unreleased and unheld locks (Table 1, row 4).
 
 Baseline heuristic: locks are identified *by variable name* — ``lock(l)``
 while ``l`` is already held is a double acquire; a lock still held at
-function exit was not restored.  Two different names for the same lock
-object defeat it.
+function exit was not restored; ``unlock(l)`` while ``l`` is not held is
+an unheld release.  Two different names for the same lock object defeat
+all three.
 
 Graspan augmentation: the alias analysis equates lock variables that may
-point to the same lock object, catching aliased double acquisition.
+point to the same lock object — catching aliased double acquisition, and
+letting ``unlock`` through an alias release the matching acquisition
+(exact-name matches are preferred, so independently-named locks are
+never released by accident).
 """
 
 from __future__ import annotations
@@ -54,8 +58,19 @@ class LockChecker(Checker):
                             )
                         )
                     held.append(stmt.rhs)
-                elif stmt.kind == "unlock" and stmt.rhs in held:
-                    held.remove(stmt.rhs)
+                elif stmt.kind == "unlock" and stmt.rhs:
+                    released = self._release(ctx, func.name, held, stmt.rhs, aliases)
+                    if released is None:
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=stmt.line,
+                                variable=stmt.rhs,
+                                message=f"unlock of unheld lock {stmt.rhs!r}",
+                            )
+                        )
             for leftover in held:
                 reports.append(
                     BugReport(
@@ -68,6 +83,28 @@ class LockChecker(Checker):
                     )
                 )
         return self.dedup(reports)
+
+    @staticmethod
+    def _release(
+        ctx: AnalysisContext,
+        function: str,
+        held: List[str],
+        incoming: str,
+        aliases: bool,
+    ) -> Optional[str]:
+        """Release the most recent held lock matching ``incoming``: by
+        exact name first, then (augmented only) by may-alias identity.
+        Returns the released name, or None when nothing matched."""
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == incoming:
+                return held.pop(i)
+        if aliases:
+            for i in range(len(held) - 1, -1, -1):
+                if ctx.pointsto.vars_may_alias(
+                    function, held[i], function, incoming
+                ):
+                    return held.pop(i)
+        return None
 
     @staticmethod
     def _conflicting(

@@ -1,0 +1,169 @@
+"""Race: lockset data races on thread-shared data (new Graspan client).
+
+Baseline heuristic: purely intraprocedural and name-keyed.  Threads are
+the direct targets of ``spawn`` statements (plus the spawning function
+itself); shared data is a *global variable name* dereferenced in two
+concurrent functions; locks are identified by variable name.  Three
+documented blind spots follow: heap cells handed to a thread through a
+parameter are invisible (not a global name), data reached through a
+callee of the thread body is invisible (no interprocedural view), and
+two lock variables aliasing one lock object look like different locks
+(false alarms).
+
+Graspan augmentation: consumes the interprocedural lockset analysis
+(:mod:`repro.analysis.races`), which keys accesses by points-to
+*objects*, propagates locksets along the cloned call tree, and resolves
+lock identity through the alias closure — all on the already-computed
+pointer closure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.races import Access, RaceAnalysis
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.frontend.lower import LoweredFunction
+
+
+class RaceChecker(Checker):
+    name = "Race"
+
+    # ------------------------------------------------------------------
+    # baseline: intraprocedural, name-keyed
+    # ------------------------------------------------------------------
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        spawn_counts: Dict[str, int] = {}
+        spawners: Set[str] = set()
+        for func in ctx.functions():
+            for stmt in func.stmts:
+                if stmt.kind == "spawn" and stmt.callee:
+                    spawn_counts[stmt.callee] = spawn_counts.get(stmt.callee, 0) + 1
+                    spawners.add(func.name)
+        targets = set(spawn_counts)
+        if not targets:
+            return []
+
+        # (function, global var) -> accesses as (line, is_write, lock names)
+        accesses: Dict[Tuple[str, str], List[Tuple[int, bool, frozenset]]] = {}
+        for func in ctx.functions():
+            if func.name not in targets and func.name not in spawners:
+                continue
+            for line, var, is_write, held in self._scan_globals(func):
+                accesses.setdefault((func.name, var), []).append(
+                    (line, is_write, held)
+                )
+
+        reports: List[BugReport] = []
+        funcs = ctx.lowered.functions
+        items = sorted(accesses.items())
+        for i, ((f1, v1), acc1) in enumerate(items):
+            for (f2, v2), acc2 in items[i:]:
+                if v1 != v2:
+                    continue
+                if not self._concurrent(f1, f2, targets, spawners, spawn_counts):
+                    continue
+                for line1, w1, held1 in acc1:
+                    for line2, w2, held2 in acc2:
+                        if f1 == f2 and line1 == line2:
+                            continue
+                        if not (w1 or w2):
+                            continue
+                        if held1 & held2:
+                            continue  # a same-named lock guards both
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=f1,
+                                module=funcs[f1].module,
+                                line=line1,
+                                variable=v1,
+                                message=(
+                                    f"possible data race on global {v1!r} "
+                                    f"(conflicts with {f2}:{line2})"
+                                ),
+                            )
+                        )
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=f2,
+                                module=funcs[f2].module,
+                                line=line2,
+                                variable=v2,
+                                message=(
+                                    f"possible data race on global {v2!r} "
+                                    f"(conflicts with {f1}:{line1})"
+                                ),
+                            )
+                        )
+        return self.dedup(reports)
+
+    @staticmethod
+    def _concurrent(
+        f1: str,
+        f2: str,
+        targets: Set[str],
+        spawners: Set[str],
+        spawn_counts: Dict[str, int],
+    ) -> bool:
+        """May the two functions run on different threads (name-level)?"""
+        if f1 == f2:
+            return f1 in targets and spawn_counts.get(f1, 0) >= 2
+        both_involved = (f1 in targets or f1 in spawners) and (
+            f2 in targets or f2 in spawners
+        )
+        return both_involved and (f1 in targets or f2 in targets)
+
+    @staticmethod
+    def _scan_globals(func: LoweredFunction):
+        """(line, global var, is_write, held lock names) per dereference
+        of a variable not declared in this function."""
+        local_names = set(func.params) | set(func.locals)
+        held: List[str] = []
+        for stmt in func.stmts:
+            if stmt.kind == "lock" and stmt.rhs:
+                held.append(stmt.rhs)
+            elif stmt.kind == "unlock" and stmt.rhs in held:
+                held.remove(stmt.rhs)
+            elif stmt.kind in ("load", "store"):
+                var = stmt.rhs if stmt.kind == "load" else stmt.lhs
+                if var and var not in local_names:
+                    yield stmt.line, var, stmt.kind == "store", frozenset(held)
+
+    # ------------------------------------------------------------------
+    # augmented: the interprocedural lockset analysis
+    # ------------------------------------------------------------------
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("pointsto")
+        races = ctx.races
+        if races is None:
+            races = RaceAnalysis().run(ctx.pg, ctx.pointsto, escape=ctx.escape)
+        funcs = ctx.lowered.functions
+        reports: List[BugReport] = []
+        for race in races.reports:
+            for side, other in (
+                (race.first, race.second),
+                (race.second, race.first),
+            ):
+                reports.append(self._side_report(funcs, race, side, other))
+        return self.dedup(reports)
+
+    def _side_report(
+        self, funcs, race, side: Access, other: Access
+    ) -> BugReport:
+        kind = "write" if side.is_write else "read"
+        other_kind = "write" if other.is_write else "read"
+        return BugReport(
+            checker=self.name,
+            function=side.function,
+            module=funcs[side.function].module,
+            line=side.line,
+            variable=side.var,
+            message=(
+                f"data race on {race.object_desc}: unsynchronized {kind} "
+                f"of *{side.var} vs {other_kind} in "
+                f"{other.function}:{other.line}"
+            ),
+            interprocedural=True,
+        )

@@ -18,7 +18,7 @@ iteration adds an edge, or early when the in-memory edge count crosses
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

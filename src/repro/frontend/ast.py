@@ -4,9 +4,10 @@ MiniC covers exactly the constructs the paper's analyses consume: pointer
 assignments (``a = b``, ``a = &b``, ``a = *b``, ``*a = b``), allocation
 (``malloc``), ``NULL``, field/array accesses (modeled as dereferences with
 offsets ignored, §2.2), functions, direct and indirect calls, guards
-(``if``/``while`` conditions, which the checkers read as NULL tests), and
-the builtins the Table 1 checkers care about (``free``, ``lock``,
-``unlock``, ``sleep``, ``get_user``).
+(``if``/``while`` conditions, which the checkers read as NULL tests),
+thread creation (``spawn f(args);``, the race detector's concurrency
+source), and the builtins the Table 1 checkers care about (``free``,
+``lock``, ``unlock``, ``sleep``, ``get_user``).
 """
 
 from __future__ import annotations
@@ -160,6 +161,20 @@ class ExprStmt(Stmt):
     """A call used for effect, e.g. ``free(p);``."""
 
     expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Spawn(Stmt):
+    """``spawn f(args);`` — start ``f`` on a new thread.
+
+    The spawned call never produces a value in the parent; its arguments
+    flow into the callee exactly like a direct call's, but the callee
+    body runs concurrently with everything after the statement (the race
+    detector's concurrency source).
+    """
+
+    callee: str = ""
+    args: Tuple[Expr, ...] = ()
 
 
 @dataclass

@@ -13,8 +13,8 @@ Graspan-augmented Block checker.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
 
 from repro.frontend.lower import LoweredProgram
 
@@ -24,6 +24,7 @@ class CallSite:
     caller: str
     callee: str
     line: int
+    spawned: bool = False  # True for `spawn f(args);` thread-creation sites
 
 
 @dataclass
@@ -49,6 +50,15 @@ class CallGraph:
         called = {site.callee for sites in self.callees.values() for site in sites}
         return [f for f in self.callees if f not in called]
 
+    def spawn_targets(self) -> Set[str]:
+        """Functions used as the body of a ``spawn`` thread-creation site."""
+        return {
+            site.callee
+            for sites in self.callees.values()
+            for site in sites
+            if site.spawned
+        }
+
     def is_recursive_call(self, caller: str, callee: str) -> bool:
         """True when the call stays inside one SCC (not cloned)."""
         return self.scc_of[caller] == self.scc_of[callee]
@@ -67,11 +77,15 @@ def build_callgraph(program: LoweredProgram) -> CallGraph:
     for name, func in program.functions.items():
         local_vars = set(func.params) | set(func.locals)
         for stmt in func.stmts:
-            if stmt.kind != "call":
+            if stmt.kind not in ("call", "spawn"):
                 continue
             target = stmt.callee
             if target in defined:
-                callees[name].append(CallSite(name, target, stmt.line))
+                callees[name].append(
+                    CallSite(name, target, stmt.line, spawned=stmt.kind == "spawn")
+                )
+            elif stmt.kind == "spawn":
+                external.add(target)  # spawn of an undefined thread body
             elif target in local_vars or target in program.global_vars:
                 indirect.append(IndirectCallSite(name, target, stmt.line))
             else:

@@ -25,7 +25,7 @@ to source, and the inline count reported in Table 2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -64,6 +64,7 @@ class TemplateCall:
     args: Tuple[str, ...]
     lhs: Optional[str]
     line: int
+    spawned: bool = False  # thread-creation site (`spawn f(args);`)
 
 
 @dataclass
@@ -86,6 +87,17 @@ class FunctionTemplate:
     indirect_calls: List[TemplateIndirectCall]
     return_syms: List[str]
     alloc_sizes: Dict[str, Optional[int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ContextCallSite:
+    """The call site that created one child context (for summary-based
+    interprocedural propagation, e.g. the race detector's locksets)."""
+
+    caller: str
+    line: int
+    callee: str
+    spawned: bool
 
 
 @dataclass
@@ -112,6 +124,13 @@ class ProgramGraphs:
     callgraph: CallGraph
     lowered: LoweredProgram
     templates: Dict[str, FunctionTemplate] = field(default_factory=dict)
+    #: Contexts created by a `spawn` site: the roots of spawned-thread
+    #: subtrees in the context tree (race detector's thread boundaries).
+    spawn_contexts: Set[int] = field(default_factory=set)
+    #: function name -> every context it was instantiated in.
+    instance_contexts: Dict[str, Set[int]] = field(default_factory=dict)
+    #: child context -> the call site that created it.
+    context_call_sites: Dict[int, ContextCallSite] = field(default_factory=dict)
 
     @property
     def num_vertices(self) -> int:
@@ -238,14 +257,20 @@ class _TemplateBuilder:
                 self._edge(KIND_TF, self._resolve(operand), lhs, line)
         elif kind == "call":
             self._build_call(stmt)
+        elif kind == "spawn":
+            self._build_call(stmt, spawned=True)
         # test / free / lock / unlock / const / return: no graph edges.
 
-    def _build_call(self, stmt) -> None:
+    def _build_call(self, stmt, spawned: bool = False) -> None:
         args = tuple(self._resolve(a) for a in stmt.args)
         lhs = self._resolve(stmt.lhs) if stmt.lhs else None
         callee = stmt.callee
         if callee in self.function_names:
-            self.calls.append(TemplateCall(callee, args, lhs, stmt.line))
+            self.calls.append(
+                TemplateCall(callee, args, lhs, stmt.line, spawned=spawned)
+            )
+        elif spawned:
+            pass  # spawn of an undefined thread body: opaque external
         elif callee in self.local_names or callee in self.global_vars:
             self.indirect_calls.append(
                 TemplateIndirectCall(self._resolve(callee), args, lhs, stmt.line)
@@ -302,6 +327,9 @@ class _Instantiator:
         self.inline_count = 0
         self.indirect_instances: List[IndirectCallInstance] = []
         self._ever_instantiated: Set[str] = set()
+        self.spawn_contexts: Set[int] = set()
+        self.instance_contexts: Dict[str, Set[int]] = {}
+        self.context_call_sites: Dict[int, ContextCallSite] = {}
         # Bounded context sensitivity: SCC groups deeper than
         # context_depth share one context-insensitive instance.
         self._shared_instances: Dict[Tuple[str, ...], Dict[str, Dict[str, int]]] = {}
@@ -394,9 +422,18 @@ class _Instantiator:
                     callee_scc = tuple(
                         sorted(self.callgraph.scc_members(call.callee))
                     )
+                    arrow = "~>" if call.spawned else "->"
                     child_ctx = self.namer.new_context(
-                        group_ctx, f"{fname}:{call.line}->{call.callee}"
+                        group_ctx, f"{fname}:{call.line}{arrow}{call.callee}"
                     )
+                    self.context_call_sites[child_ctx] = ContextCallSite(
+                        caller=fname,
+                        line=call.line,
+                        callee=call.callee,
+                        spawned=call.spawned,
+                    )
+                    if call.spawned:
+                        self.spawn_contexts.add(child_ctx)
                     arg_vids = tuple(self._sym_vid(a, symtab) for a in call.args)
                     lhs_vid = (
                         self._sym_vid(call.lhs, symtab)
@@ -425,6 +462,7 @@ class _Instantiator:
             for sym in template.local_symbols:
                 symtab[sym] = self.namer.new_vertex(fname, ctx, sym)
             symtabs[fname] = symtab
+            self.instance_contexts.setdefault(fname, set()).add(ctx)
         for fname in members:
             template = self.templates[fname]
             symtab = symtabs[fname]
@@ -517,4 +555,7 @@ def generate_graphs(
         callgraph=callgraph,
         lowered=lowered,
         templates=templates,
+        spawn_contexts=inst.spawn_contexts,
+        instance_contexts=inst.instance_contexts,
+        context_call_sites=inst.context_call_sites,
     )

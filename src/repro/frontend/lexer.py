@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 KEYWORDS = frozenset(
     {
@@ -17,6 +17,7 @@ KEYWORDS = frozenset(
         "while",
         "for",
         "return",
+        "spawn",
         "NULL",
     }
 )

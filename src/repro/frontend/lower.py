@@ -47,6 +47,7 @@ class LStmt:
                                      so taint tracking can flow through)
     funcref   lhs = &callee         (function used as a value)
     call      [lhs =] callee(args)  (direct or via function pointer)
+    spawn     spawn callee(args)    (thread creation; no result value)
     return    rhs is the returned variable (None for bare return)
     test      a normalized NULL test on ``rhs`` (polarity in ``nonnull``)
     rangetest a bounds check on variable ``rhs`` (Range checker)
@@ -172,6 +173,11 @@ class _FunctionLowerer:
             else:
                 var = self._lower_expr(stmt.value, stmt.line)
                 self._emit("return", stmt.line, rhs=var)
+        elif isinstance(stmt, ast.Spawn):
+            arg_vars = tuple(
+                self._lower_expr(a, stmt.line) for a in stmt.args
+            )
+            self._emit("spawn", stmt.line, callee=stmt.callee, args=arg_vars)
         elif isinstance(stmt, ast.If):
             self._lower_branching(stmt.cond, stmt.then_body, stmt.else_body, stmt.line)
         elif isinstance(stmt, ast.While):

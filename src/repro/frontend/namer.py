@@ -15,7 +15,7 @@ labeled with its call site.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 
 @dataclass(frozen=True)

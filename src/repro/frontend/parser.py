@@ -175,6 +175,18 @@ class Parser:
             return [ast.While(line=tok.line, cond=cond, body=body)]
         if self.accept("keyword", "for"):
             return self._parse_for(tok.line)
+        if self.accept("keyword", "spawn"):
+            callee = self.expect("ident").text
+            self.expect("symbol", "(")
+            args: List[ast.Expr] = []
+            if not self.check("symbol", ")"):
+                while True:
+                    args.append(self._parse_expr())
+                    if not self.accept("symbol", ","):
+                        break
+            self.expect("symbol", ")")
+            self.expect("symbol", ";")
+            return [ast.Spawn(line=tok.line, callee=callee, args=tuple(args))]
         # assignment or expression statement
         expr = self._parse_expr()
         if self.accept("symbol", "="):

@@ -20,7 +20,7 @@ int64 arrays (:mod:`repro.graph.packed`).  At most
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -15,8 +15,6 @@ accepted (binarized on freeze, §3).
 
 from __future__ import annotations
 
-from typing import Iterable
-
 from repro.grammar.grammar import FrozenGrammar, Grammar, GrammarError
 
 ARROW = "::="

@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.graph import packed
 from repro.graph.graph import MemGraph
 from repro.partition.ddm import DestinationDistributionMap
 from repro.partition.interval import Interval, VertexIntervalTable

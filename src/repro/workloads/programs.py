@@ -13,8 +13,6 @@ tests use smaller scales.
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.workloads.synthetic import (
     LINUX_MODULE_WEIGHTS,
     Workload,
@@ -57,6 +55,9 @@ def linux_like(scale: float = 1.0, seed: int = 11) -> Workload:
         size_direct=3,
         size_flow=3,
         size_decoys=2,
+        race_unguarded=3,
+        race_heap=2,
+        race_guarded_decoys=2,
         recursion_gadgets=2,
         module_weights=dict(LINUX_MODULE_WEIGHTS),
     ).scaled(scale)
@@ -91,6 +92,9 @@ def postgresql_like(scale: float = 1.0, seed: int = 22) -> Workload:
         size_direct=1,
         size_flow=1,
         size_decoys=1,
+        race_unguarded=2,
+        race_heap=1,
+        race_guarded_decoys=1,
         recursion_gadgets=1,
         module_weights={
             "backend": 0.45,
@@ -131,6 +135,9 @@ def httpd_like(scale: float = 1.0, seed: int = 33) -> Workload:
         size_direct=1,
         size_flow=1,
         size_decoys=1,
+        race_unguarded=1,
+        race_heap=1,
+        race_guarded_decoys=1,
         recursion_gadgets=1,
         module_weights={
             "server": 0.4,

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.checkers.driver import GroundTruthBug
 
@@ -88,6 +88,9 @@ class WorkloadSpec:
     size_decoys: int = 1
     pnull_bugs: int = 2
     pnull_decoys: int = 2
+    race_unguarded: int = 2
+    race_heap: int = 2
+    race_guarded_decoys: int = 2
     recursion_gadgets: int = 1
     module_weights: Dict[str, float] = field(
         default_factory=lambda: dict(LINUX_MODULE_WEIGHTS)
@@ -121,6 +124,9 @@ class WorkloadSpec:
             "size_decoys",
             "pnull_bugs",
             "pnull_decoys",
+            "race_unguarded",
+            "race_heap",
+            "race_guarded_decoys",
         ):
             setattr(spec, name, max(1, int(math.ceil(getattr(self, name) * factor))))
         return spec
@@ -234,6 +240,12 @@ class SyntheticProgramBuilder:
             self._emit_pnull_bug()
         for _ in range(self.spec.pnull_decoys):
             self._emit_pnull_decoy()
+        for _ in range(self.spec.race_unguarded):
+            self._emit_race_unguarded()
+        for _ in range(self.spec.race_heap):
+            self._emit_race_heap()
+        for _ in range(self.spec.race_guarded_decoys):
+            self._emit_race_guarded_decoy()
         return Workload(
             name=self.spec.name,
             sources=self.sources.finish(),
@@ -786,6 +798,88 @@ void pn_host_{k}(void) {{
 """,
         )
         self.truth.append(GroundTruthBug("UNTest", f"pnd_host_{k}", f"qd{k}"))
+
+    # ------------------------------------------------------------------
+    # Race gadgets (spawn-based lockset races)
+    # ------------------------------------------------------------------
+    def _emit_race_unguarded(self) -> None:
+        """Unguarded shared counter: two spawned threads hit one global
+        cell with no locks.  Both the name-keyed baseline and the
+        Graspan-augmented detector should report it."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""int *ru_cell_{k};
+void ru_bump_{k}(void) {{
+    int t;
+    t = *ru_cell_{k};
+    *ru_cell_{k} = t + 1;
+}}
+void ru_reset_{k}(void) {{
+    *ru_cell_{k} = 0;
+}}
+void ru_host_{k}(void) {{
+    ru_cell_{k} = malloc(4);
+    spawn ru_bump_{k}();
+    spawn ru_reset_{k}();
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Race", f"ru_bump_{k}", f"ru_cell_{k}"))
+        self.truth.append(GroundTruthBug("Race", f"ru_reset_{k}", f"ru_cell_{k}"))
+
+    def _emit_race_heap(self) -> None:
+        """Heap cell handed to the thread through a parameter: no global
+        name is involved, so the name-keyed baseline is blind (false
+        negative); the object-keyed detector sees the allocation escape
+        across the spawn boundary."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void rh_worker_{k}(int *cell{k}) {{
+    *cell{k} = 1;
+}}
+void rh_host_{k}(void) {{
+    int *buf{k};
+    buf{k} = malloc(4);
+    spawn rh_worker_{k}(buf{k});
+    *buf{k} = 2;
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Race", f"rh_worker_{k}", f"cell{k}"))
+        self.truth.append(GroundTruthBug("Race", f"rh_host_{k}", f"buf{k}"))
+
+    def _emit_race_guarded_decoy(self) -> None:
+        """False-alarm bait: both sides lock the *same* lock object under
+        different variable names.  The name-keyed baseline sees disjoint
+        locksets and cries race (two FPs); alias-resolved lock identity
+        proves mutual exclusion, so no ground truth is recorded."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""int *rg_cell_{k};
+int *rg_lock_{k};
+void rg_worker_{k}(void) {{
+    int *lkalias{k};
+    lkalias{k} = rg_lock_{k};
+    lock(lkalias{k});
+    *rg_cell_{k} = 1;
+    unlock(lkalias{k});
+}}
+void rg_host_{k}(void) {{
+    rg_cell_{k} = malloc(4);
+    rg_lock_{k} = malloc(4);
+    spawn rg_worker_{k}();
+    lock(rg_lock_{k});
+    *rg_cell_{k} = 2;
+    unlock(rg_lock_{k});
+}}
+""",
+        )
 
     def _emit_size_decoy(self) -> None:
         """Odd size on purpose (header + payload): a known FP pattern."""

@@ -118,3 +118,90 @@ class TestEscapeReporting:
         result = EscapeAnalysis().run(pg, pts)
         # the object is returned through the recursion group to host
         assert result.escapes("ping", "alloc@2.1")
+
+
+def escape_for(source):
+    pg = compile_program(source)
+    pts = PointsToAnalysis().run(pg)
+    return EscapeAnalysis().run(pg, pts)
+
+
+class TestEscapeReasons:
+    def test_recursion_group_reason(self):
+        """An object handed to the *other* member of a collapsed mutual-
+        recursion group reaches a same-context vertex of a different
+        function — frame lifetimes are merged, so that alone escapes,
+        and 'recursion' is the only reason."""
+        result = escape_for(
+            """
+            void ping(int n, int *carry) {
+                int *p;
+                p = malloc(4);
+                if (n) { pong(n - 1, p); }
+            }
+            void pong(int n, int *q) { if (n) { ping(n - 1, q); } }
+            void host(void) {
+                int *seed;
+                seed = malloc(4);
+                ping(2, seed);
+            }
+            """
+        )
+        infos = [i for i in result if i.function == "ping" and i.escapes]
+        assert infos
+        assert all(i.reasons == ("recursion",) for i in infos)
+
+    def test_sibling_clone_branch_is_caller_escape(self):
+        """Returned to the caller and passed into a *sibling* clone
+        (use_it): both hops leave mk's subtree of the clone tree, and
+        both classify as 'caller'."""
+        result = escape_for(
+            """
+            void *mk(void) { int *m; m = malloc(4); return m; }
+            void use_it(int *u) { int t; t = *u; }
+            void host(void) {
+                int *got;
+                got = mk();
+                use_it(got);
+            }
+            """
+        )
+        infos = [i for i in result if i.function == "mk"]
+        assert infos
+        assert all(i.escapes and i.reasons == ("caller",) for i in infos)
+
+
+class TestThreadEscape:
+    def test_crossing_spawn_boundary_escapes(self):
+        """Flowing down into a *spawned* clone is an escape: the thread
+        may outlive the allocator's frame."""
+        result = escape_for(
+            """
+            void worker(int *w) { int t; t = *w; }
+            void host(void) {
+                int *b;
+                b = malloc(4);
+                spawn worker(b);
+            }
+            """
+        )
+        infos = [i for i in result if i.function == "host"]
+        assert infos
+        assert all(i.escapes and "thread" in i.reasons for i in infos)
+
+    def test_plain_call_down_does_not_escape(self):
+        """The identical flow through an ordinary call stays thread- and
+        frame-local: the callee's frame dies before the allocator's."""
+        result = escape_for(
+            """
+            void worker(int *w) { int t; t = *w; }
+            void host(void) {
+                int *b;
+                b = malloc(4);
+                worker(b);
+            }
+            """
+        )
+        infos = [i for i in result if i.function == "host"]
+        assert infos
+        assert not any(i.escapes for i in infos)

@@ -1,0 +1,232 @@
+"""Tests for the interprocedural lockset race analysis."""
+
+
+from repro.analysis import EscapeAnalysis, PointsToAnalysis, RaceAnalysis
+from repro.frontend import compile_program
+
+
+def races_for(source):
+    pg = compile_program(source)
+    pts = PointsToAnalysis().run(pg)
+    return RaceAnalysis().run(pg, pts)
+
+
+def race_pairs(result):
+    return {
+        (r.first.function, r.first.var, r.second.function, r.second.var)
+        for r in result.reports
+    }
+
+
+class TestThreadModel:
+    def test_no_spawn_means_no_threads_no_races(self):
+        result = races_for(
+            """
+            int *cell;
+            void writer(void) { *cell = 1; }
+            void host(void) { cell = malloc(4); writer(); writer(); }
+            """
+        )
+        assert result.num_threads == 1
+        assert result.reports == []
+
+    def test_each_spawn_site_is_a_thread(self):
+        result = races_for(
+            """
+            int *cell;
+            void worker(void) { *cell = 1; }
+            void host(void) {
+                cell = malloc(4);
+                spawn worker();
+                spawn worker();
+            }
+            """
+        )
+        # main + two spawned clones of worker
+        assert result.num_threads == 3
+        # the two clones race with each other (write/write, no locks)
+        assert ("worker", "cell", "worker", "cell") in race_pairs(result)
+
+
+class TestRaceDetection:
+    def test_unguarded_global_counter_races(self):
+        result = races_for(
+            """
+            int *cell;
+            void bump(void) { int t; t = *cell; *cell = t + 1; }
+            void reset(void) { *cell = 0; }
+            void host(void) {
+                cell = malloc(4);
+                spawn bump();
+                spawn reset();
+            }
+            """
+        )
+        pairs = race_pairs(result)
+        assert ("bump", "cell", "reset", "cell") in pairs
+
+    def test_read_read_is_not_a_race(self):
+        result = races_for(
+            """
+            int *cell;
+            void r1(void) { int a; a = *cell; }
+            void r2(void) { int b; b = *cell; }
+            void host(void) { cell = malloc(4); spawn r1(); spawn r2(); }
+            """
+        )
+        assert result.reports == []
+
+    def test_common_lock_suppresses_race(self):
+        result = races_for(
+            """
+            int *cell;
+            int *mu;
+            void w1(void) { lock(mu); *cell = 1; unlock(mu); }
+            void w2(void) { lock(mu); *cell = 2; unlock(mu); }
+            void host(void) {
+                cell = malloc(4);
+                mu = malloc(4);
+                spawn w1();
+                spawn w2();
+            }
+            """
+        )
+        assert result.reports == []
+
+    def test_aliased_lock_names_suppress_race(self):
+        """Two names, one lock object: alias-resolved identity, not
+        variable names, decides mutual exclusion."""
+        result = races_for(
+            """
+            int *cell;
+            int *mu;
+            void w1(void) {
+                int *alias;
+                alias = mu;
+                lock(alias);
+                *cell = 1;
+                unlock(alias);
+            }
+            void w2(void) { lock(mu); *cell = 2; unlock(mu); }
+            void host(void) {
+                cell = malloc(4);
+                mu = malloc(4);
+                spawn w1();
+                spawn w2();
+            }
+            """
+        )
+        assert result.reports == []
+
+    def test_distinct_locks_do_not_protect(self):
+        result = races_for(
+            """
+            int *cell;
+            int *m1;
+            int *m2;
+            void w1(void) { lock(m1); *cell = 1; unlock(m1); }
+            void w2(void) { lock(m2); *cell = 2; unlock(m2); }
+            void host(void) {
+                cell = malloc(4);
+                m1 = malloc(4);
+                m2 = malloc(4);
+                spawn w1();
+                spawn w2();
+            }
+            """
+        )
+        assert ("w1", "cell", "w2", "cell") in race_pairs(result)
+
+    def test_heap_cell_through_parameter_races(self):
+        result = races_for(
+            """
+            void worker(int *cell) { *cell = 1; }
+            void host(void) {
+                int *buf;
+                buf = malloc(4);
+                spawn worker(buf);
+                *buf = 2;
+            }
+            """
+        )
+        assert ("host", "buf", "worker", "cell") in race_pairs(result)
+
+    def test_thread_local_objects_never_race(self):
+        """Context-sensitive cloning gives each spawned thread its own
+        allocation-site clone: no sharing, no race."""
+        result = races_for(
+            """
+            void worker(void) { int *mine; mine = malloc(4); *mine = 1; }
+            void host(void) { spawn worker(); spawn worker(); }
+            """
+        )
+        assert result.reports == []
+
+
+class TestLocksetPropagation:
+    def test_lockset_propagates_into_callees(self):
+        """helper's access inherits the lock acquired by its caller
+        (summary-based must-hold propagation down the context tree)."""
+        result = races_for(
+            """
+            int *cell;
+            int *mu;
+            void helper(void) { *cell = 1; }
+            void locked_entry(void) { lock(mu); helper(); unlock(mu); }
+            void worker(void) { lock(mu); *cell = 2; unlock(mu); }
+            void host(void) {
+                cell = malloc(4);
+                mu = malloc(4);
+                spawn worker();
+                locked_entry();
+            }
+            """
+        )
+        assert result.reports == []
+
+    def test_spawned_thread_starts_with_empty_lockset(self):
+        """A lock held while spawning is NOT held by the spawned body."""
+        result = races_for(
+            """
+            int *cell;
+            int *mu;
+            void worker(void) { *cell = 1; }
+            void host(void) {
+                cell = malloc(4);
+                mu = malloc(4);
+                lock(mu);
+                spawn worker();
+                *cell = 2;
+                unlock(mu);
+            }
+            """
+        )
+        assert ("host", "cell", "worker", "cell") in race_pairs(result)
+
+
+class TestClosureReuse:
+    def test_accepts_precomputed_escape_result(self):
+        source = """
+            int *cell;
+            void worker(void) { *cell = 1; }
+            void host(void) { cell = malloc(4); spawn worker(); *cell = 2; }
+        """
+        pg = compile_program(source)
+        pts = PointsToAnalysis().run(pg)
+        escape = EscapeAnalysis().run(pg, pts)
+        reused = RaceAnalysis().run(pg, pts, escape=escape)
+        fresh = RaceAnalysis().run(pg, pts)
+        assert race_pairs(reused) == race_pairs(fresh)
+        assert reused.num_reports > 0
+
+    def test_shared_objects_are_reported(self):
+        result = races_for(
+            """
+            int *cell;
+            void worker(void) { *cell = 1; }
+            void host(void) { cell = malloc(4); spawn worker(); *cell = 2; }
+            """
+        )
+        assert result.num_shared_objects == 1
+        (desc,) = result.shared_objects.values()
+        assert "alloc@" in desc

@@ -1,11 +1,9 @@
 """Tests for the semi-naive Datalog engine (the SociaLite stand-in)."""
 
-import pytest
 
 from repro.baselines import DatalogEngine, Rule, grammar_to_rules, run_datalog
 from repro.engine import naive_closure
 from repro.graph import MemGraph
-from repro.grammar import reachability_grammar
 
 
 class TestRules:

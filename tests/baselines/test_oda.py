@@ -1,6 +1,5 @@
 """Tests for the ODA worklist baseline."""
 
-import pytest
 
 from repro.baselines import run_oda
 from repro.engine import naive_closure

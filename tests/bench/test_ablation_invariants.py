@@ -1,6 +1,5 @@
 """Property tests for the ablation reference implementations."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

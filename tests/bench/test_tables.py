@@ -14,6 +14,7 @@ from repro.bench import (
     dataflow_input,
     figure4_series,
     graphchi_rows,
+    race_rows,
     table1_rows,
     table2_rows,
     table3_rows,
@@ -32,8 +33,8 @@ def httpd_small():
 class TestTableFunctions:
     def test_table1(self):
         rows = table1_rows()
-        assert len(rows) == 8
-        assert {r["checker"] for r in rows} >= {"Null", "UNTest"}
+        assert len(rows) == 9
+        assert {r["checker"] for r in rows} >= {"Null", "UNTest", "Race"}
 
     def test_table2(self, httpd_small):
         rows = table2_rows([httpd_small])
@@ -47,6 +48,14 @@ class TestTableFunctions:
         t4 = table4_rows(httpd_small, result)
         total = next(r for r in t4 if r["module"] == "Total")
         assert total["untests"] > 0
+
+    def test_race_rows(self, httpd_small):
+        (row,) = race_rows([httpd_small])
+        assert row["injected"] > 0
+        assert row["gr_recall"] == 1.0
+        assert row["gr_fp"] < row["bl_fp"]
+        assert row["threads"] > 1
+        assert row["extra_closure_runs"] == 0
 
     def test_table5_and_figure4(self, httpd_small):
         rows, stats = table5_rows([httpd_small], partitions_hint=3)

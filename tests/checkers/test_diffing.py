@@ -1,6 +1,5 @@
 """Tests for findings diffing and snapshots."""
 
-import pytest
 
 from repro.checkers import (
     BugReport,

@@ -1,6 +1,5 @@
 """Guard-scope subtleties shared by the NULL-family checkers."""
 
-import pytest
 
 from repro.checkers import NullChecker, run_analyses
 from repro.frontend import compile_program
@@ -19,7 +18,7 @@ def null_reports(body):
 class TestGuardScopes:
     def test_else_branch_deref_is_reported(self):
         """`if (v) {} else { *v }` dereferences under a NULL guard."""
-        reports = null_reports(
+        null_reports(
             "void f(void) { int *v; v = hop(0); if (v) { *v = 1; } else { *v = 2; } }"
         )
         # the else-branch deref has guard (v, nonnull=False), but the

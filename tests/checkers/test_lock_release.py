@@ -1,0 +1,117 @@
+"""Regression tests for unlock handling in the Lock checker.
+
+Covers the alias-release fix (an ``unlock`` through a different name
+used to leave the lock marked held forever) and the distinct "unlock of
+unheld lock" finding, in both baseline and augmented modes.
+"""
+
+from repro.checkers import LockChecker, run_analyses
+from repro.frontend import compile_program
+
+
+def ctx_for(source):
+    return run_analyses(compile_program(source, module="m"))
+
+
+def messages(reports):
+    return [r.message for r in reports]
+
+
+ALIASED_RELEASE = """
+void f(void) {
+    int *a;
+    int *b;
+    a = malloc(4);
+    b = a;
+    lock(a);
+    unlock(b);
+}
+"""
+
+
+class TestAliasedRelease:
+    def test_baseline_cannot_match_aliased_unlock(self):
+        """Name-keyed matching sees unlock('b') with only 'a' held: one
+        spurious unheld-unlock plus one spurious leak on exit."""
+        ctx = ctx_for(ALIASED_RELEASE)
+        msgs = messages(LockChecker().check_baseline(ctx))
+        assert any("unheld" in m for m in msgs)
+        assert any("not released" in m for m in msgs)
+
+    def test_augmented_releases_through_alias(self):
+        """Alias resolution pairs unlock('b') with the held lock 'a':
+        the function is perfectly balanced, no reports."""
+        ctx = ctx_for(ALIASED_RELEASE)
+        assert LockChecker().check_augmented(ctx) == []
+
+    def test_exact_name_preferred_over_alias(self):
+        """When both an exact-name match and an alias match are held,
+        the exact name is released — the aliased pair stays balanced
+        and only the genuinely unreleased lock is reported."""
+        ctx = ctx_for(
+            """
+            void f(void) {
+                int *a;
+                int *b;
+                a = malloc(4);
+                b = a;
+                lock(a);
+                lock(b);
+                unlock(b);
+            }
+            """
+        )
+        reports = LockChecker().check_augmented(ctx)
+        leftovers = [r for r in reports if "not released" in r.message]
+        assert [r.variable for r in leftovers] == ["a"]
+
+
+class TestUnheldUnlock:
+    def test_reported_in_both_modes(self):
+        source = """
+            void f(int *l) {
+                unlock(l);
+            }
+        """
+        ctx = ctx_for(source)
+        for reports in (
+            LockChecker().check_baseline(ctx),
+            LockChecker().check_augmented(ctx),
+        ):
+            assert len(reports) == 1
+            assert reports[0].variable == "l"
+            assert "unheld" in reports[0].message
+
+    def test_distinct_lock_objects_stay_unmatched(self):
+        """Two separate allocations: unlock of the wrong one is an
+        unheld release even with alias resolution, and the held one
+        still leaks."""
+        ctx = ctx_for(
+            """
+            void f(void) {
+                int *a;
+                int *b;
+                a = malloc(4);
+                b = malloc(4);
+                lock(a);
+                unlock(b);
+            }
+            """
+        )
+        msgs = messages(LockChecker().check_augmented(ctx))
+        assert any("unheld" in m for m in msgs)
+        assert any("not released" in m for m in msgs)
+
+    def test_balanced_function_stays_clean(self):
+        ctx = ctx_for(
+            """
+            void f(void) {
+                int *a;
+                a = malloc(4);
+                lock(a);
+                unlock(a);
+            }
+            """
+        )
+        assert LockChecker().check_baseline(ctx) == []
+        assert LockChecker().check_augmented(ctx) == []

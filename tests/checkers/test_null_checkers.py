@@ -1,6 +1,5 @@
 """Tests for the Null, PNull, and UNTest checkers."""
 
-import pytest
 
 from repro.checkers import (
     NullChecker,

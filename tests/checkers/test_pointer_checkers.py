@@ -1,6 +1,5 @@
 """Tests for the Free, Lock, Block, Range, and Size checkers."""
 
-import pytest
 
 from repro.checkers import (
     BlockChecker,

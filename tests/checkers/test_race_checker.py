@@ -1,0 +1,139 @@
+"""Tests for the Race checker: baseline blind spots vs augmentation."""
+
+from repro.checkers import RaceChecker, run_analyses
+from repro.frontend import compile_program
+
+
+def ctx_for(source):
+    return run_analyses(compile_program(source, module="m"))
+
+
+def keys(reports):
+    return {(r.function, r.variable) for r in reports}
+
+
+UNGUARDED_GLOBAL = """
+int *cell;
+void bump(void) { int t; t = *cell; *cell = t + 1; }
+void reset(void) { *cell = 0; }
+void host(void) {
+    cell = malloc(4);
+    spawn bump();
+    spawn reset();
+}
+"""
+
+HEAP_PARAM = """
+void worker(int *wcell) { *wcell = 1; }
+void host(void) {
+    int *buf;
+    buf = malloc(4);
+    spawn worker(buf);
+    *buf = 2;
+}
+"""
+
+ALIASED_LOCK_BAIT = """
+int *cell;
+int *mu;
+void worker(void) {
+    int *lkalias;
+    lkalias = mu;
+    lock(lkalias);
+    *cell = 1;
+    unlock(lkalias);
+}
+void host(void) {
+    cell = malloc(4);
+    mu = malloc(4);
+    spawn worker();
+    lock(mu);
+    *cell = 2;
+    unlock(mu);
+}
+"""
+
+
+class TestBaseline:
+    def test_detects_unguarded_global_race(self):
+        ctx = ctx_for(UNGUARDED_GLOBAL)
+        reports = RaceChecker().check_baseline(ctx)
+        assert keys(reports) == {("bump", "cell"), ("reset", "cell")}
+
+    def test_misses_heap_passed_race(self):
+        """Name-keyed: a cell reached through a parameter has no global
+        name, so the baseline is blind (documented false negative)."""
+        ctx = ctx_for(HEAP_PARAM)
+        assert RaceChecker().check_baseline(ctx) == []
+
+    def test_false_alarm_on_aliased_lock(self):
+        """Name-keyed locksets look disjoint even though both sides hold
+        the same lock object: two false positives."""
+        ctx = ctx_for(ALIASED_LOCK_BAIT)
+        reports = RaceChecker().check_baseline(ctx)
+        assert keys(reports) == {("worker", "cell"), ("host", "cell")}
+
+    def test_no_spawn_no_reports(self):
+        ctx = ctx_for(
+            """
+            int *cell;
+            void writer(void) { *cell = 1; }
+            void host(void) { cell = malloc(4); writer(); }
+            """
+        )
+        assert RaceChecker().check_baseline(ctx) == []
+
+    def test_same_named_lock_suppresses(self):
+        ctx = ctx_for(
+            """
+            int *cell;
+            int *mu;
+            void w1(void) { lock(mu); *cell = 1; unlock(mu); }
+            void w2(void) { lock(mu); *cell = 2; unlock(mu); }
+            void host(void) {
+                cell = malloc(4);
+                mu = malloc(4);
+                spawn w1();
+                spawn w2();
+            }
+            """
+        )
+        assert RaceChecker().check_baseline(ctx) == []
+
+
+class TestAugmented:
+    def test_detects_unguarded_global_race(self):
+        ctx = ctx_for(UNGUARDED_GLOBAL)
+        reports = RaceChecker().check_augmented(ctx)
+        assert keys(reports) == {("bump", "cell"), ("reset", "cell")}
+        assert all(r.interprocedural for r in reports)
+
+    def test_detects_heap_passed_race(self):
+        ctx = ctx_for(HEAP_PARAM)
+        reports = RaceChecker().check_augmented(ctx)
+        assert keys(reports) == {("worker", "wcell"), ("host", "buf")}
+
+    def test_aliased_lock_is_not_a_race(self):
+        ctx = ctx_for(ALIASED_LOCK_BAIT)
+        assert RaceChecker().check_augmented(ctx) == []
+
+    def test_no_spawn_no_reports(self):
+        ctx = ctx_for(
+            """
+            int *cell;
+            void writer(void) { *cell = 1; }
+            void host(void) { cell = malloc(4); writer(); }
+            """
+        )
+        assert RaceChecker().check_augmented(ctx) == []
+
+    def test_reuses_precomputed_races_from_context(self):
+        """run_analyses precomputes the race facts on the shared pointer
+        closure; the checker consumes them instead of recomputing."""
+        ctx = ctx_for(UNGUARDED_GLOBAL)
+        assert ctx.races is not None
+        assert ctx.escape is not None
+        via_ctx = RaceChecker().check_augmented(ctx)
+        ctx.races = None  # force the fallback recomputation path
+        recomputed = RaceChecker().check_augmented(ctx)
+        assert keys(via_ctx) == keys(recomputed)

@@ -1,6 +1,5 @@
 """Tests for the GraspanEngine driver: in-memory, out-of-core, alignment."""
 
-import numpy as np
 import pytest
 
 from repro.engine import GraspanEngine, RoundRobinScheduler, naive_closure

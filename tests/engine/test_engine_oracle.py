@@ -6,19 +6,12 @@ partitioning — must produce exactly the closure the naive reference
 computes.  hypothesis drives random graphs through both.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import GraspanEngine, naive_closure
 from repro.graph import MemGraph
-from repro.grammar import (
-    Grammar,
-    dyck_grammar,
-    pointsto_grammar,
-    reachability_grammar,
-)
+from repro.grammar import dyck_grammar, pointsto_grammar, reachability_grammar
 
 from repro.grammar import pointsto_grammar_extended
 

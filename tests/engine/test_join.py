@@ -1,7 +1,6 @@
 """Tests for the vectorized edge-pair join core."""
 
 import numpy as np
-import pytest
 
 from repro.engine.join import CsrView, apply_unary_closure, join_edges
 from repro.graph import from_pairs, packed

@@ -1,7 +1,5 @@
 """Out-of-core edge cases: partial supersteps, single partitions, growth."""
 
-import numpy as np
-import pytest
 
 from repro.engine import GraspanEngine, naive_closure
 from repro.graph import MemGraph

@@ -10,7 +10,6 @@ import pytest
 
 import repro.engine.parallel as parallel
 from repro.engine import GraspanEngine, naive_closure
-from repro.engine.join import CsrView
 from repro.engine.parallel import (
     JoinTelemetry,
     ProcessJoinBackend,

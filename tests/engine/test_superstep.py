@@ -1,7 +1,6 @@
 """Tests for the superstep fixed point (Algorithm 1)."""
 
 import numpy as np
-import pytest
 
 from repro.engine import naive_closure, run_superstep
 from repro.graph import from_pairs, packed

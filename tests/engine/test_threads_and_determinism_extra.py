@@ -1,6 +1,5 @@
 """Extra determinism/thread coverage on the full analysis pipeline."""
 
-import pytest
 
 from repro.analysis import PointsToAnalysis
 from repro.frontend import compile_program

@@ -1,6 +1,5 @@
 """Tests for call-graph construction and SCC collapsing."""
 
-import pytest
 
 from repro.frontend import build_callgraph, lower_program, parse
 

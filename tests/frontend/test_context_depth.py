@@ -1,6 +1,5 @@
 """Tests for bounded context sensitivity (§3's inlining-criteria knob)."""
 
-import pytest
 
 from repro.analysis import PointsToAnalysis
 from repro.frontend import compile_program

@@ -1,6 +1,5 @@
 """Tests for `for` loops (desugared to init + while)."""
 
-import pytest
 
 from repro.analysis import TaintDataflowAnalysis, PointsToAnalysis
 from repro.frontend import compile_program, lower_program, parse

@@ -1,6 +1,5 @@
 """Tests for three-address lowering."""
 
-import pytest
 
 from repro.frontend import lower_program, parse
 

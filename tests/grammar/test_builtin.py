@@ -10,10 +10,6 @@ from repro.grammar import (
     LABEL_NF,
     LABEL_OF,
     LABEL_VF,
-    dyck_grammar,
-    nullflow_grammar,
-    pointsto_grammar,
-    pointsto_grammar_extended,
 )
 
 

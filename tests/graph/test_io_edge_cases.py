@@ -1,6 +1,5 @@
 """Edge cases in the disk formats."""
 
-import pytest
 
 from repro.graph import MemGraph, read_text, write_text
 

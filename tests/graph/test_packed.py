@@ -1,7 +1,6 @@
 """Tests for packed edge keys and sorted-array set operations."""
 
 import numpy as np
-import pytest
 
 from repro.graph import packed
 

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.graph import MemGraph, from_pairs
+from repro.graph import MemGraph
 from repro.partition import (
     DestinationDistributionMap,
-    Interval,
     Partition,
     PartitionSet,
     PartitionStore,

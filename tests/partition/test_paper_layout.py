@@ -7,7 +7,7 @@ by source then target (§4.1).  This test pins that exact layout.
 """
 
 from repro.graph import MemGraph
-from repro.partition import Interval, VertexIntervalTable, preprocess
+from repro.partition import preprocess
 
 #: Figure 2(a): a small directed graph (labels are irrelevant to the
 #: layout, so everything carries label 0).

@@ -1,6 +1,5 @@
 """Tests for the Partition data structure."""
 
-import numpy as np
 import pytest
 
 from repro.graph import from_pairs, pack_one

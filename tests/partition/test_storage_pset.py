@@ -1,6 +1,5 @@
 """Tests for partition persistence and the PartitionSet residency logic."""
 
-import numpy as np
 import pytest
 
 from repro.graph import MemGraph, from_pairs

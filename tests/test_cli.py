@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.cli import main
 from repro.graph import MemGraph, write_text
 
@@ -113,6 +111,38 @@ class TestClosure:
             ]
         )
         assert code == 0
+
+
+RACY_SOURCE = """
+int *cell;
+void bump(void) { *cell = 1; }
+void reset(void) { *cell = 0; }
+void host(void) {
+    cell = malloc(4);
+    spawn bump();
+    spawn reset();
+}
+"""
+
+
+class TestRaces:
+    def test_reports_race_and_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(RACY_SOURCE)
+        code = main(["races", str(src)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "race on" in captured.out
+        assert "bump" in captured.out
+        assert "1 closure run" in captured.err
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(CLEAN_SOURCE)
+        code = main(["races", str(src)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "race on" not in captured.out
 
 
 class TestWorkload:

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.workloads import (
-    LINUX_MODULE_WEIGHTS,
-    Workload,
-    WorkloadSpec,
-    generate,
-)
+from repro.workloads import LINUX_MODULE_WEIGHTS, WorkloadSpec, generate
 
 
 @pytest.fixture(scope="module")
