@@ -1,0 +1,66 @@
+"""Memory-budgeted residency: peak resident bytes vs. configured budget.
+
+Shape contract on the httpd-like pointer analysis: every budget lands on
+the identical closure; budgeted runs actually evict; and the tracked
+peak resident bytes never exceed the budget by more than one partition
+(the evict-before-load guarantee of the residency manager).
+"""
+
+from repro.bench import render_table, residency_rows, rows_from_dicts, save_and_print
+from benchmarks.conftest import results_path
+
+
+def test_memory_residency(benchmark, httpd):
+    graph = httpd.pointer
+    rows = benchmark.pedantic(
+        residency_rows, args=(graph,), rounds=1, iterations=1
+    )
+
+    edge_counts = {r["final_edges"] for r in rows}
+    assert len(edge_counts) == 1  # identical closure under every budget
+    assert edge_counts.pop() > graph.num_edges
+
+    baseline, budgeted = rows[0], rows[1:]
+    assert baseline["budget"] == "unlimited"
+    assert budgeted
+    for row in budgeted:
+        budget = int(row["budget"])
+        assert row["peak_resident_bytes"] <= budget + row["max_partition_bytes"]
+    # The tightest budget must actually cycle partitions through disk.
+    assert budgeted[-1]["evictions"] > 0
+
+    text = render_table(
+        "Residency: peak resident bytes vs memory budget (httpd-like pointer analysis)",
+        [
+            "budget (B)",
+            "peak (B)",
+            "max part (B)",
+            "evict",
+            "loads",
+            "hits",
+            "read (B)",
+            "wrote (B)",
+            "parts",
+            "edges",
+            "wall (s)",
+        ],
+        rows_from_dicts(
+            rows,
+            [
+                "budget",
+                "peak_resident_bytes",
+                "max_partition_bytes",
+                "evictions",
+                "loads",
+                "cache_hits",
+                "bytes_read",
+                "bytes_written",
+                "partitions",
+                "final_edges",
+                "wall_s",
+            ],
+        ),
+        note="same closure under every budget; peak <= budget + one "
+        "partition by the evict-before-load rule",
+    )
+    save_and_print(text, results_path("memory_residency.txt"))

@@ -91,7 +91,8 @@ print(f"supersteps: {stats.num_supersteps}, partitions: "
 print(f"time: compute {stats.timers.get('compute'):.2f}s, "
       f"io {stats.timers.get('io'):.2f}s")
 
-guarded = list(computation.iter_edges_with_label("guardedBy"))
+g_src, g_dst = computation.edges_with_label_arrays("guardedBy")
+guarded = list(zip(g_src.tolist(), g_dst.tolist()))
 by_section = {}
 for lock, section in guarded:
     by_section.setdefault(section, set()).add(lock)

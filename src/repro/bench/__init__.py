@@ -32,6 +32,7 @@ from repro.bench.ablation import (
     ablation_oldnew,
     ablation_scheduler,
 )
+from repro.bench.residency import DEFAULT_BUDGET_FACTORS, residency_rows
 from repro.bench.scaling import DEFAULT_SWEEP, scaling_rows
 
 __all__ = [
@@ -63,4 +64,6 @@ __all__ = [
     "ablation_scheduler",
     "DEFAULT_SWEEP",
     "scaling_rows",
+    "DEFAULT_BUDGET_FACTORS",
+    "residency_rows",
 ]

@@ -1,0 +1,82 @@
+"""Memory-budgeted residency study: peak resident bytes vs. budget.
+
+Graspan's claim is that the closure completes in whatever memory it is
+given (§4.1): partitions beyond the budget cycle through disk.  This
+study runs the same pointer closure under a sweep of byte budgets and
+reports, per budget, the tracked peak resident bytes, the eviction and
+cache-hit counts, and the partition-file I/O volume — plus the invariant
+the engine promises: the peak never exceeds the budget by more than one
+partition, and every budget lands on the identical closure.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import measure
+from repro.engine.engine import GraspanEngine
+from repro.grammar.builtin import pointsto_grammar_extended
+from repro.graph.graph import MemGraph
+
+#: Default budget sweep, as multiples of the largest partition observed
+#: in the unbudgeted baseline run: roomy, tight, and minimal (the pinned
+#: superstep pair is two partitions, so 2x is the practical floor).
+DEFAULT_BUDGET_FACTORS = (6, 3, 2)
+
+
+def residency_rows(
+    graph: MemGraph,
+    grammar=None,
+    budgets: Optional[Sequence[int]] = None,
+    budget_factors: Sequence[int] = DEFAULT_BUDGET_FACTORS,
+    max_edges_per_partition: Optional[int] = None,
+) -> List[Dict[str, object]]:
+    """Run the closure unbudgeted, then once per budget; one row each.
+
+    When ``budgets`` is not given, budgets are derived from the baseline
+    run's largest partition via ``budget_factors``.  Every row carries
+    ``final_edges`` so callers can assert the closure is unchanged.
+    """
+    if grammar is None:
+        grammar = pointsto_grammar_extended()
+    if max_edges_per_partition is None:
+        max_edges_per_partition = max(1000, graph.num_edges // 6)
+
+    rows = [_one_run(graph, grammar, max_edges_per_partition, None)]
+    if budgets is None:
+        max_part = int(rows[0]["max_partition_bytes"])
+        budgets = [factor * max_part for factor in budget_factors]
+    for budget in budgets:
+        rows.append(_one_run(graph, grammar, max_edges_per_partition, int(budget)))
+    return rows
+
+
+def _one_run(
+    graph: MemGraph,
+    grammar,
+    max_edges_per_partition: int,
+    memory_budget: Optional[int],
+) -> Dict[str, object]:
+    with tempfile.TemporaryDirectory(prefix="graspan-residency-") as wd:
+        engine = GraspanEngine(
+            grammar,
+            max_edges_per_partition=max_edges_per_partition,
+            workdir=wd,
+            memory_budget=memory_budget,
+        )
+        measured = measure(lambda: engine.run(graph).stats)
+    stats = measured.value
+    return {
+        "budget": memory_budget if memory_budget is not None else "unlimited",
+        "peak_resident_bytes": stats.peak_resident_bytes,
+        "max_partition_bytes": stats.max_partition_bytes,
+        "evictions": stats.evictions,
+        "loads": stats.partition_loads,
+        "cache_hits": stats.cache_hits,
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
+        "partitions": stats.final_partitions,
+        "final_edges": stats.final_edges,
+        "wall_s": round(measured.seconds, 2),
+    }

@@ -68,17 +68,27 @@ def _cmd_closure(args: argparse.Namespace) -> int:
     from repro.engine import GraspanEngine
     from repro.grammar import parse_grammar_file
     from repro.graph import read_text, write_text
+    from repro.util.memory import MemoryBudgetExceeded, parse_memory_size
 
     grammar = parse_grammar_file(args.grammar)
     graph = read_text(args.graph)
+    memory_budget = (
+        parse_memory_size(args.memory_budget) if args.memory_budget else None
+    )
     engine = GraspanEngine(
         grammar,
         max_edges_per_partition=args.max_edges_per_partition,
         workdir=args.workdir,
         num_threads=args.threads,
         parallel_backend=args.backend,
+        memory_budget=memory_budget,
     )
-    computation = engine.run(graph).load_resident()
+    computation = engine.run(graph)
+    try:
+        computation.load_resident()
+    except MemoryBudgetExceeded as exc:
+        # Queries below still work; partitions cycle through the budget.
+        print(f"not loading closure resident: {exc}", file=sys.stderr)
     stats = computation.stats
     print(
         f"closure: {stats.original_edges} -> {stats.final_edges} edges "
@@ -97,9 +107,19 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         f"(~{par['speedup_estimate']}x)",
         file=sys.stderr,
     )
+    if memory_budget is not None:
+        print(
+            f"residency: budget {stats.memory_budget} B, "
+            f"peak {stats.peak_resident_bytes} B resident, "
+            f"{stats.evictions} evictions, {stats.cache_hits} cache hits, "
+            f"{stats.partition_loads} loads; "
+            f"read {stats.bytes_read} B, wrote {stats.bytes_written} B",
+            file=sys.stderr,
+        )
     if args.label:
-        for src, dst in computation.iter_edges_with_label(args.label):
-            print(f"{src}\t{dst}\t{args.label}")
+        src, dst = computation.edges_with_label_arrays(args.label)
+        for s, d in zip(src.tolist(), dst.tolist()):
+            print(f"{s}\t{d}\t{args.label}")
     if args.out:
         write_text(computation.to_memgraph(), args.out)
         print(f"full closure written to {args.out}", file=sys.stderr)
@@ -192,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-edges-per-partition", type=int, default=None, dest="max_edges_per_partition"
     )
     closure.add_argument("--workdir", default=None)
+    closure.add_argument(
+        "--memory-budget",
+        default=None,
+        dest="memory_budget",
+        help="resident-partition byte budget, e.g. 64M or 2G (requires "
+        "--workdir); partitions beyond it are evicted least-recently-used",
+    )
     closure.add_argument("--threads", type=int, default=1)
     closure.add_argument(
         "--backend",

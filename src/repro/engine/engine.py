@@ -12,11 +12,13 @@ statistics behind Tables 5-6 and Figure 4.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.engine.join import CsrView
 from repro.engine.parallel import BACKENDS, JoinBackend, make_backend
 from repro.engine.scheduler import Scheduler
 from repro.engine.stats import EngineStats, SuperstepRecord
@@ -26,6 +28,7 @@ from repro.graph.graph import MemGraph
 from repro.grammar.grammar import FrozenGrammar
 from repro.partition.preprocess import preprocess
 from repro.partition.pset import PartitionSet
+from repro.util.memory import MemoryBudgetExceeded
 from repro.util.timing import Stopwatch
 
 PathLike = Union[str, Path]
@@ -47,28 +50,45 @@ class GraspanComputation:
         Out-of-core runs leave the final partitions on disk; call this
         before the working directory is deleted if you want to keep
         querying the computation.  Returns self for chaining.
+
+        Respects the set's memory budget: if the whole closure does not
+        fit, :class:`~repro.util.memory.MemoryBudgetExceeded` is raised
+        instead of silently blowing past the limit (the total is known
+        from the slots' remembered sizes, so nothing is read first).
+        Loaded partitions stay clean — they match their disk copies, so
+        a later eviction pays no write-back.
         """
+        budget = self.pset.memory_budget
+        if budget is not None:
+            total = self.pset.total_bytes()
+            if total > budget:
+                raise MemoryBudgetExceeded(total, budget)
         for pid in range(self.pset.num_partitions):
             self.pset.acquire(pid)
         return self
 
     def iter_edges_with_label(self, label: "int | str") -> Iterator[Tuple[int, int]]:
-        """Iterate ``(src, dst)`` pairs of edges carrying ``label`` (§4.4).
+        """Deprecated: iterate ``(src, dst)`` pairs carrying ``label`` (§4.4).
 
-        For the pointer analysis, label ``OF`` yields the points-to
-        solution and ``AL`` the alias pairs.
+        Use :meth:`edges_with_label_arrays` — the vectorized form this
+        wrapper now delegates to.  Kept only so old notebooks keep
+        running; emits :class:`DeprecationWarning`.
         """
-        if isinstance(label, str):
-            label = self.grammar.label_id(label)
-        for src, dst, lab in self.pset.iter_all_edges():
-            if lab == label:
-                yield src, dst
+        warnings.warn(
+            "iter_edges_with_label is deprecated; use "
+            "edges_with_label_arrays for parallel (src, dst) arrays",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        src, dst = self.edges_with_label_arrays(label)
+        return iter(zip(src.tolist(), dst.tolist()))
 
     def edges_with_label_arrays(self, label: "int | str") -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized variant of :meth:`iter_edges_with_label`.
+        """All ``(src, dst)`` pairs of edges carrying ``label``, as arrays.
 
-        Returns parallel ``(src, dst)`` arrays; orders of magnitude
-        faster than the iterator on large result graphs.
+        For the pointer analysis, label ``OF`` yields the points-to
+        solution and ``AL`` the alias pairs.  One mask per partition over
+        the flat key array — no per-vertex iteration.
         """
         if isinstance(label, str):
             label = self.grammar.label_id(label)
@@ -77,24 +97,35 @@ class GraspanComputation:
         for pid in range(self.pset.num_partitions):
             was_resident = self.pset.is_resident(pid)
             partition = self.pset.acquire(pid)
-            for v, keys in partition.adjacency.items():
-                mask = packed.labels_of(keys) == label
-                n = int(mask.sum())
-                if n:
-                    src_parts.append(np.full(n, v, dtype=np.int64))
-                    dst_parts.append(packed.targets_of(keys[mask]))
-            if not was_resident:
+            mask = packed.labels_of(partition.keys) == label
+            if mask.any():
+                flat_src = np.repeat(partition.vertices, partition.row_lengths())
+                src_parts.append(flat_src[mask])
+                dst_parts.append(packed.targets_of(partition.keys[mask]))
+            if not was_resident and self.pset.memory_budget is None:
                 self.pset.evict(pid)
         if not src_parts:
             return packed.EMPTY, packed.EMPTY
         return np.concatenate(src_parts), np.concatenate(dst_parts)
 
     def count_by_label(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for _, _, lab in self.pset.iter_all_edges():
-            name = self.grammar.label_name(lab)
-            counts[name] = counts.get(name, 0) + 1
-        return counts
+        """Edge counts per label name, via one bincount per partition."""
+        totals = np.zeros(self.grammar.num_labels, dtype=np.int64)
+        for pid in range(self.pset.num_partitions):
+            was_resident = self.pset.is_resident(pid)
+            partition = self.pset.acquire(pid)
+            if partition.num_edges:
+                totals += np.bincount(
+                    packed.labels_of(partition.keys),
+                    minlength=self.grammar.num_labels,
+                )
+            if not was_resident and self.pset.memory_budget is None:
+                self.pset.evict(pid)
+        return {
+            self.grammar.label_name(i): int(n)
+            for i, n in enumerate(totals)
+            if n
+        }
 
     def to_memgraph(self) -> MemGraph:
         return self.pset.to_memgraph()
@@ -130,6 +161,13 @@ class GraspanEngine:
         is created once per :meth:`run` and reused across supersteps;
         ``process`` falls back to ``thread`` when shared memory is
         unavailable.
+    memory_budget:
+        Resident-partition byte budget (requires ``workdir``).  The
+        loaded superstep pair is pinned; everything else is evicted
+        least-recently-used whenever the total resident CSR bytes would
+        exceed the budget, so peak residency never overshoots by more
+        than one partition.  ``None`` (the default) keeps the historical
+        policy: evict everything except the loaded pair each superstep.
     """
 
     def __init__(
@@ -143,12 +181,21 @@ class GraspanEngine:
         max_supersteps: int = 1_000_000,
         repartition_growth: float = 2.0,
         parallel_backend: Optional[str] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
         if parallel_backend is not None and parallel_backend not in BACKENDS:
             raise ValueError(
                 f"unknown parallel_backend {parallel_backend!r}; "
                 f"choose from {BACKENDS}"
             )
+        if memory_budget is not None:
+            if memory_budget <= 0:
+                raise ValueError("memory_budget must be positive")
+            if workdir is None:
+                raise ValueError(
+                    "memory_budget requires a workdir: without disk backing "
+                    "there is nowhere to evict partitions to"
+                )
         self.grammar = grammar
         self.max_edges_per_partition = max_edges_per_partition
         self.num_partitions = num_partitions
@@ -158,6 +205,7 @@ class GraspanEngine:
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.max_supersteps = max_supersteps
         self.repartition_growth = repartition_growth
+        self.memory_budget = memory_budget
 
     # ------------------------------------------------------------------
     def run(self, graph: MemGraph) -> GraspanComputation:
@@ -174,8 +222,10 @@ class GraspanEngine:
             num_partitions=self.num_partitions,
             workdir=self.workdir,
             timers=stats.timers,
+            memory_budget=self.memory_budget,
         )
         stats.initial_partitions = pset.num_partitions
+        stats.memory_budget = pset.memory_budget
 
         mid_limit = self.mid_superstep_limit()
 
@@ -200,7 +250,20 @@ class GraspanEngine:
             pset.evict_all_except(())
         stats.final_edges = pset.total_edges()
         stats.final_partitions = pset.num_partitions
+        self._snapshot_residency(pset, stats)
         return GraspanComputation(pset, self.grammar, stats)
+
+    @staticmethod
+    def _snapshot_residency(pset: PartitionSet, stats: EngineStats) -> None:
+        """Copy residency/storage counters into the run's stats."""
+        residency = pset.residency
+        stats.peak_resident_bytes = residency.peak_resident_bytes
+        stats.max_partition_bytes = residency.max_partition_bytes
+        stats.evictions = residency.evictions
+        stats.cache_hits = residency.cache_hits
+        stats.partition_loads = residency.loads
+        stats.bytes_read = pset.store.bytes_read
+        stats.bytes_written = pset.store.bytes_written
 
     def mid_superstep_limit(self) -> int:
         """The resident-edge budget that triggers a mid-superstep bail-out.
@@ -247,45 +310,54 @@ class GraspanEngine:
     ) -> None:
         p, q = min(pair), max(pair)
         loaded = (p,) if p == q else (p, q)
-        # Delayed write-back: only partitions not needed next are evicted.
-        pset.evict_all_except(loaded)
-        parts = [pset.acquire(pid) for pid in loaded]
+        with pset.pinned(*loaded):
+            if pset.memory_budget is None:
+                # Historical policy: delayed write-back, only partitions
+                # not needed next are evicted.
+                pset.evict_all_except(loaded)
+            parts = [pset.acquire(pid) for pid in loaded]
 
-        combined: Dict[int, np.ndarray] = {}
-        for part in parts:
-            combined.update(part.adjacency)
+            # Combine the loaded CSRs by concatenation: p < q, so their
+            # vertex ranges are disjoint and already ordered.
+            combined = self._combine_views(parts)
 
-        watch = Stopwatch().start()
-        with stats.timers.phase("compute"):
-            result = run_superstep(
-                combined,
-                self.grammar,
-                memory_limit_edges=mid_limit,
-                num_threads=self.num_threads,
-                backend=backend,
+            watch = Stopwatch().start()
+            with stats.timers.phase("compute"):
+                result = run_superstep(
+                    combined,
+                    self.grammar,
+                    memory_limit_edges=mid_limit,
+                    num_threads=self.num_threads,
+                    backend=backend,
+                )
+            seconds = watch.stop()
+
+            # Scatter the merged flat edge set back into the loaded
+            # partitions: one searchsorted cut per interval, rows are
+            # zero-copy slices of the result keys.
+            for pid, part in zip(loaded, parts):
+                lo = int(np.searchsorted(result.src, part.interval.lo, side="left"))
+                hi = int(np.searchsorted(result.src, part.interval.hi, side="right"))
+                view = CsrView.from_flat(result.src[lo:hi], result.keys[lo:hi])
+                part.replace_csr(view.vertices, view.indptr, view.keys)
+                pset.note_mutated(pid)
+                # Rows of resident partitions are cheap to recompute exactly,
+                # correcting any proportional approximations from past splits.
+                pset.ddm.set_exact_row(pid, part.destination_counts(pset.vit))
+
+            self._record_added_edges(pset, result.added_src, result.added_keys)
+            if result.completed:
+                pset.ddm.mark_synced(loaded)
+
+            resident_edges = sum(pset.edge_count(pid) for pid in loaded)
+            stats.peak_resident_edges = max(
+                stats.peak_resident_edges, resident_edges
             )
-        seconds = watch.stop()
 
-        # Scatter the merged adjacency back into the loaded partitions.
-        for pid, part in zip(loaded, parts):
-            hi = part.interval.hi
-            lo = part.interval.lo
-            part.adjacency = {
-                v: keys for v, keys in result.adjacency.items() if lo <= v <= hi
-            }
-            pset.note_mutated(pid)
-            # Rows of resident partitions are cheap to recompute exactly,
-            # correcting any proportional approximations from past splits.
-            pset.ddm.set_exact_row(pid, part.destination_counts(pset.vit))
-
-        self._record_added_edges(pset, result.added_src, result.added_keys)
-        if result.completed:
-            pset.ddm.mark_synced(loaded)
-
-        resident_edges = sum(pset.edge_count(pid) for pid in loaded)
-        stats.peak_resident_edges = max(stats.peak_resident_edges, resident_edges)
-
-        self._maybe_repartition(pset, loaded, stats)
+            self._maybe_repartition(pset, loaded, stats)
+        # Growth during the superstep may have pushed the resident total
+        # over the budget; settle it now that nothing is pinned.
+        pset.enforce_budget()
 
         telemetry = result.telemetry
         stats.supersteps.append(
@@ -305,6 +377,25 @@ class GraspanEngine:
                 ),
             )
         )
+
+    @staticmethod
+    def _combine_views(parts: List) -> CsrView:
+        """Concatenate loaded partitions' CSRs into one join-ready view.
+
+        The partitions arrive in ascending interval order with disjoint
+        vertex ranges, so concatenation (with the right half's ``indptr``
+        rebased) *is* the merge — no sort, no dict.
+        """
+        if len(parts) == 1:
+            return CsrView(*parts[0].csr())
+        vertices = np.concatenate([part.vertices for part in parts])
+        keys = np.concatenate([part.keys for part in parts])
+        indptr_parts = [parts[0].indptr]
+        offset = int(parts[0].indptr[-1])
+        for part in parts[1:]:
+            indptr_parts.append(part.indptr[1:] + offset)
+            offset += int(part.indptr[-1])
+        return CsrView(vertices, np.concatenate(indptr_parts), keys)
 
     def _record_added_edges(
         self, pset: PartitionSet, added_src: np.ndarray, added_keys: np.ndarray

@@ -51,6 +51,24 @@ class CsrView:
         keys = np.concatenate([keys for _, keys in items])
         return cls(vertices, indptr, keys)
 
+    @classmethod
+    def from_flat(cls, src: np.ndarray, keys: np.ndarray) -> "CsrView":
+        """Group flat ``(src, key)`` arrays — lexsorted by (src, key) —
+        into a CSR view without copying ``keys``.
+
+        The inverse of :func:`repro.engine.parallel.expand_view`; all of
+        the engine's flat-array state goes through here, so no Python
+        per-row loop is involved.
+        """
+        if len(src) == 0:
+            return cls(packed.EMPTY, np.zeros(1, dtype=np.int64), packed.EMPTY)
+        starts = np.concatenate(
+            [[0], np.flatnonzero(src[1:] != src[:-1]) + 1]
+        ).astype(np.int64)
+        vertices = src[starts]
+        indptr = np.concatenate([starts, [len(src)]]).astype(np.int64)
+        return cls(vertices, indptr, keys)
+
     @property
     def num_edges(self) -> int:
         return len(self.keys)

@@ -235,6 +235,24 @@ class JoinBackend:
         left_src, left_keys = expand_view(left)
         return self.join_arrays(left_src, left_keys, rights)
 
+    def join_edge_list(
+        self,
+        left_src: np.ndarray,
+        left_keys: np.ndarray,
+        left_view: CsrView,
+        rights: Sequence[CsrView],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Join flat left edges that are also available as a CSR view.
+
+        The superstep keeps its state in both forms — flat ``(src, key)``
+        arrays for merges and a grouped view for the join — so backends
+        pick whichever is cheaper: in-process backends consume the flat
+        arrays directly (no expand/flatten round-trip), while the process
+        backend overrides this to ship the compact CSR snapshot through
+        shared memory instead of the expanded source column.
+        """
+        return self.join_arrays(left_src, left_keys, rights)
+
     def join_arrays(
         self,
         left_src: np.ndarray,
@@ -562,6 +580,10 @@ class ProcessJoinBackend(JoinBackend):
             self._degrade()
             left_src, left_keys = expand_view(left)
             return self._inline(left_src, left_keys, rights)
+
+    def join_edge_list(self, left_src, left_keys, left_view, rights):
+        """Prefer the CSR form: snapshots publish once and chunk by rows."""
+        return self.join_views(left_view, rights)
 
     def join_arrays(self, left_src, left_keys, rights):
         rights = [r for r in rights if r.num_edges]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.util.timing import TimeBreakdown
 
@@ -56,6 +56,17 @@ class EngineStats:
     supersteps: List[SuperstepRecord] = field(default_factory=list)
     timers: TimeBreakdown = field(default_factory=TimeBreakdown)
     peak_resident_edges: int = 0
+    # Residency/storage counters (copied from the ResidencyManager and the
+    # PartitionStore at the end of a run): the observable behaviour of the
+    # memory-budgeted residency stack.
+    memory_budget: Optional[int] = None  # configured budget in bytes (None = off)
+    peak_resident_bytes: int = 0  # high-water mark of resident CSR bytes
+    max_partition_bytes: int = 0  # largest single partition ever resident
+    evictions: int = 0  # resident copies dropped (dirty ones written back)
+    cache_hits: int = 0  # acquires answered without touching disk
+    partition_loads: int = 0  # acquires that had to read a partition file
+    bytes_read: int = 0  # partition file bytes read
+    bytes_written: int = 0  # partition file bytes written
 
     @property
     def num_supersteps(self) -> int:
@@ -126,6 +137,14 @@ class EngineStats:
             "preprocess_s": round(self.timers.get("preprocess"), 3),
             "total_s": round(self.timers.total(), 3),
             "peak_resident_edges": self.peak_resident_edges,
+            "memory_budget": self.memory_budget,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "max_partition_bytes": self.max_partition_bytes,
+            "evictions": self.evictions,
+            "cache_hits": self.cache_hits,
+            "partition_loads": self.partition_loads,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
             "backend": (
                 self.supersteps[-1].backend if self.supersteps else "serial"
             ),

@@ -1,48 +1,213 @@
-"""One superstep: the BSP-like fixed point of Algorithm 1.
+"""One superstep: the BSP-like fixed point of Algorithm 1, on flat arrays.
 
 With two partitions loaded (their vertex sets and edge lists combined),
-every vertex ``v`` keeps two sorted arrays: ``O_v`` ("old" edges already
-matched in earlier iterations) and ``D_v`` ("new" edges discovered in the
-previous iteration).  Each iteration matches
+the superstep keeps two edge sets: ``O`` ("old" edges already matched in
+earlier iterations) and ``D`` ("new" edges discovered in the previous
+iteration).  Each iteration matches
 
-* every old edge ``v -> u`` in ``O_v`` against the *new* edges ``D_u``, and
-* every new edge ``v -> u`` in ``D_v`` against *all* edges ``O_u ∪ D_u``,
+* every old edge ``v -> u`` in ``O`` against the *new* edges of ``u``, and
+* every new edge ``v -> u`` in ``D`` against *all* edges of ``u``,
 
 never old × old — that work was done in an earlier iteration.  Matched
-pairs produce transitive edges, which are merged into the per-vertex
-sorted lists with duplicates eliminated during the merge (the property
-that makes the computation terminate, §4.2).  The superstep ends when no
-iteration adds an edge, or early when the in-memory edge count crosses
-``memory_limit_edges`` (the mid-superstep repartitioning trigger, §4.3).
+pairs produce transitive edges; duplicates are eliminated during the
+merge (the property that makes the computation terminate, §4.2).  The
+superstep ends when no iteration adds an edge, or early when the
+in-memory edge count crosses ``memory_limit_edges`` (the mid-superstep
+repartitioning trigger, §4.3).
+
+Both sets are stored as flat parallel ``(src, key)`` int64 arrays,
+lexsorted by (src, key) and mutually disjoint — the same layout the
+partitions, the join kernels, and the on-disk format use, so edges flow
+through an iteration as whole-array lexsorts and gathers with no
+per-vertex Python loop.  The per-vertex dict form remains available via
+:attr:`SuperstepResult.adjacency` for tests and the ablation bench.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.engine.join import CsrView, apply_unary_closure
+from repro.engine.join import CsrView, apply_unary_closure  # noqa: F401 (re-export)
 from repro.graph import packed
 from repro.grammar.grammar import FrozenGrammar
 
 
 @dataclass
 class SuperstepResult:
-    """Outcome of one superstep over a loaded vertex set."""
+    """Outcome of one superstep over a loaded vertex set.
 
-    adjacency: Dict[int, np.ndarray]  # final merged per-vertex edge lists
+    The final merged edge set is the flat lexsorted ``(src, keys)`` pair;
+    :meth:`csr` regroups it as a CSR view and :attr:`adjacency`
+    materializes the legacy per-vertex dict on demand (rows are zero-copy
+    slices of ``keys``).
+    """
+
+    src: np.ndarray  # final merged edges: source vertices (lexsorted)
+    keys: np.ndarray  # final merged edges: packed (target, label)
     added_src: np.ndarray  # source vertex of every edge added
     added_keys: np.ndarray  # packed (target, label) of every edge added
     iterations: int
     completed: bool  # False if stopped early by the memory limit
     telemetry: Optional["JoinTelemetry"] = None  # backend parallelism counters
+    _adjacency: Optional[Dict[int, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def edges_added(self) -> int:
         return len(self.added_src)
 
+    def csr(self) -> CsrView:
+        return CsrView.from_flat(self.src, self.keys)
+
+    @property
+    def adjacency(self) -> Dict[int, np.ndarray]:
+        """The final edge set as ``{src: sorted packed keys}`` (lazy)."""
+        if self._adjacency is None:
+            view = self.csr()
+            self._adjacency = {
+                int(v): view.keys[view.indptr[i] : view.indptr[i + 1]]
+                for i, v in enumerate(view.vertices)
+            }
+        return self._adjacency
+
+
+# ---------------------------------------------------------------------------
+# flat (src, key) pair-set primitives
+# ---------------------------------------------------------------------------
+
+def _flatten_adjacency(
+    adjacency: Union[Mapping, CsrView]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalize dict or CSR input to flat lexsorted ``(src, key)`` arrays."""
+    if isinstance(adjacency, CsrView):
+        from repro.engine.parallel import expand_view
+
+        return expand_view(adjacency)
+    items = [
+        (v, np.asarray(keys, dtype=np.int64))
+        for v, keys in adjacency.items()
+        if len(keys)
+    ]
+    if not items:
+        return packed.EMPTY, packed.EMPTY
+    items.sort(key=lambda item: item[0])
+    src = np.concatenate(
+        [np.full(len(keys), v, dtype=np.int64) for v, keys in items]
+    )
+    keys = np.concatenate([keys for _, keys in items])
+    return src, keys
+
+
+def _dedup_pairs(
+    src: np.ndarray, keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lexsort raw ``(src, key)`` pairs and drop duplicates."""
+    if len(src) == 0:
+        return packed.EMPTY, packed.EMPTY
+    order = np.lexsort((keys, src))
+    src, keys = src[order], keys[order]
+    keep = np.ones(len(src), dtype=bool)
+    keep[1:] = (src[1:] != src[:-1]) | (keys[1:] != keys[:-1])
+    return src[keep], keys[keep]
+
+
+def _merge_disjoint(
+    a_src: np.ndarray,
+    a_keys: np.ndarray,
+    b_src: np.ndarray,
+    b_keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Union of two lexsorted, disjoint pair sets, preserving lexsort."""
+    if len(a_src) == 0:
+        return b_src, b_keys
+    if len(b_src) == 0:
+        return a_src, a_keys
+    src = np.concatenate([a_src, b_src])
+    keys = np.concatenate([a_keys, b_keys])
+    order = np.lexsort((keys, src))
+    return src[order], keys[order]
+
+
+def _unary_closure_pairs(
+    src: np.ndarray, keys: np.ndarray, grammar: FrozenGrammar
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Close flat lexsorted pairs under unary productions, in one gather.
+
+    The whole-array counterpart of :func:`apply_unary_closure`: every
+    edge is expanded into its label's closure via a flattened closure
+    table, then the result is re-lexsorted and deduplicated.
+    """
+    if len(src) == 0:
+        return src, keys
+    sizes = np.asarray([len(c) for c in grammar.unary_closure], dtype=np.int64)
+    labels = packed.labels_of(keys)
+    counts = sizes[labels]
+    total = int(counts.sum())
+    if total == len(src):  # every closure is a singleton: already closed
+        return src, keys
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    table = np.asarray(
+        [l for closure in grammar.unary_closure for l in closure], dtype=np.int64
+    )
+    cum = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=cum[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+    derived = table[np.repeat(offsets[labels], counts) + within]
+    out_src = np.repeat(src, counts)
+    out_keys = np.repeat(keys & ~np.int64(packed.LABEL_MASK), counts) | derived
+    return _dedup_pairs(out_src, out_keys)
+
+
+def _fresh_pairs(
+    cand_src: np.ndarray, cand_keys: np.ndarray, base: CsrView
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Candidate pairs not present in ``base`` (Algorithm 1's line 24).
+
+    ``cand`` must be lexsorted and unique.  Only the base rows whose
+    source actually appears among the candidates are gathered, then
+    membership is decided by one flag-lexsort over base-and-candidate
+    pairs: a candidate immediately preceded by an identical base pair is
+    a duplicate.
+    """
+    if len(cand_src) == 0 or base.num_edges == 0:
+        return cand_src, cand_keys
+    first = np.ones(len(cand_src), dtype=bool)
+    first[1:] = cand_src[1:] != cand_src[:-1]
+    rows, valid = base.rows_for(cand_src[first])
+    rows = rows[valid]
+    if len(rows) == 0:
+        return cand_src, cand_keys
+    starts = base.indptr[rows]
+    counts = base.indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return cand_src, cand_keys
+    cum = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=cum[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1], counts)
+    b_keys = base.keys[np.repeat(starts, counts) + within]
+    b_src = np.repeat(base.vertices[rows], counts)
+
+    all_src = np.concatenate([b_src, cand_src])
+    all_keys = np.concatenate([b_keys, cand_keys])
+    flags = np.zeros(len(all_src), dtype=np.int64)
+    flags[len(b_src) :] = 1
+    order = np.lexsort((flags, all_keys, all_src))
+    s, k, f = all_src[order], all_keys[order], flags[order]
+    dup = np.zeros(len(s), dtype=bool)
+    dup[1:] = (s[1:] == s[:-1]) & (k[1:] == k[:-1])
+    fresh = (f == 1) & ~dup
+    return s[fresh], k[fresh]
+
+
+# ---------------------------------------------------------------------------
+# legacy dict helpers (kept for the dedup/old-new ablation bench)
+# ---------------------------------------------------------------------------
 
 def _edges_of(adjacency: Dict[int, np.ndarray]) -> Tuple[np.ndarray, np.ndarray]:
     """Flatten a per-vertex adjacency dict into parallel (src, key) arrays."""
@@ -67,11 +232,7 @@ def _group_candidates(
     """
     if len(cand_src) == 0:
         return []
-    order = np.lexsort((cand_keys, cand_src))
-    src, keys = cand_src[order], cand_keys[order]
-    keep = np.ones(len(src), dtype=bool)
-    keep[1:] = (src[1:] != src[:-1]) | (keys[1:] != keys[:-1])
-    src, keys = src[keep], keys[keep]
+    src, keys = _dedup_pairs(cand_src, cand_keys)
     boundaries = np.flatnonzero(src[1:] != src[:-1]) + 1
     starts = np.concatenate([[0], boundaries, [len(src)]])
     return [
@@ -81,7 +242,7 @@ def _group_candidates(
 
 
 def run_superstep(
-    adjacency: Dict[int, np.ndarray],
+    adjacency: Union[Mapping, CsrView],
     grammar: FrozenGrammar,
     memory_limit_edges: int = 0,
     num_threads: int = 1,
@@ -89,9 +250,11 @@ def run_superstep(
 ) -> SuperstepResult:
     """Run Algorithm 1 to a fixed point over ``adjacency``.
 
-    ``adjacency`` maps every loaded source vertex to its sorted packed
-    edge array (the combined edge lists of the loaded partitions).  A
-    ``memory_limit_edges`` of 0 disables the early-stop check.
+    ``adjacency`` holds the combined edge lists of the loaded partitions,
+    either as a per-vertex dict ``{src: sorted packed keys}`` or directly
+    as a :class:`CsrView` (the engine's native form — no dict is ever
+    built on that path).  A ``memory_limit_edges`` of 0 disables the
+    early-stop check.
 
     All edge-pair joins route through ``backend`` (a
     :class:`~repro.engine.parallel.JoinBackend`).  When ``backend`` is
@@ -109,81 +272,68 @@ def run_superstep(
 
     backend.begin_superstep()
 
-    old: Dict[int, np.ndarray] = {}
-    new: Dict[int, np.ndarray] = {}
     added_src_parts: List[np.ndarray] = []
     added_keys_parts: List[np.ndarray] = []
-    edges_in_memory = 0
 
-    # Initialization (Algorithm 1, lines 3-5): O_v empty, D_v the original
-    # list — here additionally closed under unary productions so the join
-    # only ever consults binary productions.
-    for v, keys in adjacency.items():
-        expanded = apply_unary_closure(keys, grammar)
-        old[v] = packed.EMPTY
-        new[v] = expanded
-        edges_in_memory += len(expanded)
-        if len(expanded) > len(keys):
-            derived = packed.setdiff_sorted(expanded, keys)
-            added_src_parts.append(np.full(len(derived), v, dtype=np.int64))
-            added_keys_parts.append(derived)
+    # Initialization (Algorithm 1, lines 3-5): O empty, D the original
+    # edge set — here additionally closed under unary productions so the
+    # join only ever consults binary productions.
+    base_src, base_keys = _flatten_adjacency(adjacency)
+    new_src, new_keys = _unary_closure_pairs(base_src, base_keys, grammar)
+    old_src, old_keys = packed.EMPTY, packed.EMPTY
+    if len(new_src) > len(base_src):
+        derived_src, derived_keys = _fresh_pairs(
+            new_src, new_keys, CsrView.from_flat(base_src, base_keys)
+        )
+        added_src_parts.append(derived_src)
+        added_keys_parts.append(derived_keys)
+    edges_in_memory = len(new_src)
 
     iterations = 0
     completed = True
-    while True:
-        if not any(len(d) for d in new.values()):
-            break
+    while len(new_src):
         iterations += 1
-
         backend.begin_iteration()
-        new_csr = CsrView.from_dict(new)
-        old_csr = CsrView.from_dict(old)
+        new_view = CsrView.from_flat(new_src, new_keys)
+        old_view = CsrView.from_flat(old_src, old_keys)
 
         # Component 1 (lines 7-14): old edges × new continuation lists.
-        c1_src, c1_keys = backend.join_views(old_csr, [new_csr])
+        c1_src, c1_keys = backend.join_edge_list(
+            old_src, old_keys, old_view, [new_view]
+        )
         # Component 2 (lines 15-20): new edges × all continuation lists.
-        c2_src, c2_keys = backend.join_views(new_csr, [old_csr, new_csr])
+        c2_src, c2_keys = backend.join_edge_list(
+            new_src, new_keys, new_view, [old_view, new_view]
+        )
+
+        # Update O (lines 21-23): O <- O ∪ D.  The sets are disjoint, so
+        # the in-memory edge count is unchanged by the merge.
+        old_src, old_keys = _merge_disjoint(old_src, old_keys, new_src, new_keys)
+        new_src, new_keys = packed.EMPTY, packed.EMPTY
+
         cand_src = np.concatenate([c1_src, c2_src])
         cand_keys = np.concatenate([c1_keys, c2_keys])
-
-        # Update O (lines 21-23): O_v <- merge(O_v, D_v).
-        for v, d_keys in new.items():
-            if len(d_keys):
-                merged = packed.merge_unique([old[v], d_keys])
-                edges_in_memory += len(merged) - len(old[v]) - len(d_keys)
-                old[v] = merged
-        new = {}
-
         if len(cand_src) == 0:
             break
 
-        # D_v <- mergeResult - O_v (line 24): dedup candidates and keep
-        # only edges not already present.
-        for v, keys_v in _group_candidates(cand_src, cand_keys):
-            existing = old.get(v, packed.EMPTY)
-            fresh = packed.setdiff_sorted(keys_v, existing)
-            if len(fresh) == 0:
-                continue
-            if v not in old:
-                old[v] = packed.EMPTY
-            new[v] = fresh
-            edges_in_memory += len(fresh)
-            added_src_parts.append(np.full(len(fresh), v, dtype=np.int64))
-            added_keys_parts.append(fresh)
+        # D <- mergeResult - O (line 24): dedup candidates and keep only
+        # edges not already present.
+        cand_src, cand_keys = _dedup_pairs(cand_src, cand_keys)
+        fresh_src, fresh_keys = _fresh_pairs(
+            cand_src, cand_keys, CsrView.from_flat(old_src, old_keys)
+        )
+        if len(fresh_src):
+            new_src, new_keys = fresh_src, fresh_keys
+            edges_in_memory += len(fresh_src)
+            added_src_parts.append(fresh_src)
+            added_keys_parts.append(fresh_keys)
 
         if memory_limit_edges and edges_in_memory > memory_limit_edges:
-            completed = not any(len(d) for d in new.values())
+            completed = len(new_src) == 0
             break
 
-    # Final merged adjacency (D is folded in if we stopped early).
-    final: Dict[int, np.ndarray] = {}
-    for v in old:
-        keys = old[v]
-        d = new.get(v)
-        if d is not None and len(d):
-            keys = packed.merge_unique([keys, d])
-        if len(keys):
-            final[v] = keys
+    # Final merged edge set (D is folded in if we stopped early).
+    final_src, final_keys = _merge_disjoint(old_src, old_keys, new_src, new_keys)
 
     if added_src_parts:
         added_src = np.concatenate(added_src_parts)
@@ -193,7 +343,8 @@ def run_superstep(
 
     backend.end_superstep()
     return SuperstepResult(
-        adjacency=final,
+        src=final_src,
+        keys=final_keys,
         added_src=added_src,
         added_keys=added_keys,
         iterations=iterations,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -82,6 +82,7 @@ def preprocess(
     workdir: Optional[PathLike] = None,
     timers: Optional[TimeBreakdown] = None,
     intervals: Optional[List] = None,
+    memory_budget: Optional[int] = None,
 ) -> PartitionSet:
     """Shard ``graph`` into a :class:`PartitionSet`.
 
@@ -89,6 +90,8 @@ def preprocess(
     is written out and evicted — the out-of-core starting state.  Without
     it everything stays resident (in-memory mode).  ``intervals`` (a list
     of ``(lo, hi)`` tuples) overrides the automatic edge-mass balancing.
+    ``memory_budget`` (bytes) caps how many partitions the set keeps
+    resident at once; see :class:`repro.partition.pset.ResidencyManager`.
     """
     timers = timers if timers is not None else TimeBreakdown()
     with timers.phase("preprocess"):
@@ -113,6 +116,7 @@ def preprocess(
             label_names=graph.label_names,
             out_degrees=graph.out_degrees(),
             in_degrees=graph.in_degrees(),
+            memory_budget=memory_budget,
         )
     if store.disk_backed:
         pset.evict_all_except(())
@@ -120,12 +124,21 @@ def preprocess(
 
 
 def _build_partitions(graph: MemGraph, vit: VertexIntervalTable) -> List[Partition]:
+    """Slice the graph's flat columnar arrays into per-interval partitions.
+
+    ``graph.src`` is sorted, so each interval is one ``searchsorted``
+    range; the key slice is copied so the partition owns its arrays
+    independently of the (possibly huge) source graph.
+    """
     partitions: List[Partition] = []
     for interval in vit.intervals():
-        adjacency: Dict[int, np.ndarray] = {}
-        for v in range(interval.lo, interval.hi + 1):
-            keys = graph.out_keys(v)
-            if len(keys):
-                adjacency[v] = keys.copy()
-        partitions.append(Partition(interval, adjacency))
+        lo = int(np.searchsorted(graph.src, interval.lo, side="left"))
+        hi = int(np.searchsorted(graph.src, interval.hi, side="right"))
+        partitions.append(
+            Partition.from_flat(
+                interval,
+                graph.src[lo:hi].copy(),
+                graph.keys[lo:hi].copy(),
+            )
+        )
     return partitions

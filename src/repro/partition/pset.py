@@ -2,16 +2,24 @@
 
 :class:`PartitionSet` is the engine's view of the whole sharded graph.
 Each partition occupies a *slot* that holds either the resident
-:class:`Partition` object or the path of its file.  The engine asks for
-partitions with :meth:`acquire` and gives them back with :meth:`evict`;
-splits (:meth:`split`) rewrite the VIT and grow the DDM in place.
+:class:`Partition` object or the path of its file.  Residency is owned
+by a :class:`ResidencyManager`: every acquire charges the partition's
+actual byte size against an optional memory budget, and when the budget
+is exceeded the least-recently-used unpinned partition is evicted
+(writing it back first if dirty).  Callers no longer need to pair every
+``acquire`` with a manual ``evict`` — they pin what must stay and let
+the manager keep the total under budget (§4.1's "two partitions in
+memory" generalized to "as many as the budget allows").
+
+Splits (:meth:`split`) rewrite the VIT and grow the DDM in place.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,6 +37,81 @@ class _Slot:
     path: Optional[Path]  # on-disk copy, if any
     edge_count: int  # tracked so totals never require a load
     dirty: bool = False  # resident copy differs from the disk copy
+    nbytes: int = 0  # size of the (last seen) resident CSR arrays
+    last_used: int = 0  # LRU clock stamp of the latest acquire/touch
+    pinned: bool = False  # never auto-evicted while pinned
+
+
+class ResidencyManager:
+    """Byte-accounted LRU residency policy over a slot list.
+
+    Promotes :class:`repro.util.memory.MemoryBudget`-style accounting
+    from the baselines into the engine: each resident partition is
+    charged its real array bytes; ``budget_bytes=None`` means unlimited
+    (the manager still counts).  Victims are chosen least-recently-used
+    among resident, unpinned slots, so the loaded superstep pair can be
+    pinned while everything else cycles through memory.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError("memory budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._clock = 0
+        self.loads = 0
+        self.evictions = 0
+        self.cache_hits = 0
+        self.peak_resident_bytes = 0
+        self.max_partition_bytes = 0
+
+    # -- accounting ------------------------------------------------------
+    def touch(self, slot: _Slot, hit: bool) -> None:
+        """Stamp an acquire: ``hit`` when the slot was already resident."""
+        self._clock += 1
+        slot.last_used = self._clock
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.loads += 1
+
+    def recharge(self, slot: _Slot) -> None:
+        """Refresh a resident slot's byte size (after load or mutation)."""
+        if slot.partition is not None:
+            slot.nbytes = slot.partition.nbytes
+            self.max_partition_bytes = max(self.max_partition_bytes, slot.nbytes)
+
+    def observe(self, slots: List[_Slot]) -> int:
+        """Record the current resident total; returns it."""
+        total = sum(s.nbytes for s in slots if s.partition is not None)
+        self.peak_resident_bytes = max(self.peak_resident_bytes, total)
+        return total
+
+    # -- policy ----------------------------------------------------------
+    def select_victim(self, slots: List[_Slot]) -> Optional[int]:
+        """Index of the LRU resident unpinned slot, or None."""
+        victim = None
+        victim_stamp = None
+        for i, slot in enumerate(slots):
+            if slot.partition is None or slot.pinned:
+                continue
+            if victim_stamp is None or slot.last_used < victim_stamp:
+                victim, victim_stamp = i, slot.last_used
+        return victim
+
+    def over_budget(self, resident_bytes: int, headroom: int = 0) -> bool:
+        if self.budget_bytes is None:
+            return False
+        return resident_bytes + headroom > self.budget_bytes
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "memory_budget": self.budget_bytes,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "max_partition_bytes": self.max_partition_bytes,
+            "partition_loads": self.loads,
+            "evictions": self.evictions,
+            "cache_hits": self.cache_hits,
+        }
 
 
 class PartitionSet:
@@ -43,6 +126,7 @@ class PartitionSet:
         label_names: Tuple[str, ...] = (),
         out_degrees: Optional[np.ndarray] = None,
         in_degrees: Optional[np.ndarray] = None,
+        memory_budget: Optional[int] = None,
     ) -> None:
         if vit.num_partitions != len(partitions):
             raise ValueError("VIT and partition list disagree")
@@ -54,10 +138,20 @@ class PartitionSet:
         # (used for array pre-sizing in C++; here they feed stats/tests).
         self.out_degrees = out_degrees
         self.in_degrees = in_degrees
+        self.residency = ResidencyManager(memory_budget)
         self._slots: List[_Slot] = [
-            _Slot(partition=p, path=None, edge_count=p.num_edges, dirty=True)
+            _Slot(
+                partition=p,
+                path=None,
+                edge_count=p.num_edges,
+                dirty=True,
+                nbytes=p.nbytes,
+            )
             for p in partitions
         ]
+        self.residency.observe(self._slots)
+        for slot in self._slots:
+            self.residency.recharge(slot)
 
     # ------------------------------------------------------------------
     # basic queries
@@ -69,6 +163,10 @@ class PartitionSet:
     @property
     def num_vertices(self) -> int:
         return self.vit.num_vertices
+
+    @property
+    def memory_budget(self) -> Optional[int]:
+        return self.residency.budget_bytes
 
     def total_edges(self) -> int:
         return sum(slot.edge_count for slot in self._slots)
@@ -82,17 +180,39 @@ class PartitionSet:
     def resident_pids(self) -> List[int]:
         return [i for i, s in enumerate(self._slots) if s.partition is not None]
 
+    def resident_bytes(self) -> int:
+        return sum(s.nbytes for s in self._slots if s.partition is not None)
+
+    def total_bytes(self) -> int:
+        """Byte size of every partition, resident or not.
+
+        Evicted slots report the size remembered from their last
+        residency, so this is exact without touching disk.
+        """
+        return sum(s.nbytes for s in self._slots)
+
     # ------------------------------------------------------------------
     # residency management
     # ------------------------------------------------------------------
     def acquire(self, pid: int) -> Partition:
-        """Return the partition, loading it from disk if needed."""
+        """Return the partition, loading it from disk if needed.
+
+        Budgeted sets make room *before* reading: the incoming size is
+        known from the slot's last residency, so the load itself never
+        has to overshoot by more than the incoming partition.
+        """
         slot = self._slots[pid]
-        if slot.partition is None:
-            if slot.path is None:
-                raise RuntimeError(f"partition {pid} has neither memory nor disk copy")
-            slot.partition = self.store.read(slot.path)
-            slot.dirty = False
+        if slot.partition is not None:
+            self.residency.touch(slot, hit=True)
+            return slot.partition
+        if slot.path is None:
+            raise RuntimeError(f"partition {pid} has neither memory nor disk copy")
+        self._make_room(incoming=slot.nbytes, keep=(pid,))
+        slot.partition = self.store.read(slot.path)
+        slot.dirty = False
+        self.residency.touch(slot, hit=False)
+        self.residency.recharge(slot)
+        self.residency.observe(self._slots)
         return slot.partition
 
     def note_mutated(self, pid: int) -> None:
@@ -102,6 +222,45 @@ class PartitionSet:
             raise RuntimeError(f"partition {pid} not resident")
         slot.edge_count = slot.partition.num_edges
         slot.dirty = True
+        self.residency.recharge(slot)
+        self.residency.observe(self._slots)
+
+    def pin(self, pids: Tuple[int, ...]) -> None:
+        """Protect ``pids`` from automatic eviction (the loaded pair)."""
+        for pid in pids:
+            self._slots[pid].pinned = True
+
+    def unpin(self, pids: Tuple[int, ...]) -> None:
+        for pid in pids:
+            self._slots[pid].pinned = False
+
+    @contextmanager
+    def pinned(self, *pids: int) -> Iterator[None]:
+        self.pin(tuple(pids))
+        try:
+            yield
+        finally:
+            # Splits may have replaced slot objects; unpin defensively.
+            for slot in self._slots:
+                slot.pinned = False
+
+    def enforce_budget(self) -> None:
+        """Evict LRU unpinned partitions until within budget (if any)."""
+        self._make_room(incoming=0, keep=())
+
+    def _make_room(self, incoming: int, keep: Tuple[int, ...]) -> None:
+        if self.residency.budget_bytes is None or not self.store.disk_backed:
+            return
+        while self.residency.over_budget(self.resident_bytes(), incoming):
+            victim = self.residency.select_victim(
+                [
+                    s if i not in keep else _PINNED_SENTINEL
+                    for i, s in enumerate(self._slots)
+                ]
+            )
+            if victim is None:
+                break  # everything left is pinned; bounded overshoot
+            self.evict(victim)
 
     def evict(self, pid: int) -> None:
         """Drop the resident copy, writing it out first if dirty.
@@ -119,8 +278,10 @@ class PartitionSet:
             slot.path = self.store.write(slot.partition)
             if old_path is not None:
                 self.store.delete(old_path)
+        slot.nbytes = slot.partition.nbytes  # remembered for pre-load sizing
         slot.partition = None
         slot.dirty = False
+        self.residency.evictions += 1
 
     def evict_all_except(self, keep: Tuple[int, ...] = ()) -> None:
         for pid in self.resident_pids():
@@ -141,12 +302,23 @@ class PartitionSet:
         self.vit.split(pid, mid)
         left, right = partition.split(mid)
         old_slot = self._slots[pid]
-        self._slots[pid : pid + 1] = [
-            _Slot(partition=left, path=None, edge_count=left.num_edges, dirty=True),
-            _Slot(partition=right, path=None, edge_count=right.num_edges, dirty=True),
+        halves = [
+            _Slot(
+                partition=half,
+                path=None,
+                edge_count=half.num_edges,
+                dirty=True,
+                nbytes=half.nbytes,
+                last_used=old_slot.last_used,
+                pinned=old_slot.pinned,
+            )
+            for half in (left, right)
         ]
+        self._slots[pid : pid + 1] = halves
         if old_slot.path is not None:
             self.store.delete(old_slot.path)
+        for slot in halves:
+            self.residency.recharge(slot)
         self.ddm.split_partition(
             pid,
             left_row=left.destination_counts(self.vit),
@@ -163,15 +335,39 @@ class PartitionSet:
             was_resident = self.is_resident(pid)
             partition = self.acquire(pid)
             yield from partition.edges()
-            if not was_resident:
+            if not was_resident and self.memory_budget is None:
                 self.evict(pid)
 
     def to_memgraph(self):
-        """Materialize the full (possibly large) graph in memory."""
+        """Materialize the full (possibly large) graph in memory.
+
+        Column-wise: each partition contributes its flat ``(src, keys)``
+        arrays, so no per-edge Python iteration happens.
+        """
+        from repro.graph import packed
         from repro.graph.graph import MemGraph
 
-        return MemGraph.from_edges(
-            self.iter_all_edges(),
+        src_parts: List[np.ndarray] = []
+        key_parts: List[np.ndarray] = []
+        for pid in range(self.num_partitions):
+            was_resident = self.is_resident(pid)
+            partition = self.acquire(pid)
+            if partition.num_edges:
+                src_parts.append(
+                    np.repeat(partition.vertices, partition.row_lengths())
+                )
+                key_parts.append(np.asarray(partition.keys))
+            if not was_resident and self.memory_budget is None:
+                self.evict(pid)
+        if src_parts:
+            src = np.concatenate(src_parts)
+            keys = np.concatenate(key_parts)
+        else:
+            src, keys = packed.EMPTY, packed.EMPTY
+        return MemGraph.from_arrays(
+            src,
+            packed.targets_of(keys),
+            packed.labels_of(keys),
             num_vertices=self.num_vertices,
             label_names=self.label_names,
         )
@@ -182,3 +378,7 @@ class PartitionSet:
             f"PartitionSet({self.num_partitions} partitions, "
             f"{self.total_edges()} edges, {resident} resident)"
         )
+
+
+#: Stand-in slot used to mask ``keep`` pids from victim selection.
+_PINNED_SENTINEL = _Slot(partition=None, path=None, edge_count=0)

@@ -1,16 +1,32 @@
 """On-disk persistence for partitions.
 
-Each partition file is a numpy ``.npz`` holding the interval bounds and a
-CSR-style (vertices, indptr, keys) encoding of the sorted adjacency.
-Reads and writes are sequential by construction — the property that keeps
-Graspan's I/O cost low (§5.2).
+Each partition file is a fixed 40-byte header followed by the three CSR
+arrays — ``vertices``, ``indptr``, ``keys`` — stored back-to-back as raw
+little-endian int64, exactly the partition's canonical in-memory form::
+
+    offset 0   magic   b"GRSPART1"
+    offset 8   lo      int64   interval lower bound
+    offset 16  hi      int64   interval upper bound
+    offset 24  nv      int64   number of source vertices
+    offset 32  ne      int64   number of edges
+    offset 40  vertices[nv] | indptr[nv+1] | keys[ne]
+
+Because the payload *is* the in-memory layout, a save is three
+sequential writes of already-contiguous buffers (no per-vertex
+concatenation) and a load is a single :func:`numpy.memmap` — zero-copy,
+page-cache friendly, and strictly sequential, the property that keeps
+Graspan's I/O cost low (§5.2).  Partitions written by older versions as
+``.npz`` archives still load (they stored the same three arrays inside
+the zip container).
 """
 
 from __future__ import annotations
 
 import os
+import struct
+import zipfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -21,69 +37,110 @@ from repro.util.timing import TimeBreakdown
 
 PathLike = Union[str, Path]
 
+#: File magic of the raw partition format (8 bytes, versioned).
+PARTITION_MAGIC = b"GRSPART1"
+
+#: ``<8s`` magic + ``<4q`` lo/hi/nv/ne.
+_HEADER_STRUCT = struct.Struct("<8sqqqq")
+
+#: Payload byte offset — the header size.
+HEADER_BYTES = _HEADER_STRUCT.size
+
+_INT64 = np.dtype("<i8")
+
+
+def _write_payload(fh, partition: Partition) -> None:
+    """Write header + the three contiguous CSR buffers to ``fh``.
+
+    Split out from :func:`save_partition` so crash-injection tests can
+    intercept the byte-producing step without touching the atomic
+    rename protocol around it.
+    """
+    fh.write(
+        _HEADER_STRUCT.pack(
+            PARTITION_MAGIC,
+            partition.interval.lo,
+            partition.interval.hi,
+            len(partition.vertices),
+            len(partition.keys),
+        )
+    )
+    for array in partition.csr():
+        fh.write(np.ascontiguousarray(array, dtype=_INT64).data)
+
 
 def save_partition(partition: Partition, path: PathLike) -> None:
-    """Serialize ``partition`` to ``path`` (.npz), atomically.
+    """Serialize ``partition`` to ``path``, atomically.
 
     The bytes land in a ``*.tmp`` sibling first and are renamed into
     place with :func:`os.replace`, so a crash mid-write can never leave
-    a truncated archive at the final path — readers see either the old
+    a truncated file at the final path — readers see either the old
     complete file or the new complete file, never a torn one.
     """
     path = Path(path)
-    vertices = np.asarray(sorted(partition.adjacency), dtype=np.int64)
-    lengths = np.asarray(
-        [len(partition.adjacency[int(v)]) for v in vertices], dtype=np.int64
-    )
-    indptr = np.zeros(len(vertices) + 1, dtype=np.int64)
-    np.cumsum(lengths, out=indptr[1:])
-    if len(vertices):
-        keys = np.concatenate([partition.adjacency[int(v)] for v in vertices])
-    else:
-        keys = packed.EMPTY
     tmp = path.with_name(path.name + ".tmp")
     try:
-        # np.savez on an open file object: no implicit .npz suffix games.
         with open(tmp, "wb") as fh:
-            np.savez(
-                fh,
-                lo=np.asarray([partition.interval.lo], dtype=np.int64),
-                hi=np.asarray([partition.interval.hi], dtype=np.int64),
-                vertices=vertices,
-                indptr=indptr,
-                keys=keys,
-            )
+            _write_payload(fh, partition)
         os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
 
 
-def load_partition(path: PathLike) -> Partition:
+def _load_legacy_npz(path: Path) -> Partition:
+    """Load a pre-raw-format ``.npz`` partition archive."""
+    with np.load(path) as data:
+        interval = Interval(int(data["lo"][0]), int(data["hi"][0]))
+        vertices = np.asarray(data["vertices"], dtype=np.int64)
+        indptr = np.asarray(data["indptr"], dtype=np.int64)
+        keys = np.asarray(data["keys"], dtype=np.int64)
+    if len(indptr) == 0:  # legacy empty partitions stored a 1-entry indptr
+        indptr = np.zeros(1, dtype=np.int64)
+    return Partition.from_csr(interval, vertices, indptr, keys)
+
+
+def load_partition(path: PathLike, mmap: bool = True) -> Partition:
     """Deserialize a partition written by :func:`save_partition`.
 
-    Adjacency rows are zero-copy slices of the one ``keys`` array loaded
-    from the archive (they share its buffer); callers never mutate rows
-    in place — merges always allocate fresh arrays — so the per-row copy
-    this used to make was pure overhead.
+    Raw-format files are mapped with :func:`numpy.memmap` when ``mmap``
+    is true: the CSR arrays are read-only views of the page cache and no
+    copy is made until (unless) a merge replaces them.  Callers never
+    mutate rows in place — merges always allocate fresh arrays — so the
+    read-only mapping is safe by construction.  Legacy ``.npz`` archives
+    are detected by their zip signature and decoded the old way.
     """
-    with np.load(Path(path)) as data:
-        interval = Interval(int(data["lo"][0]), int(data["hi"][0]))
-        vertices = data["vertices"]
-        indptr = data["indptr"]
-        keys = data["keys"]
-        adjacency: Dict[int, np.ndarray] = {}
-        for i, v in enumerate(vertices):
-            adjacency[int(v)] = keys[indptr[i] : indptr[i + 1]]
-    return Partition(interval, adjacency)
+    path = Path(path)
+    with open(path, "rb") as fh:
+        head = fh.read(HEADER_BYTES)
+    if head[:4] == b"PK\x03\x04" and zipfile.is_zipfile(path):
+        return _load_legacy_npz(path)
+    if len(head) < HEADER_BYTES or head[:8] != PARTITION_MAGIC:
+        raise ValueError(f"{path}: not a Graspan partition file")
+    _, lo, hi, nv, ne = _HEADER_STRUCT.unpack(head)
+    total = nv + (nv + 1) + ne
+    if mmap:
+        buf = np.memmap(path, dtype=_INT64, mode="r", offset=HEADER_BYTES, shape=(total,))
+    else:
+        buf = np.fromfile(path, dtype=_INT64, count=total, offset=HEADER_BYTES)
+    if len(buf) != total:
+        raise ValueError(f"{path}: truncated partition payload")
+    vertices = buf[:nv]
+    indptr = buf[nv : 2 * nv + 1]
+    keys = buf[2 * nv + 1 : total]
+    if nv == 0:
+        vertices, keys = packed.EMPTY, packed.EMPTY
+    return Partition.from_csr(Interval(int(lo), int(hi)), vertices, indptr, keys)
 
 
 class PartitionStore:
-    """Allocates partition files in a working directory and tracks I/O time.
+    """Allocates partition files in a working directory and tracks I/O.
 
-    The engine owns residency decisions; the store only moves bytes.  When
-    constructed without a directory it refuses to evict — the in-memory
-    mode for small graphs (§4.2).
+    The partition set owns residency decisions; the store only moves
+    bytes — and counts them (``bytes_written`` / ``bytes_read``), which
+    the engine surfaces as the Table 6 I/O columns.  When constructed
+    without a directory it refuses to evict — the in-memory mode for
+    small graphs (§4.2).
     """
 
     def __init__(
@@ -98,6 +155,8 @@ class PartitionStore:
         self._next_file_id = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        self.writes = 0
+        self.reads = 0
 
     @property
     def disk_backed(self) -> bool:
@@ -106,7 +165,7 @@ class PartitionStore:
     def allocate_path(self) -> Path:
         if self.workdir is None:
             raise RuntimeError("in-memory store cannot allocate partition files")
-        path = self.workdir / f"partition-{self._next_file_id:06d}.npz"
+        path = self.workdir / f"partition-{self._next_file_id:06d}.gp"
         self._next_file_id += 1
         return path
 
@@ -115,12 +174,14 @@ class PartitionStore:
         with self.timers.phase("io"):
             save_partition(partition, path)
         self.bytes_written += path.stat().st_size
+        self.writes += 1
         return path
 
     def read(self, path: PathLike) -> Partition:
         with self.timers.phase("io"):
             partition = load_partition(path)
         self.bytes_read += Path(path).stat().st_size
+        self.reads += 1
         return partition
 
     def delete(self, path: PathLike) -> None:

@@ -67,3 +67,41 @@ class MemoryBudget:
 def approx_sizeof_edges(num_edges: int) -> int:
     """Approximate bytes consumed by ``num_edges`` materialized edges."""
     return num_edges * BYTES_PER_EDGE
+
+
+#: Multipliers for :func:`parse_memory_size` suffixes (binary units).
+_SIZE_MULTIPLIERS = {
+    "": 1,
+    "b": 1,
+    "k": 1 << 10,
+    "kb": 1 << 10,
+    "m": 1 << 20,
+    "mb": 1 << 20,
+    "g": 1 << 30,
+    "gb": 1 << 30,
+}
+
+
+def parse_memory_size(text: str) -> int:
+    """Parse a human memory size like ``"64M"``, ``"2g"``, or ``"4096"``.
+
+    Accepts an optional K/M/G (or KB/MB/GB) suffix, case-insensitive,
+    with binary multipliers.  Returns bytes.  Raises :class:`ValueError`
+    on malformed input or non-positive sizes — this backs the engine's
+    ``--memory-budget`` CLI flag, so the message names the offender.
+    """
+    s = str(text).strip().lower()
+    i = len(s)
+    while i > 0 and s[i - 1].isalpha():
+        i -= 1
+    number, suffix = s[:i].strip(), s[i:]
+    if suffix not in _SIZE_MULTIPLIERS:
+        raise ValueError(f"unknown memory size suffix {suffix!r} in {text!r}")
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"malformed memory size {text!r}") from None
+    nbytes = int(value * _SIZE_MULTIPLIERS[suffix])
+    if nbytes <= 0:
+        raise ValueError(f"memory size must be positive, got {text!r}")
+    return nbytes

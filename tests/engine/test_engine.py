@@ -27,7 +27,8 @@ class TestInMemory:
 
     def test_result_queries(self, reach, chain_graph):
         comp = GraspanEngine(reach).run(chain_graph)
-        r_edges = list(comp.iter_edges_with_label("R"))
+        src, dst = comp.edges_with_label_arrays("R")
+        r_edges = list(zip(src.tolist(), dst.tolist()))
         assert (0, 9) in r_edges
         src, dst = comp.edges_with_label_arrays("R")
         assert set(zip(src.tolist(), dst.tolist())) == set(r_edges)
@@ -37,7 +38,14 @@ class TestInMemory:
     def test_empty_label_query(self, reach, chain_graph):
         comp = GraspanEngine(reach).run(chain_graph)
         with pytest.raises(GrammarError):
-            list(comp.iter_edges_with_label("nope"))
+            comp.edges_with_label_arrays("nope")
+
+    def test_iter_edges_deprecated_but_equivalent(self, reach, chain_graph):
+        comp = GraspanEngine(reach).run(chain_graph)
+        with pytest.warns(DeprecationWarning):
+            pairs = list(comp.iter_edges_with_label("R"))
+        src, dst = comp.edges_with_label_arrays("R")
+        assert pairs == list(zip(src.tolist(), dst.tolist()))
 
 
 class TestOutOfCore:
@@ -83,7 +91,8 @@ class TestOutOfCore:
             reach, max_edges_per_partition=3, workdir=tmp_path / "w"
         ).run(chain_graph).load_resident()
         shutil.rmtree(tmp_path / "w")
-        assert (0, 9) in list(comp.iter_edges_with_label("R"))
+        src, dst = comp.edges_with_label_arrays("R")
+        assert (0, 9) in list(zip(src.tolist(), dst.tolist()))
 
     def test_max_supersteps_guard(self, reach, chain_graph, tmp_path):
         engine = GraspanEngine(

@@ -53,7 +53,8 @@ class TestParseGrammarText:
             [(0, 1, 0), (1, 2, 0)], label_names=["E"]
         )
         comp = GraspanEngine(g).run(graph)
-        assert (0, 2) in list(comp.iter_edges_with_label("R"))
+        src, dst = comp.edges_with_label_arrays("R")
+        assert (0, 2) in list(zip(src.tolist(), dst.tolist()))
 
     def test_text_semantics_match_builtin(self):
         text_g = parse_grammar_text("R ::= E | R E")

@@ -1,0 +1,158 @@
+"""Unit tests for the byte-budgeted LRU residency manager.
+
+These exercise :class:`ResidencyManager` in isolation and the
+:class:`PartitionSet` budget behaviour on a small disk-backed set,
+without running any closure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.graph import MemGraph
+from repro.partition.preprocess import preprocess
+from repro.partition.pset import ResidencyManager, _Slot
+
+
+def small_graph(num_vertices=24, fanout=4):
+    src = np.repeat(np.arange(num_vertices), fanout)
+    dst = (src * 7 + np.tile(np.arange(fanout), num_vertices)) % num_vertices
+    labels = np.zeros(len(src), dtype=np.int64)
+    return MemGraph.from_arrays(
+        src, dst, labels, num_vertices=num_vertices, label_names=("e",)
+    )
+
+
+def make_pset(tmp_path, memory_budget=None, num_partitions=4):
+    return preprocess(
+        small_graph(),
+        num_partitions=num_partitions,
+        workdir=tmp_path,
+        memory_budget=memory_budget,
+    )
+
+
+class TestResidencyManager:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResidencyManager(0)
+        with pytest.raises(ValueError):
+            ResidencyManager(-5)
+        ResidencyManager(None)  # unlimited is fine
+        ResidencyManager(1)
+
+    def test_touch_counts_hits_and_loads(self):
+        rm = ResidencyManager()
+        slot = _Slot(partition=None, path=None, edge_count=0)
+        rm.touch(slot, hit=False)
+        rm.touch(slot, hit=True)
+        rm.touch(slot, hit=True)
+        assert rm.loads == 1
+        assert rm.cache_hits == 2
+        assert slot.last_used == 3  # monotone clock
+
+    def test_select_victim_is_lru_and_skips_pinned(self):
+        rm = ResidencyManager()
+        marker = object()  # stands in for a resident Partition
+        slots = [
+            _Slot(partition=marker, path=None, edge_count=0) for _ in range(4)
+        ]
+        for slot in (slots[2], slots[0], slots[3], slots[1]):
+            rm.touch(slot, hit=True)
+        # slot 2 is oldest, but pin it; slot 0 is next-oldest.
+        slots[2].pinned = True
+        assert rm.select_victim(slots) == 0
+        # Non-resident slots are never victims.
+        slots[0].partition = None
+        assert rm.select_victim(slots) == 3
+        # Everything pinned or absent -> no victim.
+        slots[3].pinned = slots[1].pinned = True
+        assert rm.select_victim(slots) is None
+
+    def test_over_budget_and_headroom(self):
+        rm = ResidencyManager(100)
+        assert not rm.over_budget(100)
+        assert rm.over_budget(101)
+        assert rm.over_budget(60, headroom=41)
+        assert not ResidencyManager(None).over_budget(10**12)
+
+    def test_observe_tracks_peak(self):
+        rm = ResidencyManager()
+        marker = object()
+        slots = [_Slot(partition=marker, path=None, edge_count=0, nbytes=40)]
+        assert rm.observe(slots) == 40
+        slots.append(_Slot(partition=marker, path=None, edge_count=0, nbytes=60))
+        assert rm.observe(slots) == 100
+        slots[1].partition = None  # evicted bytes don't count
+        assert rm.observe(slots) == 40
+        assert rm.peak_resident_bytes == 100
+
+
+class TestPartitionSetBudget:
+    def test_unbudgeted_set_never_auto_evicts(self, tmp_path):
+        pset = make_pset(tmp_path, memory_budget=None)
+        for pid in range(pset.num_partitions):
+            pset.acquire(pid)
+        assert len(pset.resident_pids()) == pset.num_partitions
+        pset.enforce_budget()  # no-op without a budget
+        assert len(pset.resident_pids()) == pset.num_partitions
+
+    def test_acquire_evicts_lru_to_stay_under_budget(self, tmp_path):
+        pset = make_pset(tmp_path, memory_budget=None)
+        per_part = max(s.nbytes for s in pset._slots)
+        # Rebuild with room for ~2 partitions.
+        pset = make_pset(tmp_path / "b", memory_budget=2 * per_part)
+        for pid in range(pset.num_partitions):
+            pset.acquire(pid)
+            assert pset.resident_bytes() <= pset.memory_budget
+        # The most recently used partitions survive, the LRU ones don't.
+        resident = pset.resident_pids()
+        assert pset.num_partitions - 1 in resident
+        assert 0 not in resident
+        assert pset.residency.evictions > 0
+
+    def test_pinned_partitions_survive_pressure(self, tmp_path):
+        pset = make_pset(tmp_path, memory_budget=None)
+        per_part = max(s.nbytes for s in pset._slots)
+        pset = make_pset(tmp_path / "b", memory_budget=2 * per_part)
+        pset.acquire(0)
+        with pset.pinned(0):
+            for pid in range(1, pset.num_partitions):
+                pset.acquire(pid)
+            assert pset.is_resident(0)  # pinned through all the churn
+        pset.enforce_budget()
+        assert pset.resident_bytes() <= pset.memory_budget
+
+    def test_reacquire_counts_cache_hit(self, tmp_path):
+        pset = make_pset(tmp_path, memory_budget=None)
+        pset.acquire(1)
+        before = pset.residency.cache_hits
+        pset.acquire(1)
+        assert pset.residency.cache_hits == before + 1
+
+    def test_dirty_eviction_writes_back(self, tmp_path):
+        pset = make_pset(tmp_path)
+        partition = pset.acquire(0)
+        fresh_key = np.asarray([int(partition.keys.max()) + (1 << 8)], dtype=np.int64)
+        assert partition.merge_new_edges(int(partition.vertices[0]), fresh_key) == 1
+        pset.note_mutated(0)
+        writes_before = pset.store.writes
+        pset.evict(0)
+        assert pset.store.writes == writes_before + 1
+        reloaded = pset.acquire(0)
+        assert reloaded.num_edges == pset.edge_count(0)
+
+    def test_clean_eviction_skips_write(self, tmp_path):
+        pset = make_pset(tmp_path)
+        pset.acquire(0)  # fresh load, clean
+        writes_before = pset.store.writes
+        pset.evict(0)
+        assert pset.store.writes == writes_before  # delayed write-back (§4.3)
+
+    def test_peak_resident_bytes_tracked(self, tmp_path):
+        pset = make_pset(tmp_path)
+        for pid in range(pset.num_partitions):
+            pset.acquire(pid)
+        assert pset.residency.peak_resident_bytes >= pset.resident_bytes() > 0
+        assert pset.residency.max_partition_bytes == max(
+            s.nbytes for s in pset._slots
+        )

@@ -25,14 +25,14 @@ class CrashMidWrite(RuntimeError):
 
 
 @pytest.fixture
-def crashing_savez(monkeypatch):
-    """np.savez that writes some real bytes, then dies (a torn write)."""
+def crashing_write(monkeypatch):
+    """A payload writer that emits some real bytes, then dies (torn write)."""
 
-    def boom(fh, **arrays):
-        fh.write(b"PK\x03\x04 partial archive bytes")
+    def boom(fh, partition):
+        fh.write(b"GRSPART1 partial payload bytes")
         raise CrashMidWrite("disk full")
 
-    monkeypatch.setattr(storage.np, "savez", boom)
+    monkeypatch.setattr(storage, "_write_payload", boom)
 
 
 class TestAtomicSave:
@@ -45,8 +45,8 @@ class TestAtomicSave:
         assert list(loaded.edges()) == list(p.edges())
         assert list(tmp_path.iterdir()) == [path]  # no tmp leftovers
 
-    def test_crash_leaves_no_file(self, tmp_path, crashing_savez):
-        path = tmp_path / "p.npz"
+    def test_crash_leaves_no_file(self, tmp_path, crashing_write):
+        path = tmp_path / "p.gp"
         with pytest.raises(CrashMidWrite):
             save_partition(make_partition(), path)
         assert not path.exists()
@@ -54,16 +54,17 @@ class TestAtomicSave:
 
     def test_crash_preserves_previous_version(self, tmp_path, monkeypatch):
         p = make_partition()
-        path = tmp_path / "p.npz"
+        path = tmp_path / "p.gp"
         save_partition(p, path)
 
-        real_savez = storage.np.savez
+        real_write = storage._write_payload
 
-        def boom(fh, **arrays):
-            real_savez(fh, **{k: v[: len(v) // 2] for k, v in arrays.items()})
+        def boom(fh, partition):
+            real_write(fh, partition)
+            fh.truncate(storage.HEADER_BYTES + 8)  # tear the payload
             raise CrashMidWrite("power loss")
 
-        monkeypatch.setattr(storage.np, "savez", boom)
+        monkeypatch.setattr(storage, "_write_payload", boom)
         with pytest.raises(CrashMidWrite):
             save_partition(Partition(Interval(0, 9), {}), path)
         # the old complete file is still there, fully readable

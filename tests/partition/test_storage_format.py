@@ -1,0 +1,143 @@
+"""Round-trip and compatibility tests for the raw partition format.
+
+The on-disk layout is header + the three CSR arrays verbatim, so a
+round-trip must reproduce ``(vertices, indptr, keys)`` byte-identically.
+Legacy ``.npz`` archives (the pre-raw format) must keep loading.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import packed
+from repro.partition import Interval, Partition, load_partition, save_partition
+from repro.partition.storage import PARTITION_MAGIC, PartitionStore
+
+
+def triples_strategy(lo=0, hi=31):
+    return st.lists(
+        st.tuples(
+            st.integers(lo, hi),  # src within the interval
+            st.integers(0, 200),  # target
+            st.integers(0, 7),  # label
+        ),
+        max_size=80,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(triples=triples_strategy())
+    def test_csr_arrays_survive_byte_identically(self, triples, tmp_path_factory):
+        partition = Partition.from_triples(Interval(0, 31), triples)
+        path = tmp_path_factory.mktemp("rt") / "p.gp"
+        save_partition(partition, path)
+        loaded = load_partition(path)
+        assert loaded.interval == partition.interval
+        assert np.array_equal(loaded.vertices, partition.vertices)
+        assert np.array_equal(loaded.indptr, partition.indptr)
+        assert np.array_equal(loaded.keys, partition.keys)
+
+    def test_empty_partition_round_trips(self, tmp_path):
+        """Regression: empty partitions used to break the npz writer."""
+        empty = Partition(Interval(3, 9), {})
+        path = tmp_path / "empty.gp"
+        save_partition(empty, path)
+        loaded = load_partition(path)
+        assert loaded.interval == Interval(3, 9)
+        assert loaded.num_edges == 0
+        assert loaded.num_source_vertices == 0
+        assert len(loaded.indptr) == 1
+
+    def test_mmap_and_copy_loads_agree(self, tmp_path):
+        partition = Partition.from_triples(
+            Interval(0, 9), [(1, 5, 0), (1, 6, 1), (8, 2, 0)]
+        )
+        path = tmp_path / "p.gp"
+        save_partition(partition, path)
+        mapped = load_partition(path, mmap=True)
+        copied = load_partition(path, mmap=False)
+        assert np.array_equal(mapped.keys, copied.keys)
+        assert np.array_equal(mapped.vertices, copied.vertices)
+        assert np.array_equal(mapped.indptr, copied.indptr)
+
+    def test_mmap_load_is_zero_copy(self, tmp_path):
+        partition = Partition.from_triples(Interval(0, 9), [(1, 5, 0), (8, 2, 0)])
+        path = tmp_path / "p.gp"
+        save_partition(partition, path)
+        loaded = load_partition(path)
+        assert isinstance(loaded.keys.base, np.memmap)
+        assert loaded.keys.base is loaded.vertices.base  # one mapping
+
+    def test_header_carries_magic(self, tmp_path):
+        path = tmp_path / "p.gp"
+        save_partition(Partition(Interval(0, 3), {}), path)
+        assert path.read_bytes()[:8] == PARTITION_MAGIC
+
+
+class TestRejection:
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.gp"
+        path.write_bytes(b"definitely not a partition")
+        with pytest.raises(ValueError, match="not a Graspan partition"):
+            load_partition(path)
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "short.gp"
+        path.write_bytes(b"GR")
+        with pytest.raises(ValueError):
+            load_partition(path)
+
+
+class TestLegacyNpz:
+    def make_legacy(self, path, partition):
+        with open(path, "wb") as fh:
+            np.savez(
+                fh,
+                lo=np.asarray([partition.interval.lo], dtype=np.int64),
+                hi=np.asarray([partition.interval.hi], dtype=np.int64),
+                vertices=partition.vertices,
+                indptr=partition.indptr,
+                keys=partition.keys,
+            )
+
+    def test_legacy_npz_still_loads(self, tmp_path):
+        partition = Partition.from_triples(
+            Interval(0, 15), [(2, 9, 1), (2, 3, 0), (11, 0, 2)]
+        )
+        path = tmp_path / "old.npz"
+        self.make_legacy(path, partition)
+        loaded = load_partition(path)
+        assert loaded.interval == partition.interval
+        assert np.array_equal(loaded.keys, partition.keys)
+        assert list(loaded.edges()) == list(partition.edges())
+
+    def test_legacy_empty_indptr_normalized(self, tmp_path):
+        path = tmp_path / "old-empty.npz"
+        with open(path, "wb") as fh:
+            np.savez(
+                fh,
+                lo=np.asarray([0], dtype=np.int64),
+                hi=np.asarray([7], dtype=np.int64),
+                vertices=packed.EMPTY,
+                indptr=np.empty(0, dtype=np.int64),
+                keys=packed.EMPTY,
+            )
+        loaded = load_partition(path)
+        assert loaded.num_edges == 0
+        assert len(loaded.indptr) == 1
+
+
+class TestStoreCounters:
+    def test_bytes_and_ops_counted(self, tmp_path):
+        store = PartitionStore(workdir=tmp_path)
+        partition = Partition.from_triples(Interval(0, 9), [(1, 2, 0), (4, 1, 1)])
+        path = store.write(partition)
+        assert path.suffix == ".gp"
+        assert store.writes == 1
+        assert store.bytes_written == path.stat().st_size > 0
+        loaded = store.read(path)
+        assert store.reads == 1
+        assert store.bytes_read == store.bytes_written
+        assert np.array_equal(loaded.keys, partition.keys)

@@ -40,7 +40,8 @@ class TestPublicSurface:
             [(0, 1, 0), (1, 2, 0)], label_names=["E"]
         )
         comp = repro.GraspanEngine(frozen).run(graph)
-        assert (0, 2) in list(comp.iter_edges_with_label("R"))
+        src, dst = comp.edges_with_label_arrays("R")
+        assert (0, 2) in list(zip(src.tolist(), dst.tolist()))
 
 
 @pytest.mark.parametrize(
