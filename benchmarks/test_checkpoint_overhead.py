@@ -1,0 +1,105 @@
+"""Checkpoint overhead: wall time with and without the run journal.
+
+Superstep-granular checkpointing (DESIGN.md §9) buys crash-resumability
+with fsync'd partition flushes and an atomic manifest replace after
+every superstep.  This benchmark measures what that durability costs on
+the postgresql-like pointer closure: same closure, same supersteps, the
+delta is pure checkpoint I/O.  A resumed run from a mid-point crash is
+timed as well, so the table shows the payoff next to the price.
+"""
+
+import time
+
+from benchmarks.conftest import results_path
+from repro.bench import render_table, rows_from_dicts, save_and_print
+from repro.engine.engine import GraspanEngine
+from repro.grammar.builtin import pointsto_grammar_extended
+from repro.util.faults import FaultInjector, FaultPlan, InjectedCrash
+
+
+def _run(graph, workdir, checkpoint, resume=False, injector=None):
+    engine = GraspanEngine(
+        pointsto_grammar_extended(),
+        max_edges_per_partition=max(1000, graph.num_edges // 4),
+        workdir=workdir,
+        checkpoint=checkpoint,
+        fault_injector=injector,
+    )
+    started = time.perf_counter()
+    computation = engine.run(graph, resume=resume)
+    wall = time.perf_counter() - started
+    stats = computation.stats
+    dur = stats.durability_summary()
+    return {
+        "mode": "",
+        "final_edges": stats.final_edges,
+        "supersteps": stats.num_supersteps,
+        "checkpoints": dur["checkpoints_written"],
+        "checkpoint_s": dur["checkpoint_s"],
+        "io_s": round(stats.timers.get("io"), 3),
+        "wall_s": round(wall, 3),
+    }
+
+
+def checkpoint_rows(graph, base_dir):
+    rows = []
+    off = _run(graph, base_dir / "off", checkpoint=False)
+    off["mode"] = "checkpoint off"
+    rows.append(off)
+    on = _run(graph, base_dir / "on", checkpoint=True)
+    on["mode"] = "checkpoint on"
+    rows.append(on)
+    # Crash halfway through, then resume: the durability payoff.
+    crash_at = max(2, on["checkpoints"] // 2)
+    injector = FaultInjector(FaultPlan(crash_after_commit=crash_at))
+    try:
+        _run(graph, base_dir / "resume", checkpoint=True, injector=injector)
+    except InjectedCrash:
+        pass
+    resumed = _run(graph, base_dir / "resume", checkpoint=True, resume=True)
+    resumed["mode"] = f"resume (from commit {crash_at})"
+    rows.append(resumed)
+    return rows
+
+
+def test_checkpoint_overhead(benchmark, postgresql, tmp_path):
+    graph = postgresql.pointer
+    rows = benchmark.pedantic(
+        checkpoint_rows, args=(graph, tmp_path), rounds=1, iterations=1
+    )
+
+    off, on, resumed = rows
+    # Durability must not change the computed closure.
+    assert on["final_edges"] == off["final_edges"]
+    assert resumed["final_edges"] == off["final_edges"]
+    assert off["checkpoints"] == 0
+    assert on["checkpoints"] == on["supersteps"] + 1
+    # The resumed run skips the already-committed supersteps.
+    assert resumed["supersteps"] < on["supersteps"]
+
+    text = render_table(
+        "Checkpoint overhead (postgresql-like pointer closure)",
+        [
+            "mode",
+            "edges",
+            "supersteps",
+            "ckpts",
+            "ckpt (s)",
+            "io (s)",
+            "wall (s)",
+        ],
+        rows_from_dicts(
+            rows,
+            [
+                "mode",
+                "final_edges",
+                "supersteps",
+                "checkpoints",
+                "checkpoint_s",
+                "io_s",
+                "wall_s",
+            ],
+        ),
+        note="checkpoint = fsync'd partition flush + atomic manifest per superstep",
+    )
+    save_and_print(text, results_path("checkpoint_overhead.txt"))

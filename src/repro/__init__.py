@@ -41,7 +41,15 @@ from repro.analysis import (
     SourceFlowResult,
     TaintDataflowAnalysis,
 )
-from repro.engine import GraspanComputation, GraspanEngine, naive_closure
+from repro.engine import (
+    CheckpointError,
+    GraspanComputation,
+    GraspanEngine,
+    RunJournal,
+    naive_closure,
+)
+from repro.partition import PartitionCorruptError
+from repro.util import FaultInjector, FaultPlan, InjectedCrash, RetryPolicy
 from repro.frontend import compile_program, dataflow_graph, parse, pointer_graph
 from repro.grammar import (
     Grammar,
@@ -70,6 +78,13 @@ __all__ = [
     "GraspanEngine",
     "GraspanComputation",
     "naive_closure",
+    "CheckpointError",
+    "RunJournal",
+    "PartitionCorruptError",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "RetryPolicy",
     "PointsToAnalysis",
     "PointsToResult",
     "NullDataflowAnalysis",

@@ -68,13 +68,22 @@ def _cmd_closure(args: argparse.Namespace) -> int:
     from repro.engine import GraspanEngine
     from repro.grammar import parse_grammar_file
     from repro.graph import read_text, write_text
+    from repro.util.faults import FaultInjector, FaultPlan
     from repro.util.memory import MemoryBudgetExceeded, parse_memory_size
 
+    if args.resume and not args.workdir:
+        print("error: --resume requires --workdir", file=sys.stderr)
+        return 2
     grammar = parse_grammar_file(args.grammar)
     graph = read_text(args.graph)
     memory_budget = (
         parse_memory_size(args.memory_budget) if args.memory_budget else None
     )
+    fault_plan = FaultPlan.from_env()
+    injector = None
+    if not fault_plan.empty():
+        injector = FaultInjector(fault_plan)
+        print(f"fault injection active: {fault_plan}", file=sys.stderr)
     engine = GraspanEngine(
         grammar,
         max_edges_per_partition=args.max_edges_per_partition,
@@ -82,8 +91,10 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         num_threads=args.threads,
         parallel_backend=args.backend,
         memory_budget=memory_budget,
+        checkpoint=False if args.no_checkpoint else None,
+        fault_injector=injector,
     )
-    computation = engine.run(graph)
+    computation = engine.run(graph, resume=args.resume)
     try:
         computation.load_resident()
     except MemoryBudgetExceeded as exc:
@@ -114,6 +125,23 @@ def _cmd_closure(args: argparse.Namespace) -> int:
             f"{stats.evictions} evictions, {stats.cache_hits} cache hits, "
             f"{stats.partition_loads} loads; "
             f"read {stats.bytes_read} B, wrote {stats.bytes_written} B",
+            file=sys.stderr,
+        )
+    dur = stats.durability_summary()
+    if dur["checkpoint"] or args.resume or injector is not None:
+        resumed = (
+            f"resumed from superstep {dur['resumed_from']}"
+            if dur["resumed_from"] is not None
+            else "fresh run"
+        )
+        print(
+            f"durability: {dur['checkpoints_written']} checkpoints "
+            f"({dur['checkpoint_s']}s), {resumed}; "
+            f"{dur['io_retries']} io retries, "
+            f"{dur['tmp_scrubbed']} tmp scrubbed, "
+            f"{dur['files_purged']} files purged, "
+            f"{dur['worker_respawns']} worker respawns"
+            + (", backend degraded" if dur["backend_degraded"] else ""),
             file=sys.stderr,
         )
     if args.label:
@@ -218,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
         dest="memory_budget",
         help="resident-partition byte budget, e.g. 64M or 2G (requires "
         "--workdir); partitions beyond it are evicted least-recently-used",
+    )
+    closure.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the last committed checkpoint in --workdir",
+    )
+    closure.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        dest="no_checkpoint",
+        help="disable the run journal + manifest even with --workdir",
     )
     closure.add_argument("--threads", type=int, default=1)
     closure.add_argument(

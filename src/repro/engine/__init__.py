@@ -1,5 +1,11 @@
 """The edge-pair-centric computation engine (§4.2-§4.3)."""
 
+from repro.engine.checkpoint import (
+    CheckpointError,
+    RunJournal,
+    grammar_fingerprint,
+    graph_fingerprint,
+)
 from repro.engine.engine import (
     GraspanComputation,
     GraspanEngine,
@@ -22,6 +28,10 @@ from repro.engine.stats import EngineStats, SuperstepRecord
 from repro.engine.superstep import SuperstepResult, run_superstep
 
 __all__ = [
+    "CheckpointError",
+    "RunJournal",
+    "grammar_fingerprint",
+    "graph_fingerprint",
     "GraspanComputation",
     "GraspanEngine",
     "align_graph_labels",

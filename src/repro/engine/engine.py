@@ -18,6 +18,15 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.engine.checkpoint import (
+    RunJournal,
+    build_manifest,
+    grammar_fingerprint,
+    graph_fingerprint,
+    restore_partition_set,
+    restore_scheduler,
+    validate_manifest,
+)
 from repro.engine.join import CsrView
 from repro.engine.parallel import BACKENDS, JoinBackend, make_backend
 from repro.engine.scheduler import Scheduler
@@ -28,7 +37,10 @@ from repro.graph.graph import MemGraph
 from repro.grammar.grammar import FrozenGrammar
 from repro.partition.preprocess import preprocess
 from repro.partition.pset import PartitionSet
+from repro.partition.storage import PartitionStore
+from repro.util.faults import FaultInjector
 from repro.util.memory import MemoryBudgetExceeded
+from repro.util.retry import RetryPolicy
 from repro.util.timing import Stopwatch
 
 PathLike = Union[str, Path]
@@ -168,6 +180,19 @@ class GraspanEngine:
         exceed the budget, so peak residency never overshoots by more
         than one partition.  ``None`` (the default) keeps the historical
         policy: evict everything except the loaded pair each superstep.
+    checkpoint:
+        Write a superstep-granular run journal + manifest so a crashed
+        run can continue via ``run(graph, resume=True)`` (DESIGN.md §9).
+        ``None`` (the default) auto-enables checkpointing whenever a
+        ``workdir`` is set; ``True`` requires one; ``False`` disables it.
+    fault_injector:
+        A :class:`repro.util.faults.FaultInjector` threaded through the
+        partition store, the run journal, and the process join backend —
+        the deterministic crash/corruption test hook.  ``None`` in
+        production.
+    retry:
+        :class:`repro.util.retry.RetryPolicy` for transient store I/O
+        errors; defaults to 3 attempts with exponential backoff.
     """
 
     def __init__(
@@ -182,6 +207,9 @@ class GraspanEngine:
         repartition_growth: float = 2.0,
         parallel_backend: Optional[str] = None,
         memory_budget: Optional[int] = None,
+        checkpoint: Optional[bool] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if parallel_backend is not None and parallel_backend not in BACKENDS:
             raise ValueError(
@@ -196,6 +224,11 @@ class GraspanEngine:
                     "memory_budget requires a workdir: without disk backing "
                     "there is nowhere to evict partitions to"
                 )
+        if checkpoint and workdir is None:
+            raise ValueError(
+                "checkpoint requires a workdir: the journal and manifest "
+                "live in the partition store directory"
+            )
         self.grammar = grammar
         self.max_edges_per_partition = max_edges_per_partition
         self.num_partitions = num_partitions
@@ -206,26 +239,91 @@ class GraspanEngine:
         self.max_supersteps = max_supersteps
         self.repartition_growth = repartition_growth
         self.memory_budget = memory_budget
+        self.checkpoint = checkpoint
+        self.fault_injector = fault_injector
+        self.retry = retry
 
     # ------------------------------------------------------------------
-    def run(self, graph: MemGraph) -> GraspanComputation:
-        """Compute the grammar-guided transitive closure of ``graph``."""
+    def run(self, graph: MemGraph, resume: bool = False) -> GraspanComputation:
+        """Compute the grammar-guided transitive closure of ``graph``.
+
+        With ``resume`` (and checkpointing on), a manifest left in the
+        workdir by an interrupted run restarts the computation from its
+        completed-superstep watermark instead of from scratch; the final
+        closure is byte-identical to an uninterrupted run's because the
+        superstep fixpoint is confluent.  Fingerprint mismatches (other
+        grammar, other graph) raise
+        :class:`~repro.engine.checkpoint.CheckpointError`; a missing
+        manifest silently falls back to a fresh run.
+        """
         if graph.num_vertices == 0 or graph.num_edges == 0:
             return self._empty_computation(graph)
         graph = align_graph_labels(graph, self.grammar)
         stats = EngineStats(
             original_edges=graph.num_edges, num_vertices=graph.num_vertices
         )
-        pset = preprocess(
-            graph,
-            max_edges_per_partition=self.max_edges_per_partition,
-            num_partitions=self.num_partitions,
-            workdir=self.workdir,
-            timers=stats.timers,
-            memory_budget=self.memory_budget,
-        )
-        stats.initial_partitions = pset.num_partitions
+        store = None
+        if self.workdir is not None:
+            store = PartitionStore(
+                workdir=self.workdir,
+                timers=stats.timers,
+                retry=self.retry if self.retry is not None else RetryPolicy(),
+                injector=self.fault_injector,
+            )
+            stats.tmp_scrubbed = store.tmp_scrubbed
+        checkpoint_on = self.workdir is not None and self.checkpoint is not False
+        journal = None
+        grammar_crc = graph_crc = 0
+        if checkpoint_on:
+            journal = RunJournal(self.workdir, injector=self.fault_injector)
+            grammar_crc = grammar_fingerprint(self.grammar)
+            graph_crc = graph_fingerprint(graph)
+        manifest = journal.load_manifest() if (resume and journal) else None
+
+        superstep_index = 0
+        if manifest is not None:
+            validate_manifest(manifest, grammar_crc, graph_crc)
+            pset = restore_partition_set(
+                manifest, store, journal, memory_budget=self.memory_budget
+            )
+            restore_scheduler(self.scheduler, manifest.get("scheduler", {}))
+            superstep_index = int(manifest["superstep"])
+            stats.resumed_from_superstep = superstep_index
+            stats.initial_partitions = int(manifest["initial_partitions"])
+            stats.repartition_count = int(manifest["repartition_count"])
+            journal.append({"event": "resume", "superstep": superstep_index})
+        else:
+            pset = preprocess(
+                graph,
+                max_edges_per_partition=self.max_edges_per_partition,
+                num_partitions=self.num_partitions,
+                workdir=self.workdir,
+                timers=stats.timers,
+                memory_budget=self.memory_budget,
+                store=store,
+            )
+            stats.initial_partitions = pset.num_partitions
+            if journal is not None:
+                journal.append(
+                    {
+                        "event": "begin",
+                        "grammar_crc": grammar_crc,
+                        "graph_crc": graph_crc,
+                        "partitions": pset.num_partitions,
+                        "edges": graph.num_edges,
+                    }
+                )
+                journal.save_degrees(pset.out_degrees, pset.in_degrees)
         stats.memory_budget = pset.memory_budget
+        stats.checkpoint_enabled = journal is not None
+        if journal is not None:
+            pset.defer_deletes = True
+            if manifest is None:
+                # Checkpoint 0: the preprocessed state, so a crash inside
+                # the very first superstep already has a resume point.
+                self._commit_checkpoint(
+                    journal, pset, superstep_index, grammar_crc, graph_crc, stats
+                )
 
         mid_limit = self.mid_superstep_limit()
 
@@ -235,23 +333,83 @@ class GraspanEngine:
         with make_backend(
             self.parallel_backend, self.grammar, self.num_threads
         ) as backend:
-            while True:
-                pair = self.scheduler.choose_pair(pset.ddm, pset.resident_pids())
-                if pair is None:
-                    break
-                if len(stats.supersteps) >= self.max_supersteps:
-                    raise RuntimeError(
-                        f"exceeded max_supersteps={self.max_supersteps}; "
-                        "the computation may be diverging"
+            backend.injector = self.fault_injector
+            try:
+                while True:
+                    pair = self.scheduler.choose_pair(
+                        pset.ddm, pset.resident_pids()
                     )
-                self._run_one_superstep(pset, pair, mid_limit, stats, backend)
+                    if pair is None:
+                        break
+                    if len(stats.supersteps) >= self.max_supersteps:
+                        raise RuntimeError(
+                            f"exceeded max_supersteps={self.max_supersteps}; "
+                            "the computation may be diverging"
+                        )
+                    self._run_one_superstep(pset, pair, mid_limit, stats, backend)
+                    superstep_index += 1
+                    if journal is not None:
+                        self._commit_checkpoint(
+                            journal,
+                            pset,
+                            superstep_index,
+                            grammar_crc,
+                            graph_crc,
+                            stats,
+                        )
+            finally:
+                stats.worker_respawns = getattr(backend, "worker_respawns", 0)
+                stats.backend_degraded = bool(getattr(backend, "_degraded", False))
 
         if pset.store.disk_backed:
             pset.evict_all_except(())
+            pset.store.purge_retired()
         stats.final_edges = pset.total_edges()
         stats.final_partitions = pset.num_partitions
+        if journal is not None:
+            journal.append(
+                {
+                    "event": "finish",
+                    "superstep": superstep_index,
+                    "final_edges": stats.final_edges,
+                }
+            )
         self._snapshot_residency(pset, stats)
         return GraspanComputation(pset, self.grammar, stats)
+
+    def _commit_checkpoint(
+        self,
+        journal: RunJournal,
+        pset: PartitionSet,
+        superstep_index: int,
+        grammar_crc: int,
+        graph_crc: int,
+        stats: EngineStats,
+    ) -> None:
+        """Durably commit the current state as superstep ``superstep_index``.
+
+        Ordering is the whole point: flush dirty partitions (fsync'd),
+        *then* atomically replace the manifest (the commit point), *then*
+        purge files the previous manifest referenced.  A crash anywhere
+        in between resumes cleanly from one side of the commit or the
+        other.
+        """
+        with stats.timers.phase("checkpoint"):
+            pset.flush_dirty()
+            journal.commit(
+                build_manifest(
+                    pset,
+                    superstep_index,
+                    grammar_crc,
+                    graph_crc,
+                    self.scheduler,
+                    original_edges=stats.original_edges,
+                    initial_partitions=stats.initial_partitions,
+                    repartition_count=stats.repartition_count,
+                )
+            )
+            pset.store.purge_retired()
+        stats.checkpoints_written += 1
 
     @staticmethod
     def _snapshot_residency(pset: PartitionSet, stats: EngineStats) -> None:
@@ -264,6 +422,9 @@ class GraspanEngine:
         stats.partition_loads = residency.loads
         stats.bytes_read = pset.store.bytes_read
         stats.bytes_written = pset.store.bytes_written
+        stats.io_retries = pset.store.io_retries
+        stats.tmp_scrubbed = max(stats.tmp_scrubbed, pset.store.tmp_scrubbed)
+        stats.files_purged = pset.store.files_purged
 
     def mid_superstep_limit(self) -> int:
         """The resident-edge budget that triggers a mid-superstep bail-out.
@@ -374,6 +535,10 @@ class GraspanEngine:
                 pool_seconds=telemetry.pool_seconds if telemetry else 0.0,
                 serial_estimate_seconds=(
                     telemetry.serial_estimate_seconds if telemetry else 0.0
+                ),
+                worker_respawns=telemetry.worker_respawns if telemetry else 0,
+                backend_degraded=(
+                    telemetry.backend_degraded if telemetry else False
                 ),
             )
         )

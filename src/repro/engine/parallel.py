@@ -37,6 +37,7 @@ into each :class:`~repro.engine.stats.SuperstepRecord`.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -53,6 +54,12 @@ BACKENDS = ("serial", "thread", "process")
 #: Left joins smaller than this run inline even on pooled backends; the
 #: dispatch overhead would dwarf the join itself.
 MIN_PARALLEL_EDGES = 256
+
+#: How many times the process backend rebuilds its pool after losing a
+#: worker before giving up and degrading to inline joins.
+MAX_POOL_RESPAWNS = 3
+
+logger = logging.getLogger(__name__)
 
 
 def shared_memory_available() -> bool:
@@ -93,6 +100,8 @@ class JoinTelemetry:
     total_chunk_edges: int = 0
     pool_seconds: float = 0.0
     serial_estimate_seconds: float = 0.0
+    backend_degraded: bool = False  # pool fell back to inline joins
+    worker_respawns: int = 0  # pool rebuilds after a dead worker
 
     @property
     def chunk_balance(self) -> float:
@@ -181,6 +190,15 @@ class JoinBackend:
 
     name = "serial"
 
+    #: Set permanently once a pooled backend falls back to inline joins;
+    #: :attr:`display_name` and each superstep's telemetry reflect it so
+    #: degradation is never silent.
+    _degraded = False
+
+    #: Optional :class:`repro.util.faults.FaultInjector` (set by the
+    #: engine) consulted before each parallel dispatch.
+    injector = None
+
     def __init__(
         self,
         grammar: FrozenGrammar,
@@ -192,15 +210,22 @@ class JoinBackend:
         self.num_workers = max(1, int(num_workers))
         self.head_mask = grammar.head_labels() if head_mask is None else head_mask
         self.requested = requested if requested is not None else self.name
-        self.telemetry = JoinTelemetry(backend=self.display_name)
+        self.telemetry = self._fresh_telemetry()
 
     # -- lifecycle -------------------------------------------------------
     @property
     def display_name(self) -> str:
-        """Backend label for telemetry; flags fallback substitutions."""
+        """Backend label for telemetry; flags fallbacks and degradation."""
+        if self._degraded:
+            return f"{self.name}(degraded)"
         if self.requested != self.name:
             return f"{self.name}({self.requested}-fallback)"
         return self.name
+
+    def _fresh_telemetry(self) -> JoinTelemetry:
+        return JoinTelemetry(
+            backend=self.display_name, backend_degraded=self._degraded
+        )
 
     def __enter__(self) -> "JoinBackend":
         return self
@@ -215,7 +240,7 @@ class JoinBackend:
     def begin_superstep(self) -> None:
         """Reset telemetry (and any published segments) for a superstep."""
         self._release_published()
-        self.telemetry = JoinTelemetry(backend=self.display_name)
+        self.telemetry = self._fresh_telemetry()
 
     def begin_iteration(self) -> None:
         """Mark a new fixed-point iteration: prior CSR snapshots are dead."""
@@ -464,6 +489,10 @@ class ProcessJoinBackend(JoinBackend):
         self._pool = None
         self._published: Dict[int, Tuple[List[Tuple[str, int]], list]] = {}
         self._degraded = False
+        self._warned_degraded = False
+        self.max_respawns = MAX_POOL_RESPAWNS
+        self.respawn_base_delay = 0.05
+        self.worker_respawns = 0
 
     # -- pool ------------------------------------------------------------
     def _ensure_pool(self):
@@ -483,10 +512,52 @@ class ProcessJoinBackend(JoinBackend):
 
     def close(self) -> None:
         self._release_published()
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        """Kill the pool only — published shared segments stay valid.
+
+        Deliberately avoids ``Pool.terminate()``: a SIGKILLed worker can
+        die while holding the shared task-queue lock, and terminate()'s
+        queue drain then blocks on that lock forever.  Stopping the
+        maintenance thread and killing the workers directly is safe
+        regardless of what lock a corpse was holding.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            from multiprocessing.pool import TERMINATE
+
+            pool._worker_handler._state = TERMINATE  # stop auto-respawn
+            # The pool's GC finalizer runs the same queue drain; cancel
+            # it or a later collection deadlocks exactly the same way.
+            pool._terminate.cancel()
+            workers = list(pool._pool)
+        except (ImportError, AttributeError):  # CPython internals moved
+            pool.terminate()
+            pool.join()
+            return
+        for process in workers:
+            if process.exitcode is None:
+                process.kill()
+        for process in workers:
+            process.join(timeout=1.0)
+
+    def _worker_processes(self) -> list:
+        return list(self._pool._pool) if self._pool is not None else []
+
+    def _pool_damaged(self, pids: set) -> bool:
+        """Has any worker died (or been replaced) since ``pids`` was taken?
+
+        ``Pool``'s maintenance thread auto-replaces dead workers but the
+        replacement never receives the lost in-flight task, so a pid-set
+        change is as fatal to the current map as a visible corpse.
+        """
+        processes = self._worker_processes()
+        if {p.pid for p in processes} != pids:
+            return True
+        return any(p.exitcode is not None for p in processes)
 
     # -- shared-memory publication --------------------------------------
     def _publish_arrays(self, arrays: Sequence[np.ndarray]):
@@ -547,10 +618,55 @@ class ProcessJoinBackend(JoinBackend):
     def _dispatch(self, tasks, chunk_sizes):
         self.telemetry.record_chunks(chunk_sizes)
         started = time.perf_counter()
-        outs = self._ensure_pool().map(_worker_join, tasks)
+        outs = self._map_with_recovery(tasks)
         self.telemetry.pool_seconds += time.perf_counter() - started
         self.telemetry.serial_estimate_seconds += sum(sec for _, _, sec in outs)
         return self._concat([(s, k) for s, k, _ in outs])
+
+    def _map_with_recovery(self, tasks):
+        """``pool.map`` with dead-worker detection and bounded respawn.
+
+        A SIGKILLed worker silently drops its in-flight task; the pool's
+        maintenance thread replaces the process but the map would then
+        wait forever.  We poll the worker set while waiting and, on any
+        death, rebuild the pool and retry the whole map — tasks are pure
+        reads of shared snapshots, so re-running them is free of side
+        effects.  After ``max_respawns`` rebuilds the failure propagates
+        and the caller degrades to inline joins.
+        """
+        delay = self.respawn_base_delay
+        respawns = 0
+        while True:
+            pool = self._ensure_pool()
+            pids = {p.pid for p in self._worker_processes()}
+            if self.injector is not None:
+                self.injector.on_dispatch(sorted(pids))
+            result = pool.map_async(_worker_join, tasks)
+            damaged = False
+            while not result.ready():
+                result.wait(0.02)
+                if not result.ready() and self._pool_damaged(pids):
+                    damaged = True
+                    break
+            if not damaged:
+                return result.get()
+            respawns += 1
+            self.worker_respawns += 1
+            self.telemetry.worker_respawns += 1
+            self._teardown_pool()
+            if respawns > self.max_respawns:
+                raise RuntimeError(
+                    f"join pool lost workers {respawns} times; giving up"
+                )
+            logger.warning(
+                "join pool worker died mid-superstep; respawning pool "
+                "(attempt %d/%d, backoff %.2fs)",
+                respawns,
+                self.max_respawns,
+                delay,
+            )
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
 
     def join_views(self, left, rights):
         rights = [r for r in rights if r.num_edges]
@@ -610,9 +726,22 @@ class ProcessJoinBackend(JoinBackend):
             return self._inline(left_src, left_keys, rights)
 
     def _degrade(self) -> None:
-        """Permanently fall back to inline joins after a pool/shm failure."""
+        """Permanently fall back to inline joins after a pool/shm failure.
+
+        Loudly: a one-time warning is logged and the degradation is
+        stamped into the telemetry (and from there into ``EngineStats``
+        and the CLI summary) so a run that quietly lost its parallelism
+        is visible in every report.
+        """
         self._degraded = True
-        self.telemetry.backend = f"{self.name}(degraded)"
+        if not self._warned_degraded:
+            self._warned_degraded = True
+            logger.warning(
+                "process join backend degraded to inline joins after a "
+                "pool/shared-memory failure; the run continues serially"
+            )
+        self.telemetry.backend = self.display_name
+        self.telemetry.backend_degraded = True
         try:
             self.close()
         except Exception:

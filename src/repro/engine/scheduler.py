@@ -35,6 +35,13 @@ class Scheduler:
                 f"slack must be in [0, 1); got {self.slack!r}"
             )
 
+    def state_dict(self) -> dict:
+        """Resumable internal state; the DDM-delta scheduler has none."""
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output after a checkpoint resume."""
+
     def choose_pair(
         self,
         ddm: DestinationDistributionMap,
@@ -77,6 +84,12 @@ class RoundRobinScheduler:
 
     def __init__(self) -> None:
         self._cursor = 0
+
+    def state_dict(self) -> dict:
+        return {"cursor": self._cursor}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._cursor = int(state.get("cursor", 0))
 
     def choose_pair(
         self,

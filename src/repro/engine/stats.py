@@ -31,6 +31,8 @@ class SuperstepRecord:
     chunk_balance: float = 1.0
     pool_seconds: float = 0.0
     serial_estimate_seconds: float = 0.0
+    worker_respawns: int = 0
+    backend_degraded: bool = False
 
     @property
     def speedup_estimate(self) -> float:
@@ -67,6 +69,15 @@ class EngineStats:
     partition_loads: int = 0  # acquires that had to read a partition file
     bytes_read: int = 0  # partition file bytes read
     bytes_written: int = 0  # partition file bytes written
+    # Durability / fault-tolerance counters (DESIGN.md §9).
+    checkpoint_enabled: bool = False  # run journal + manifest were written
+    checkpoints_written: int = 0  # manifest commits this run
+    resumed_from_superstep: Optional[int] = None  # watermark a resume started at
+    io_retries: int = 0  # transient I/O errors absorbed by backoff
+    tmp_scrubbed: int = 0  # torn *.tmp orphans removed at startup
+    files_purged: int = 0  # retired partition files removed post-commit
+    worker_respawns: int = 0  # join-pool rebuilds after dead workers
+    backend_degraded: bool = False  # pool backend fell back to inline joins
 
     @property
     def num_supersteps(self) -> int:
@@ -149,4 +160,25 @@ class EngineStats:
                 self.supersteps[-1].backend if self.supersteps else "serial"
             ),
             "parallel_speedup": self.parallelism_summary()["speedup_estimate"],
+            "checkpoints": self.checkpoints_written,
+            "resumed_from": self.resumed_from_superstep,
+            "io_retries": self.io_retries,
+            "tmp_scrubbed": self.tmp_scrubbed,
+            "files_purged": self.files_purged,
+            "worker_respawns": self.worker_respawns,
+            "backend_degraded": self.backend_degraded,
+        }
+
+    def durability_summary(self) -> Dict[str, object]:
+        """The fault-tolerance counters as one row (CLI + tests)."""
+        return {
+            "checkpoint": self.checkpoint_enabled,
+            "checkpoints_written": self.checkpoints_written,
+            "resumed_from": self.resumed_from_superstep,
+            "checkpoint_s": round(self.timers.get("checkpoint"), 3),
+            "io_retries": self.io_retries,
+            "tmp_scrubbed": self.tmp_scrubbed,
+            "files_purged": self.files_purged,
+            "worker_respawns": self.worker_respawns,
+            "backend_degraded": self.backend_degraded,
         }

@@ -3,7 +3,12 @@
 from repro.partition.interval import Interval, VertexIntervalTable
 from repro.partition.partition import Partition
 from repro.partition.ddm import DestinationDistributionMap
-from repro.partition.storage import PartitionStore, load_partition, save_partition
+from repro.partition.storage import (
+    PartitionCorruptError,
+    PartitionStore,
+    load_partition,
+    save_partition,
+)
 from repro.partition.pset import PartitionSet
 from repro.partition.preprocess import (
     balanced_intervals,
@@ -16,6 +21,7 @@ __all__ = [
     "VertexIntervalTable",
     "Partition",
     "DestinationDistributionMap",
+    "PartitionCorruptError",
     "PartitionStore",
     "load_partition",
     "save_partition",

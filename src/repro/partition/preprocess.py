@@ -83,6 +83,7 @@ def preprocess(
     timers: Optional[TimeBreakdown] = None,
     intervals: Optional[List] = None,
     memory_budget: Optional[int] = None,
+    store: Optional[PartitionStore] = None,
 ) -> PartitionSet:
     """Shard ``graph`` into a :class:`PartitionSet`.
 
@@ -92,6 +93,9 @@ def preprocess(
     of ``(lo, hi)`` tuples) overrides the automatic edge-mass balancing.
     ``memory_budget`` (bytes) caps how many partitions the set keeps
     resident at once; see :class:`repro.partition.pset.ResidencyManager`.
+    ``store`` supplies a pre-configured :class:`PartitionStore` (retry
+    policy, fault injector, durability flags); its workdir wins over the
+    ``workdir`` argument.
     """
     timers = timers if timers is not None else TimeBreakdown()
     with timers.phase("preprocess"):
@@ -107,7 +111,8 @@ def preprocess(
         for pid, partition in enumerate(partitions):
             counts[pid, :] = partition.destination_counts(vit)
         ddm = DestinationDistributionMap(counts)
-        store = PartitionStore(workdir=workdir, timers=timers)
+        if store is None:
+            store = PartitionStore(workdir=workdir, timers=timers)
         pset = PartitionSet(
             vit,
             ddm,

@@ -139,6 +139,10 @@ class PartitionSet:
         self.out_degrees = out_degrees
         self.in_degrees = in_degrees
         self.residency = ResidencyManager(memory_budget)
+        # With checkpointing on, superseded partition files must outlive
+        # the next manifest commit (the last durable manifest still
+        # references them); the engine flips this and purges after commit.
+        self.defer_deletes = False
         self._slots: List[_Slot] = [
             _Slot(
                 partition=p,
@@ -152,6 +156,47 @@ class PartitionSet:
         self.residency.observe(self._slots)
         for slot in self._slots:
             self.residency.recharge(slot)
+
+    @classmethod
+    def from_disk(
+        cls,
+        vit: VertexIntervalTable,
+        ddm: DestinationDistributionMap,
+        entries: List[Tuple[Path, int, int]],
+        store: PartitionStore,
+        label_names: Tuple[str, ...] = (),
+        out_degrees: Optional[np.ndarray] = None,
+        in_degrees: Optional[np.ndarray] = None,
+        memory_budget: Optional[int] = None,
+    ) -> "PartitionSet":
+        """Rebuild a set whose partitions all live on disk (checkpoint resume).
+
+        ``entries`` is one ``(path, edge_count, nbytes)`` triple per
+        partition, in VIT order.  Every slot starts evicted and clean;
+        partitions load lazily on first :meth:`acquire`.
+        """
+        if vit.num_partitions != len(entries):
+            raise ValueError("VIT and entry list disagree")
+        self = cls.__new__(cls)
+        self.vit = vit
+        self.ddm = ddm
+        self.store = store
+        self.label_names = tuple(label_names)
+        self.out_degrees = out_degrees
+        self.in_degrees = in_degrees
+        self.residency = ResidencyManager(memory_budget)
+        self.defer_deletes = False
+        self._slots = [
+            _Slot(
+                partition=None,
+                path=Path(path),
+                edge_count=int(edge_count),
+                dirty=False,
+                nbytes=int(nbytes),
+            )
+            for path, edge_count, nbytes in entries
+        ]
+        return self
 
     # ------------------------------------------------------------------
     # basic queries
@@ -176,6 +221,16 @@ class PartitionSet:
 
     def is_resident(self, pid: int) -> bool:
         return self._slots[pid].partition is not None
+
+    def slot_state(self, pid: int) -> Dict[str, object]:
+        """Checkpoint-facing view of one slot (path, edges, bytes, dirty)."""
+        slot = self._slots[pid]
+        return {
+            "path": slot.path,
+            "edges": slot.edge_count,
+            "nbytes": slot.nbytes,
+            "dirty": slot.dirty,
+        }
 
     def resident_pids(self) -> List[int]:
         return [i for i, s in enumerate(self._slots) if s.partition is not None]
@@ -248,6 +303,41 @@ class PartitionSet:
         """Evict LRU unpinned partitions until within budget (if any)."""
         self._make_room(incoming=0, keep=())
 
+    def _discard(self, path: Optional[Path]) -> None:
+        """Drop a superseded partition file — deferred when checkpointing."""
+        if path is None:
+            return
+        if self.defer_deletes:
+            self.store.retire(path)
+        else:
+            self.store.delete(path)
+
+    def flush_dirty(self) -> int:
+        """Write every dirty resident partition to disk; returns the count.
+
+        Unlike :meth:`evict`, the resident copies stay in memory — this
+        is the durability half of a checkpoint, not a residency decision.
+        After it, every slot has an up-to-date disk copy and the run
+        manifest may safely commit.  Superseded files are discarded via
+        :meth:`_discard` (deferred under checkpointing).
+        """
+        if not self.store.disk_backed:
+            return 0
+        flushed = 0
+        for slot in self._slots:
+            if slot.path is not None and not slot.dirty:
+                continue
+            if slot.partition is None:
+                if slot.path is None:
+                    raise RuntimeError("slot has neither memory nor disk copy")
+                continue
+            old_path = slot.path
+            slot.path = self.store.write(slot.partition)
+            slot.dirty = False
+            self._discard(old_path)
+            flushed += 1
+        return flushed
+
     def _make_room(self, incoming: int, keep: Tuple[int, ...]) -> None:
         if self.residency.budget_bytes is None or not self.store.disk_backed:
             return
@@ -276,8 +366,7 @@ class PartitionSet:
         if slot.dirty or slot.path is None:
             old_path = slot.path
             slot.path = self.store.write(slot.partition)
-            if old_path is not None:
-                self.store.delete(old_path)
+            self._discard(old_path)
         slot.nbytes = slot.partition.nbytes  # remembered for pre-load sizing
         slot.partition = None
         slot.dirty = False
@@ -315,8 +404,7 @@ class PartitionSet:
             for half in (left, right)
         ]
         self._slots[pid : pid + 1] = halves
-        if old_slot.path is not None:
-            self.store.delete(old_slot.path)
+        self._discard(old_slot.path)
         for slot in halves:
             self.residency.recharge(slot)
         self.ddm.split_partition(

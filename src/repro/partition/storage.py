@@ -1,23 +1,43 @@
 """On-disk persistence for partitions.
 
-Each partition file is a fixed 40-byte header followed by the three CSR
+Each partition file is a fixed 48-byte header followed by the three CSR
 arrays — ``vertices``, ``indptr``, ``keys`` — stored back-to-back as raw
 little-endian int64, exactly the partition's canonical in-memory form::
 
-    offset 0   magic   b"GRSPART1"
-    offset 8   lo      int64   interval lower bound
-    offset 16  hi      int64   interval upper bound
-    offset 24  nv      int64   number of source vertices
-    offset 32  ne      int64   number of edges
-    offset 40  vertices[nv] | indptr[nv+1] | keys[ne]
+    offset 0   magic    b"GRSPART2"
+    offset 8   version  uint32  format version (currently 2)
+    offset 12  crc32    uint32  zlib.crc32 of the payload bytes
+    offset 16  lo       int64   interval lower bound
+    offset 24  hi       int64   interval upper bound
+    offset 32  nv       int64   number of source vertices
+    offset 40  ne       int64   number of edges
+    offset 48  vertices[nv] | indptr[nv+1] | keys[ne]
 
 Because the payload *is* the in-memory layout, a save is three
 sequential writes of already-contiguous buffers (no per-vertex
 concatenation) and a load is a single :func:`numpy.memmap` — zero-copy,
 page-cache friendly, and strictly sequential, the property that keeps
-Graspan's I/O cost low (§5.2).  Partitions written by older versions as
-``.npz`` archives still load (they stored the same three arrays inside
-the zip container).
+Graspan's I/O cost low (§5.2).
+
+Durability and corruption handling (see DESIGN.md §9):
+
+* Every payload carries a CRC32.  Copy loads verify it eagerly; memmap
+  loads verify lazily — :class:`PartitionStore` checks each file once,
+  on first read, with a sequential pass that doubles as page-cache
+  warm-up, and skips re-verification on later reads of the same
+  (immutable, write-once) file.  A mismatch raises
+  :class:`PartitionCorruptError`, never a raw numpy error.
+* ``save_partition`` is atomic (tmp + ``os.replace``) and, through the
+  store, durable: the tmp file is fsync'd before the rename and the
+  directory is fsync'd after, so a committed write survives power loss.
+* The store scrubs orphaned ``*.tmp`` files at startup, retries
+  transient ``OSError``s with exponential backoff, and defers deletions
+  (:meth:`PartitionStore.retire`) until the checkpoint manifest has
+  committed, so a crash mid-superstep never invalidates the manifest's
+  view of the directory.
+
+Files written by older versions still load: ``GRSPART1`` (same payload,
+40-byte header, no checksum) and the original ``.npz`` archives.
 """
 
 from __future__ import annotations
@@ -25,28 +45,53 @@ from __future__ import annotations
 import os
 import struct
 import zipfile
+import zlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Set, Union
 
 import numpy as np
 
 from repro.graph import packed
 from repro.partition.interval import Interval
 from repro.partition.partition import Partition
+from repro.util.faults import FaultInjector, InjectedCrash
+from repro.util.retry import RetryPolicy
 from repro.util.timing import TimeBreakdown
 
 PathLike = Union[str, Path]
 
-#: File magic of the raw partition format (8 bytes, versioned).
-PARTITION_MAGIC = b"GRSPART1"
+#: File magic of the current raw partition format (8 bytes, versioned).
+PARTITION_MAGIC = b"GRSPART2"
 
-#: ``<8s`` magic + ``<4q`` lo/hi/nv/ne.
-_HEADER_STRUCT = struct.Struct("<8sqqqq")
+#: Magic of the pre-checksum raw format, still readable.
+LEGACY_MAGIC = b"GRSPART1"
 
-#: Payload byte offset — the header size.
+#: On-disk format version stored in the header.
+FORMAT_VERSION = 2
+
+#: ``<8s`` magic + ``<I`` version + ``<I`` crc32 + ``<4q`` lo/hi/nv/ne.
+_HEADER_STRUCT = struct.Struct("<8sIIqqqq")
+
+#: Header of the legacy checksum-less format: ``<8s`` magic + ``<4q``.
+_LEGACY_HEADER_STRUCT = struct.Struct("<8sqqqq")
+
+#: Payload byte offset of the current format — the header size.
 HEADER_BYTES = _HEADER_STRUCT.size
 
+LEGACY_HEADER_BYTES = _LEGACY_HEADER_STRUCT.size
+
 _INT64 = np.dtype("<i8")
+
+
+class PartitionCorruptError(ValueError):
+    """A partition file failed structural or checksum validation.
+
+    Subclasses :class:`ValueError` so callers that guarded against the
+    old "not a Graspan partition file" error keep working, while new
+    callers can catch corruption specifically and react (quarantine the
+    file, fall back to a checkpointed copy) instead of crashing on an
+    opaque numpy shape error.
+    """
 
 
 def _write_payload(fh, partition: Partition) -> None:
@@ -54,35 +99,75 @@ def _write_payload(fh, partition: Partition) -> None:
 
     Split out from :func:`save_partition` so crash-injection tests can
     intercept the byte-producing step without touching the atomic
-    rename protocol around it.
+    rename protocol around it.  The CRC32 in the header chains over the
+    three arrays in payload order, so it equals a CRC over the payload
+    bytes as laid out on disk.
     """
+    arrays = [
+        np.ascontiguousarray(array, dtype=_INT64) for array in partition.csr()
+    ]
+    crc = 0
+    for array in arrays:
+        crc = zlib.crc32(array.data, crc)
     fh.write(
         _HEADER_STRUCT.pack(
             PARTITION_MAGIC,
+            FORMAT_VERSION,
+            crc,
             partition.interval.lo,
             partition.interval.hi,
             len(partition.vertices),
             len(partition.keys),
         )
     )
-    for array in partition.csr():
-        fh.write(np.ascontiguousarray(array, dtype=_INT64).data)
+    for array in arrays:
+        fh.write(array.data)
 
 
-def save_partition(partition: Partition, path: PathLike) -> None:
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a completed rename survives power loss."""
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def save_partition(
+    partition: Partition,
+    path: PathLike,
+    durable: bool = False,
+    injector: Optional[FaultInjector] = None,
+) -> None:
     """Serialize ``partition`` to ``path``, atomically.
 
     The bytes land in a ``*.tmp`` sibling first and are renamed into
     place with :func:`os.replace`, so a crash mid-write can never leave
     a truncated file at the final path — readers see either the old
-    complete file or the new complete file, never a torn one.
+    complete file or the new complete file, never a torn one.  With
+    ``durable`` the tmp file is fsync'd before the rename and the parent
+    directory after it, upgrading "atomic" to "atomic and persistent".
+
+    On failure the tmp sibling is removed — except for
+    :class:`InjectedCrash`, which simulates a hard kill: a real power
+    loss runs no cleanup, so the torn tmp file is deliberately left for
+    the store's startup scrub to find.
     """
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
     try:
         with open(tmp, "wb") as fh:
             _write_payload(fh, partition)
+            if injector is not None:
+                injector.on_tmp_written(fh, tmp)
+            if durable:
+                fh.flush()
+                os.fsync(fh.fileno())
         os.replace(tmp, path)
+        if durable:
+            _fsync_dir(path.parent)
+    except InjectedCrash:
+        raise
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
@@ -90,41 +175,86 @@ def save_partition(partition: Partition, path: PathLike) -> None:
 
 def _load_legacy_npz(path: Path) -> Partition:
     """Load a pre-raw-format ``.npz`` partition archive."""
-    with np.load(path) as data:
-        interval = Interval(int(data["lo"][0]), int(data["hi"][0]))
-        vertices = np.asarray(data["vertices"], dtype=np.int64)
-        indptr = np.asarray(data["indptr"], dtype=np.int64)
-        keys = np.asarray(data["keys"], dtype=np.int64)
+    try:
+        with np.load(path) as data:
+            interval = Interval(int(data["lo"][0]), int(data["hi"][0]))
+            vertices = np.asarray(data["vertices"], dtype=np.int64)
+            indptr = np.asarray(data["indptr"], dtype=np.int64)
+            keys = np.asarray(data["keys"], dtype=np.int64)
+    except (KeyError, OSError, ValueError, zipfile.BadZipFile, IndexError) as exc:
+        raise PartitionCorruptError(
+            f"{path}: malformed legacy .npz partition archive: {exc}"
+        ) from exc
     if len(indptr) == 0:  # legacy empty partitions stored a 1-entry indptr
         indptr = np.zeros(1, dtype=np.int64)
     return Partition.from_csr(interval, vertices, indptr, keys)
 
 
-def load_partition(path: PathLike, mmap: bool = True) -> Partition:
+def load_partition(path: PathLike, mmap: bool = True, verify: bool = True) -> Partition:
     """Deserialize a partition written by :func:`save_partition`.
 
     Raw-format files are mapped with :func:`numpy.memmap` when ``mmap``
     is true: the CSR arrays are read-only views of the page cache and no
     copy is made until (unless) a merge replaces them.  Callers never
     mutate rows in place — merges always allocate fresh arrays — so the
-    read-only mapping is safe by construction.  Legacy ``.npz`` archives
-    are detected by their zip signature and decoded the old way.
+    read-only mapping is safe by construction.
+
+    With ``verify`` the payload CRC32 is checked against the header
+    (``GRSPART2`` files; the legacy formats carry no checksum) and a
+    mismatch raises :class:`PartitionCorruptError`.  For memmap loads
+    the check is one sequential pass over the mapping that faults the
+    pages the join was about to read anyway; :class:`PartitionStore`
+    additionally memoizes it per file, so the cost is paid once.
+    Legacy ``.npz`` archives are detected by their zip signature and
+    decoded the old way.
     """
     path = Path(path)
     with open(path, "rb") as fh:
         head = fh.read(HEADER_BYTES)
     if head[:4] == b"PK\x03\x04" and zipfile.is_zipfile(path):
         return _load_legacy_npz(path)
-    if len(head) < HEADER_BYTES or head[:8] != PARTITION_MAGIC:
-        raise ValueError(f"{path}: not a Graspan partition file")
-    _, lo, hi, nv, ne = _HEADER_STRUCT.unpack(head)
-    total = nv + (nv + 1) + ne
-    if mmap:
-        buf = np.memmap(path, dtype=_INT64, mode="r", offset=HEADER_BYTES, shape=(total,))
+    expected_crc: Optional[int] = None
+    if head[:8] == PARTITION_MAGIC:
+        if len(head) < HEADER_BYTES:
+            raise PartitionCorruptError(
+                f"{path}: truncated partition header: expected {HEADER_BYTES}"
+                f" bytes, found {len(head)}"
+            )
+        _, version, expected_crc, lo, hi, nv, ne = _HEADER_STRUCT.unpack(head)
+        if version != FORMAT_VERSION:
+            raise PartitionCorruptError(
+                f"{path}: unsupported partition format version {version}"
+                f" (expected {FORMAT_VERSION})"
+            )
+        header_bytes = HEADER_BYTES
+    elif head[:8] == LEGACY_MAGIC:
+        _, lo, hi, nv, ne = _LEGACY_HEADER_STRUCT.unpack(head[:LEGACY_HEADER_BYTES])
+        header_bytes = LEGACY_HEADER_BYTES
     else:
-        buf = np.fromfile(path, dtype=_INT64, count=total, offset=HEADER_BYTES)
-    if len(buf) != total:
-        raise ValueError(f"{path}: truncated partition payload")
+        raise ValueError(f"{path}: not a Graspan partition file")
+    if nv < 0 or ne < 0:
+        raise PartitionCorruptError(
+            f"{path}: invalid partition header (nv={nv}, ne={ne})"
+        )
+    total = nv + (nv + 1) + ne
+    expected_bytes = total * _INT64.itemsize
+    actual_bytes = path.stat().st_size - header_bytes
+    if actual_bytes != expected_bytes:
+        raise PartitionCorruptError(
+            f"{path}: truncated partition payload: expected {expected_bytes}"
+            f" bytes, found {actual_bytes}"
+        )
+    if mmap:
+        buf = np.memmap(path, dtype=_INT64, mode="r", offset=header_bytes, shape=(total,))
+    else:
+        buf = np.fromfile(path, dtype=_INT64, count=total, offset=header_bytes)
+    if verify and expected_crc is not None:
+        actual_crc = zlib.crc32(buf)
+        if actual_crc != expected_crc:
+            raise PartitionCorruptError(
+                f"{path}: partition payload checksum mismatch:"
+                f" header says {expected_crc:#010x}, payload is {actual_crc:#010x}"
+            )
     vertices = buf[:nv]
     indptr = buf[nv : 2 * nv + 1]
     keys = buf[2 * nv + 1 : total]
@@ -141,26 +271,68 @@ class PartitionStore:
     the engine surfaces as the Table 6 I/O columns.  When constructed
     without a directory it refuses to evict — the in-memory mode for
     small graphs (§4.2).
+
+    Robustness duties (DESIGN.md §9):
+
+    * startup **scrub**: orphaned ``*.tmp`` files from a crashed run are
+      removed, and the file-id counter resumes past any surviving
+      partition files so a resumed run never overwrites them;
+    * **retry** with exponential backoff on transient ``OSError``s
+      (``EIO``, ``ENOSPC``, ...) for both reads and writes, counted in
+      ``io_retries``;
+    * **verify-once** checksum policy: the first read of each file pays
+      a full CRC pass, later reads of the same write-once file skip it;
+    * **deferred deletes**: :meth:`retire` queues a file for removal and
+      :meth:`purge_retired` unlinks the queue — called only after the
+      run manifest no longer references the old files.
     """
 
     def __init__(
         self,
         workdir: Optional[PathLike] = None,
         timers: Optional[TimeBreakdown] = None,
+        retry: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        durable: bool = True,
+        verify_reads: bool = True,
     ) -> None:
         self.workdir = Path(workdir) if workdir is not None else None
         if self.workdir is not None:
             self.workdir.mkdir(parents=True, exist_ok=True)
         self.timers = timers if timers is not None else TimeBreakdown()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.injector = injector
+        self.durable = durable
+        self.verify_reads = verify_reads
         self._next_file_id = 0
+        self._verified: Set[str] = set()
+        self._retired: List[Path] = []
         self.bytes_written = 0
         self.bytes_read = 0
         self.writes = 0
         self.reads = 0
+        self.io_retries = 0
+        self.tmp_scrubbed = 0
+        self.files_purged = 0
+        if self.workdir is not None:
+            self._scrub()
 
     @property
     def disk_backed(self) -> bool:
         return self.workdir is not None
+
+    def _scrub(self) -> None:
+        """Remove torn ``*.tmp`` orphans and resume the file-id counter."""
+        assert self.workdir is not None
+        for tmp in self.workdir.glob("*.tmp"):
+            tmp.unlink(missing_ok=True)
+            self.tmp_scrubbed += 1
+        for existing in self.workdir.glob("partition-*.gp"):
+            try:
+                file_id = int(existing.stem.split("-")[1])
+            except (IndexError, ValueError):
+                continue
+            self._next_file_id = max(self._next_file_id, file_id + 1)
 
     def allocate_path(self) -> Path:
         if self.workdir is None:
@@ -169,20 +341,69 @@ class PartitionStore:
         self._next_file_id += 1
         return path
 
+    def _call_with_retry(self, fn):
+        def on_retry(exc, attempt):
+            self.io_retries += 1
+
+        return self.retry.call(fn, on_retry=on_retry)
+
     def write(self, partition: Partition) -> Path:
         path = self.allocate_path()
-        with self.timers.phase("io"):
-            save_partition(partition, path)
+
+        def attempt():
+            if self.injector is not None:
+                self.injector.on_write_start(path)
+            with self.timers.phase("io"):
+                save_partition(partition, path, durable=self.durable, injector=self.injector)
+
+        self._call_with_retry(attempt)
+        if self.injector is not None:
+            self.injector.on_write_done(path)
         self.bytes_written += path.stat().st_size
         self.writes += 1
         return path
 
     def read(self, path: PathLike) -> Partition:
-        with self.timers.phase("io"):
-            partition = load_partition(path)
-        self.bytes_read += Path(path).stat().st_size
+        path = Path(path)
+        verify = self.verify_reads and str(path) not in self._verified
+
+        def attempt():
+            if self.injector is not None:
+                self.injector.on_read_start(path)
+            with self.timers.phase("io"):
+                return load_partition(path, verify=verify)
+
+        partition = self._call_with_retry(attempt)
+        self._verified.add(str(path))
+        self.bytes_read += path.stat().st_size
         self.reads += 1
         return partition
 
     def delete(self, path: PathLike) -> None:
-        Path(path).unlink(missing_ok=True)
+        """Unlink ``path`` immediately.  Prefer :meth:`retire` when the
+        file may still be referenced by the last committed manifest."""
+        path = Path(path)
+        self._verified.discard(str(path))
+        path.unlink(missing_ok=True)
+
+    def retire(self, path: PathLike) -> None:
+        """Queue ``path`` for deletion at the next :meth:`purge_retired`.
+
+        Between a partition rewrite and the following manifest commit,
+        the *old* file is still the one the last durable checkpoint
+        references; unlinking it early would make a crash in that window
+        unrecoverable.  Retired files survive until the new manifest is
+        on disk.
+        """
+        self._retired.append(Path(path))
+
+    def purge_retired(self) -> int:
+        """Unlink every retired file; returns how many were removed."""
+        purged = 0
+        for path in self._retired:
+            self._verified.discard(str(path))
+            path.unlink(missing_ok=True)
+            purged += 1
+        self._retired.clear()
+        self.files_purged += purged
+        return purged

@@ -2,6 +2,8 @@
 
 from repro.util.timing import Stopwatch, TimeBreakdown
 from repro.util.memory import MemoryBudget, MemoryBudgetExceeded, approx_sizeof_edges
+from repro.util.faults import FaultInjector, FaultPlan, InjectedCrash, flip_payload_byte
+from repro.util.retry import RetryPolicy, TRANSIENT_ERRNOS
 
 __all__ = [
     "Stopwatch",
@@ -9,4 +11,10 @@ __all__ = [
     "MemoryBudget",
     "MemoryBudgetExceeded",
     "approx_sizeof_edges",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
+    "flip_payload_byte",
+    "RetryPolicy",
+    "TRANSIENT_ERRNOS",
 ]

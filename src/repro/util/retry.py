@@ -1,0 +1,95 @@
+"""Retry-with-backoff policy for transient I/O failures.
+
+Long out-of-core closures hit the disk thousands of times; a single
+transient ``EIO`` (flaky block device, NFS hiccup) or ``ENOSPC`` (freed
+moments later when deferred partition deletes are purged) should cost a
+bounded retry, not the whole multi-hour fixpoint.  :class:`RetryPolicy`
+encodes the classic exponential-backoff loop with an explicit transient
+errno set, so the partition store can wrap its reads and writes without
+hiding *persistent* failures — anything non-transient, or still failing
+after the last attempt, propagates unchanged.
+"""
+
+from __future__ import annotations
+
+import errno
+import time
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+#: Errnos worth retrying.  ``ENOSPC`` is included deliberately: with
+#: deferred deletes (see ``PartitionStore.retire``) space is routinely
+#: reclaimed between attempts.
+TRANSIENT_ERRNOS: FrozenSet[int] = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EINTR, errno.EBUSY, errno.ENOSPC}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff over a fixed attempt budget.
+
+    ``attempts`` counts *total* tries (1 = no retry).  The delay before
+    retry ``i`` (0-based) is ``base_delay * multiplier**i``, capped at
+    ``max_delay``.  Only :class:`OSError`s whose errno is in
+    ``transient_errnos`` are retried; everything else — including
+    ``FileNotFoundError`` and checksum failures — is re-raised on first
+    sight, because retrying a deterministic failure only hides it.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    transient_errnos: FrozenSet[int] = field(default=TRANSIENT_ERRNOS)
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay before each retry (``attempts - 1`` values)."""
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+    def is_transient(self, exc: BaseException) -> bool:
+        return (
+            isinstance(exc, OSError)
+            and exc.errno is not None
+            and exc.errno in self.transient_errnos
+        )
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        on_retry: Optional[Callable[[BaseException, int], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> T:
+        """Run ``fn`` under the policy; returns its result.
+
+        ``on_retry(exc, attempt)`` is invoked before each backoff sleep —
+        the store uses it to count retries for the engine's telemetry.
+        """
+        last_delay_iter = self.delays()
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:
+                if not self.is_transient(exc):
+                    raise
+                try:
+                    delay = next(last_delay_iter)
+                except StopIteration:
+                    raise exc from None
+                attempt += 1
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                if delay > 0:
+                    sleep(delay)

@@ -90,6 +90,75 @@ class TestRejection:
             load_partition(path)
 
 
+class TestFormatVersioning:
+    def test_header_carries_version_and_checksum(self, tmp_path):
+        from repro.partition.storage import FORMAT_VERSION, _HEADER_STRUCT
+
+        partition = Partition.from_triples(Interval(0, 9), [(1, 5, 0), (8, 2, 1)])
+        path = tmp_path / "p.gp"
+        save_partition(partition, path)
+        head = path.read_bytes()[: _HEADER_STRUCT.size]
+        magic, version, crc, lo, hi, nv, ne = _HEADER_STRUCT.unpack(head)
+        assert magic == PARTITION_MAGIC
+        assert version == FORMAT_VERSION
+        assert crc != 0
+        assert (lo, hi) == (0, 9)
+        assert ne == partition.num_edges
+
+    def test_unknown_version_rejected(self, tmp_path):
+        import struct
+
+        from repro.partition.storage import _HEADER_STRUCT, PartitionCorruptError
+
+        partition = Partition.from_triples(Interval(0, 9), [(1, 5, 0)])
+        path = tmp_path / "p.gp"
+        save_partition(partition, path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<I", data, 8, 99)  # version field
+        path.write_bytes(bytes(data))
+        with pytest.raises(PartitionCorruptError, match="version 99"):
+            load_partition(path)
+
+    def test_legacy_grspart1_still_loads(self, tmp_path):
+        """Files written before the checksum header must keep loading."""
+        import numpy as _np
+
+        from repro.partition.storage import _LEGACY_HEADER_STRUCT, LEGACY_MAGIC
+
+        partition = Partition.from_triples(
+            Interval(0, 15), [(2, 9, 1), (2, 3, 0), (11, 0, 2)]
+        )
+        path = tmp_path / "old.gp"
+        with open(path, "wb") as fh:
+            fh.write(
+                _LEGACY_HEADER_STRUCT.pack(
+                    LEGACY_MAGIC,
+                    partition.interval.lo,
+                    partition.interval.hi,
+                    len(partition.vertices),
+                    len(partition.keys),
+                )
+            )
+            for array in partition.csr():
+                fh.write(_np.ascontiguousarray(array, dtype=_np.int64).data)
+        loaded = load_partition(path)
+        assert loaded.interval == partition.interval
+        assert np.array_equal(loaded.vertices, partition.vertices)
+        assert np.array_equal(loaded.indptr, partition.indptr)
+        assert np.array_equal(loaded.keys, partition.keys)
+
+    def test_legacy_grspart1_truncation_still_detected(self, tmp_path):
+        from repro.partition.storage import _LEGACY_HEADER_STRUCT, LEGACY_MAGIC
+        from repro.partition.storage import PartitionCorruptError
+
+        path = tmp_path / "old.gp"
+        path.write_bytes(
+            _LEGACY_HEADER_STRUCT.pack(LEGACY_MAGIC, 0, 7, 3, 10)
+        )  # header promises payload bytes that are not there
+        with pytest.raises(PartitionCorruptError, match="truncated"):
+            load_partition(path)
+
+
 class TestLegacyNpz:
     def make_legacy(self, path, partition):
         with open(path, "wb") as fh:
