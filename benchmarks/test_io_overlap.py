@@ -1,0 +1,138 @@
+"""I/O overlap: the pipelined superstep loop against the sequential one.
+
+The pipeline (DESIGN.md §10) overlaps the disk with the CPU: the
+scheduler's predicted next pair is prefetched on a background thread
+while the current superstep computes, and dirty partitions are flushed
+asynchronously with the checkpoint commit lagging one superstep.  This
+benchmark runs the same out-of-core pointer closure with the pipeline
+off and on, checks the closures are byte-identical, and reports how much
+background I/O was hidden under compute (the ``overlap`` column) plus
+how often the prefetch guessed right.  Machine-readable numbers land in
+``results/BENCH_pipeline.json`` for CI trend tracking.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import results_path
+from repro.bench import render_table, rows_from_dicts, save_and_print
+from repro.engine.engine import GraspanEngine
+from repro.grammar.builtin import pointsto_grammar_extended
+
+
+def _run(graph, workdir, pipeline):
+    engine = GraspanEngine(
+        pointsto_grammar_extended(),
+        # Small partitions force a genuinely out-of-core run with enough
+        # supersteps for the prefetcher to have something to predict.
+        max_edges_per_partition=max(500, graph.num_edges // 8),
+        workdir=workdir,
+        memory_budget=None,
+        pipeline=pipeline,
+    )
+    started = time.perf_counter()
+    computation = engine.run(graph)
+    wall = time.perf_counter() - started
+    stats = computation.stats
+    pipe = stats.pipeline_summary()
+    closure = computation.to_memgraph()
+    return {
+        "mode": "pipeline on" if pipeline else "pipeline off",
+        "final_edges": stats.final_edges,
+        "supersteps": stats.num_supersteps,
+        "io_s": round(stats.timers.get("io"), 3),
+        "load_wait_s": pipe["load_wait_s"],
+        "flush_wait_s": pipe["flush_wait_s"],
+        "io_hidden_s": pipe["io_hidden_s"],
+        "overlap": pipe["overlap_fraction"],
+        "prefetch": (
+            f"{pipe['prefetch_hits']}/{pipe['prefetch_issued']}"
+            if pipeline
+            else "-"
+        ),
+        "prefetch_issued": pipe["prefetch_issued"],
+        "prefetch_hits": pipe["prefetch_hits"],
+        "prefetch_wasted": pipe["prefetch_wasted"],
+        "wall_s": round(wall, 3),
+        "_closure": (
+            np.asarray(closure.src).copy(),
+            np.asarray(closure.keys).copy(),
+        ),
+    }
+
+
+def overlap_rows(graph, base_dir):
+    off = _run(graph, base_dir / "off", pipeline=False)
+    on = _run(graph, base_dir / "on", pipeline=True)
+    return [off, on]
+
+
+def test_io_overlap(benchmark, postgresql, tmp_path):
+    graph = postgresql.pointer
+    rows = benchmark.pedantic(
+        overlap_rows, args=(graph, tmp_path), rounds=1, iterations=1
+    )
+    off, on = rows
+
+    # Overlapping I/O with compute must not change the closure by a byte.
+    assert on["final_edges"] == off["final_edges"]
+    assert np.array_equal(off["_closure"][0], on["_closure"][0])
+    assert np.array_equal(off["_closure"][1], on["_closure"][1])
+    # The pipeline actually overlapped: background I/O ran under compute
+    # and the prefetcher's predictions landed at least once.
+    assert on["overlap"] > 0.0
+    assert on["prefetch_issued"] > 0
+    assert on["prefetch_hits"] > 0
+    # The sequential run has no background I/O at all.
+    assert off["prefetch_issued"] == 0
+    assert off["io_hidden_s"] == 0.0
+
+    for row in rows:
+        row.pop("_closure")
+    columns = [
+        "mode",
+        "final_edges",
+        "supersteps",
+        "io_s",
+        "io_hidden_s",
+        "overlap",
+        "prefetch",
+        "load_wait_s",
+        "flush_wait_s",
+        "wall_s",
+    ]
+    text = render_table(
+        "I/O pipeline overlap (postgresql-like pointer closure, out-of-core)",
+        [
+            "mode",
+            "edges",
+            "supersteps",
+            "io (s)",
+            "hidden (s)",
+            "overlap",
+            "prefetch",
+            "load wait",
+            "flush wait",
+            "wall (s)",
+        ],
+        rows_from_dicts(rows, columns),
+        note="overlap = background I/O seconds hidden under compute / total",
+    )
+    save_and_print(text, results_path("io_overlap.txt"))
+
+    with open(results_path("BENCH_pipeline.json"), "w") as fh:
+        json.dump(
+            {
+                "workload": "postgresql",
+                "off": {k: off[k] for k in columns if k != "prefetch"},
+                "on": {k: on[k] for k in columns if k != "prefetch"},
+                "speedup_wall": round(off["wall_s"] / on["wall_s"], 3)
+                if on["wall_s"] > 0
+                else None,
+            },
+            fh,
+            indent=2,
+        )
+        fh.write("\n")

@@ -92,6 +92,7 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         parallel_backend=args.backend,
         memory_budget=memory_budget,
         checkpoint=False if args.no_checkpoint else None,
+        pipeline=args.pipeline,
         fault_injector=injector,
     )
     computation = engine.run(graph, resume=args.resume)
@@ -142,6 +143,17 @@ def _cmd_closure(args: argparse.Namespace) -> int:
             f"{dur['files_purged']} files purged, "
             f"{dur['worker_respawns']} worker respawns"
             + (", backend degraded" if dur["backend_degraded"] else ""),
+            file=sys.stderr,
+        )
+    if stats.pipeline_enabled:
+        pipe = stats.pipeline_summary()
+        print(
+            f"overlap: {pipe['overlap_fraction']:.0%} of background io hidden "
+            f"({pipe['io_hidden_s']}s of {pipe['io_busy_s']}s); "
+            f"prefetch {pipe['prefetch_hits']}/{pipe['prefetch_issued']} hits "
+            f"({pipe['prefetch_wasted']} wasted); "
+            f"waited {pipe['load_wait_s']}s loads, "
+            f"{pipe['flush_wait_s']}s flushes",
             file=sys.stderr,
         )
     if args.label:
@@ -257,6 +269,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="no_checkpoint",
         help="disable the run journal + manifest even with --workdir",
+    )
+    closure.add_argument(
+        "--pipeline",
+        action="store_true",
+        dest="pipeline",
+        default=None,
+        help="overlap disk I/O with compute: background prefetch of the "
+        "predicted next pair + asynchronous write-back (requires "
+        "--workdir; on by default when one is set)",
+    )
+    closure.add_argument(
+        "--no-pipeline",
+        action="store_false",
+        dest="pipeline",
+        help="force the sequential load/compute/flush loop",
     )
     closure.add_argument("--threads", type=int, default=1)
     closure.add_argument(

@@ -23,6 +23,7 @@ from repro.engine.parallel import (
     make_backend,
     shared_memory_available,
 )
+from repro.engine.pipeline import IoPipeline, PendingCommit
 from repro.engine.scheduler import RoundRobinScheduler, Scheduler
 from repro.engine.stats import EngineStats, SuperstepRecord
 from repro.engine.superstep import SuperstepResult, run_superstep
@@ -47,6 +48,8 @@ __all__ = [
     "ThreadJoinBackend",
     "make_backend",
     "shared_memory_available",
+    "IoPipeline",
+    "PendingCommit",
     "Scheduler",
     "RoundRobinScheduler",
     "EngineStats",

@@ -29,6 +29,7 @@ from repro.engine.checkpoint import (
 )
 from repro.engine.join import CsrView
 from repro.engine.parallel import BACKENDS, JoinBackend, make_backend
+from repro.engine.pipeline import IoPipeline, PendingCommit
 from repro.engine.scheduler import Scheduler
 from repro.engine.stats import EngineStats, SuperstepRecord
 from repro.engine.superstep import run_superstep
@@ -185,6 +186,17 @@ class GraspanEngine:
         run can continue via ``run(graph, resume=True)`` (DESIGN.md §9).
         ``None`` (the default) auto-enables checkpointing whenever a
         ``workdir`` is set; ``True`` requires one; ``False`` disables it.
+    pipeline:
+        Overlap disk I/O with compute (DESIGN.md §10): a background I/O
+        thread speculatively prefetches the scheduler's predicted next
+        pair while the current superstep computes, and dirty partitions
+        are flushed asynchronously with the checkpoint commit lagging
+        one superstep (the flush → commit → purge ordering is
+        preserved, so crash/resume semantics are unchanged).  ``None``
+        (the default) auto-enables the pipeline whenever a ``workdir``
+        is set; ``True`` requires one; ``False`` forces the sequential
+        load/compute/flush loop.  The closure is byte-identical either
+        way — only the wall-clock interleaving changes.
     fault_injector:
         A :class:`repro.util.faults.FaultInjector` threaded through the
         partition store, the run journal, and the process join backend —
@@ -208,6 +220,7 @@ class GraspanEngine:
         parallel_backend: Optional[str] = None,
         memory_budget: Optional[int] = None,
         checkpoint: Optional[bool] = None,
+        pipeline: Optional[bool] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
     ) -> None:
@@ -229,6 +242,11 @@ class GraspanEngine:
                 "checkpoint requires a workdir: the journal and manifest "
                 "live in the partition store directory"
             )
+        if pipeline and workdir is None:
+            raise ValueError(
+                "pipeline requires a workdir: without disk backing there "
+                "is no I/O to overlap with compute"
+            )
         self.grammar = grammar
         self.max_edges_per_partition = max_edges_per_partition
         self.num_partitions = num_partitions
@@ -240,6 +258,7 @@ class GraspanEngine:
         self.repartition_growth = repartition_growth
         self.memory_budget = memory_budget
         self.checkpoint = checkpoint
+        self.pipeline = pipeline
         self.fault_injector = fault_injector
         self.retry = retry
 
@@ -326,40 +345,93 @@ class GraspanEngine:
                 )
 
         mid_limit = self.mid_superstep_limit()
+        pipeline_on = (
+            self.workdir is not None and pset.store.disk_backed
+            if self.pipeline is None
+            else bool(self.pipeline)
+        )
+        io = IoPipeline() if pipeline_on else None
+        stats.pipeline_enabled = io is not None
+        if io is not None:
+            pset.attach_io(io)
 
         # The backend (and its worker pool / shared segments) lives for
         # the whole run; the context manager guarantees shutdown even if
         # a superstep raises.
-        with make_backend(
-            self.parallel_backend, self.grammar, self.num_threads
-        ) as backend:
-            backend.injector = self.fault_injector
-            try:
-                while True:
-                    pair = self.scheduler.choose_pair(
-                        pset.ddm, pset.resident_pids()
+        try:
+            with make_backend(
+                self.parallel_backend, self.grammar, self.num_threads
+            ) as backend:
+                backend.injector = self.fault_injector
+                pending: Optional[PendingCommit] = None
+                try:
+                    while True:
+                        pair = self.scheduler.choose_pair(
+                            pset.ddm, pset.scheduling_resident_pids()
+                        )
+                        if io is not None:
+                            pset.reconcile_prefetch(pair if pair else ())
+                        if pair is None:
+                            break
+                        if len(stats.supersteps) >= self.max_supersteps:
+                            raise RuntimeError(
+                                f"exceeded max_supersteps="
+                                f"{self.max_supersteps}; the computation "
+                                "may be diverging"
+                            )
+                        before = io.snapshot() if io is not None else None
+                        self._run_one_superstep(
+                            pset, pair, mid_limit, stats, backend, io
+                        )
+                        superstep_index += 1
+                        if journal is not None:
+                            if io is None:
+                                self._commit_checkpoint(
+                                    journal,
+                                    pset,
+                                    superstep_index,
+                                    grammar_crc,
+                                    graph_crc,
+                                    stats,
+                                )
+                            else:
+                                # Lagged commit: make the *previous*
+                                # superstep durable (its flushes have had
+                                # a whole superstep to complete in the
+                                # background), then queue this one.
+                                self._drain_commit(journal, pset, pending, io, stats)
+                                pending = self._begin_commit(
+                                    journal,
+                                    pset,
+                                    superstep_index,
+                                    grammar_crc,
+                                    graph_crc,
+                                    stats,
+                                    io,
+                                )
+                        if before is not None:
+                            self._record_pipeline_delta(stats, before, io)
+                    if journal is not None and io is not None:
+                        self._drain_commit(journal, pset, pending, io, stats)
+                        pending = None
+                finally:
+                    stats.worker_respawns = getattr(backend, "worker_respawns", 0)
+                    stats.backend_degraded = bool(
+                        getattr(backend, "_degraded", False)
                     )
-                    if pair is None:
-                        break
-                    if len(stats.supersteps) >= self.max_supersteps:
-                        raise RuntimeError(
-                            f"exceeded max_supersteps={self.max_supersteps}; "
-                            "the computation may be diverging"
-                        )
-                    self._run_one_superstep(pset, pair, mid_limit, stats, backend)
-                    superstep_index += 1
-                    if journal is not None:
-                        self._commit_checkpoint(
-                            journal,
-                            pset,
-                            superstep_index,
-                            grammar_crc,
-                            graph_crc,
-                            stats,
-                        )
-            finally:
-                stats.worker_respawns = getattr(backend, "worker_respawns", 0)
-                stats.backend_degraded = bool(getattr(backend, "_degraded", False))
+        finally:
+            if io is not None:
+                snap = io.snapshot()
+                stats.prefetch_issued = int(snap["prefetch_issued"])
+                stats.prefetch_hits = int(snap["prefetch_hits"])
+                stats.prefetch_wasted = int(snap["prefetch_wasted"])
+                stats.load_wait_seconds = snap["load_wait_seconds"]
+                stats.flush_wait_seconds = snap["flush_wait_seconds"]
+                stats.io_busy_seconds = snap["busy_seconds"]
+                stats.io_hidden_seconds = io.hidden_seconds
+                stats.overlap_fraction = io.overlap_fraction
+                pset.detach_io()
+                io.close()
 
         if pset.store.disk_backed:
             pset.evict_all_except(())
@@ -410,6 +482,88 @@ class GraspanEngine:
             )
             pset.store.purge_retired()
         stats.checkpoints_written += 1
+
+    def _begin_commit(
+        self,
+        journal: RunJournal,
+        pset: PartitionSet,
+        superstep_index: int,
+        grammar_crc: int,
+        graph_crc: int,
+        stats: EngineStats,
+        io: IoPipeline,
+    ) -> PendingCommit:
+        """Queue superstep ``superstep_index``'s checkpoint on the pipeline.
+
+        The dirty partitions are snapshotted and their writes handed to
+        the I/O thread (:meth:`PartitionSet.begin_flush` pre-allocates
+        the destination paths, so the manifest can be built immediately);
+        the manifest itself stays in memory until :meth:`_drain_commit`.
+        The retire mark is taken *after* the flush retires superseded
+        files: everything retired up to here is unreferenced by this
+        manifest and may be purged once it commits.
+        """
+        with stats.timers.phase("checkpoint"):
+            flushes = pset.begin_flush()
+            manifest = build_manifest(
+                pset,
+                superstep_index,
+                grammar_crc,
+                graph_crc,
+                self.scheduler,
+                original_edges=stats.original_edges,
+                initial_partitions=stats.initial_partitions,
+                repartition_count=stats.repartition_count,
+            )
+            mark = pset.store.retire_mark()
+        return PendingCommit(
+            superstep=superstep_index,
+            manifest=manifest,
+            flushes=flushes,
+            retire_upto=mark,
+        )
+
+    def _drain_commit(
+        self,
+        journal: RunJournal,
+        pset: PartitionSet,
+        pending: Optional[PendingCommit],
+        io: IoPipeline,
+        stats: EngineStats,
+    ) -> None:
+        """Make a queued checkpoint durable: wait flushes, commit, purge.
+
+        This is PR 4's ordering verbatim, one superstep later: every
+        partition file the manifest references is fully written and
+        fsync'd *before* the manifest atomically replaces its
+        predecessor, and files only the predecessor referenced are
+        purged *after*.  A crash in an async flush surfaces here (the
+        future re-raises), before the manifest could commit — exactly
+        where the synchronous path would have crashed.
+        """
+        if pending is None:
+            return
+        with stats.timers.phase("checkpoint"):
+            for future in pending.flushes:
+                io.wait_flush(future)
+            journal.commit(pending.manifest)
+            pset.store.purge_retired(upto=pending.retire_upto)
+        stats.checkpoints_written += 1
+
+    @staticmethod
+    def _record_pipeline_delta(
+        stats: EngineStats, before: Dict[str, float], io: IoPipeline
+    ) -> None:
+        """Stamp the just-finished superstep's record with pipeline deltas."""
+        after = io.snapshot()
+        record = stats.supersteps[-1]
+        record.prefetch_issued = int(after["prefetch_issued"] - before["prefetch_issued"])
+        record.prefetch_hits = int(after["prefetch_hits"] - before["prefetch_hits"])
+        record.prefetch_wasted = int(after["prefetch_wasted"] - before["prefetch_wasted"])
+        record.load_wait_seconds = after["load_wait_seconds"] - before["load_wait_seconds"]
+        record.flush_wait_seconds = (
+            after["flush_wait_seconds"] - before["flush_wait_seconds"]
+        )
 
     @staticmethod
     def _snapshot_residency(pset: PartitionSet, stats: EngineStats) -> None:
@@ -468,6 +622,7 @@ class GraspanEngine:
         mid_limit: int,
         stats: EngineStats,
         backend: JoinBackend,
+        io: Optional[IoPipeline] = None,
     ) -> None:
         p, q = min(pair), max(pair)
         loaded = (p,) if p == q else (p, q)
@@ -477,6 +632,24 @@ class GraspanEngine:
                 # not needed next are evicted.
                 pset.evict_all_except(loaded)
             parts = [pset.acquire(pid) for pid in loaded]
+
+            # Speculative prefetch: predict the pair that runs after this
+            # one and start loading its non-resident members on the I/O
+            # thread while the join below computes.  The prediction can't
+            # see the edges this superstep will add, so it is fallible —
+            # mispredictions are reconciled (cancelled/evicted) before the
+            # next superstep loads.
+            peek = getattr(self.scheduler, "peek_pair", None)
+            if io is not None and peek is not None:
+                predicted = peek(
+                    pset.ddm,
+                    pset.scheduling_resident_pids(),
+                    assume_synced=loaded,
+                )
+                if predicted is not None:
+                    for pid in dict.fromkeys(predicted):
+                        if pid not in loaded and not pset.is_resident(pid):
+                            pset.prefetch(pid)
 
             # Combine the loaded CSRs by concatenation: p < q, so their
             # vertex ranges are disjoint and already ordered.
@@ -565,18 +738,22 @@ class GraspanEngine:
     def _record_added_edges(
         self, pset: PartitionSet, added_src: np.ndarray, added_keys: np.ndarray
     ) -> None:
-        """Bucket new edges into DDM cells by (source, target) interval."""
+        """Bucket new edges into DDM cells by (source, target) interval.
+
+        The interval-low array is cached on the set (splits invalidate
+        it) and the bucketed cells land in the DDM through one bulk
+        scatter-add instead of a per-cell Python loop.
+        """
         if len(added_src) == 0:
             return
-        lows = np.asarray([iv.lo for iv in pset.vit.intervals()], dtype=np.int64)
+        lows = pset.interval_lows()
         src_pid = np.searchsorted(lows, added_src, side="right") - 1
         dst_pid = (
             np.searchsorted(lows, packed.targets_of(added_keys), side="right") - 1
         )
         n = pset.vit.num_partitions
         cells, counts = np.unique(src_pid * n + dst_pid, return_counts=True)
-        for cell, count in zip(cells, counts):
-            pset.ddm.record_new_edges(int(cell) // n, int(cell) % n, int(count))
+        pset.ddm.record_new_edges_bulk(cells, counts)
 
     def _maybe_repartition(
         self, pset: PartitionSet, loaded: Tuple[int, ...], stats: EngineStats

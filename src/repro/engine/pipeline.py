@@ -1,0 +1,167 @@
+"""Pipelined supersteps: background partition prefetch + async write-back.
+
+The sequential engine alternates strictly between disk and CPU: load the
+pair, compute the fixed point, flush dirty partitions, commit the
+checkpoint.  The disk idles during every join and the CPU idles during
+every load and flush.  This module provides the small background I/O
+executor that overlaps the two (DESIGN.md §10):
+
+* **speculative prefetch** — while superstep *k* computes, the scheduler's
+  :meth:`~repro.engine.scheduler.Scheduler.peek_pair` predicts pair
+  *k+1* and the I/O thread starts loading its non-resident members.  A
+  correct guess turns the next load into a cache hit; a wrong one costs
+  one wasted read (evicted again by the normal residency policy).
+* **asynchronous write-back** — the dirty partitions of superstep *k*
+  are snapshotted (the CSR arrays are immutable; only the bindings
+  change) and serialized on the I/O thread while superstep *k+1*
+  computes.  The checkpoint commit *lags one superstep*: manifest *k* is
+  built immediately (its partition files are pre-allocated) but only
+  replaces the durable manifest after every one of its flushes has been
+  drained — PR 4's flush → commit → purge ordering, pipelined but never
+  reordered.
+
+Everything here is plumbing: :class:`IoPipeline` wraps a one-thread
+executor with wait/busy accounting (the raw material for the
+``overlap_fraction`` telemetry), and :class:`PendingCommit` carries one
+not-yet-durable checkpoint between supersteps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+class IoPipeline:
+    """A single background I/O worker plus overlap accounting.
+
+    One worker is deliberate: partition I/O is sequential-friendly
+    (§5.2) and a single thread keeps loads and flushes from seeking
+    against each other.  The interesting counters:
+
+    ``busy_seconds``
+        Wall time the I/O thread spent actually moving bytes.
+    ``load_wait_seconds`` / ``flush_wait_seconds``
+        Wall time the *engine* thread spent blocked on an in-flight
+        prefetch (joining it instead of re-reading) or on draining
+        flushes at a commit point.
+    ``hidden_seconds``
+        ``busy - waited``: I/O that ran entirely under compute.  The
+        ``overlap_fraction`` is this as a share of all background I/O.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ThreadPoolExecutor] = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="graspan-io"
+        )
+        self._lock = threading.Lock()
+        self.busy_seconds = 0.0
+        self.load_wait_seconds = 0.0
+        self.flush_wait_seconds = 0.0
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.prefetch_wasted = 0
+
+    # -- submission ------------------------------------------------------
+    def submit(self, fn: Callable, *args) -> Future:
+        """Queue ``fn(*args)`` on the I/O thread; returns its future."""
+        if self._pool is None:
+            raise RuntimeError("I/O pipeline already closed")
+
+        def timed():
+            start = time.perf_counter()
+            try:
+                return fn(*args)
+            finally:
+                with self._lock:
+                    self.busy_seconds += time.perf_counter() - start
+
+        return self._pool.submit(timed)
+
+    # -- waiting ---------------------------------------------------------
+    def wait_load(self, future: Future):
+        return self._wait(future, "load_wait_seconds")
+
+    def wait_flush(self, future: Future):
+        return self._wait(future, "flush_wait_seconds")
+
+    def _wait(self, future: Future, counter: str):
+        start = time.perf_counter()
+        try:
+            return future.result()
+        finally:
+            waited = time.perf_counter() - start
+            with self._lock:
+                setattr(self, counter, getattr(self, counter) + waited)
+
+    # -- telemetry -------------------------------------------------------
+    @property
+    def waited_seconds(self) -> float:
+        return self.load_wait_seconds + self.flush_wait_seconds
+
+    @property
+    def hidden_seconds(self) -> float:
+        """Background I/O seconds that never blocked the engine thread."""
+        return max(0.0, self.busy_seconds - self.waited_seconds)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Share of background I/O time hidden under compute (0 when idle)."""
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.hidden_seconds / self.busy_seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy the counters (for per-superstep deltas)."""
+        with self._lock:
+            return {
+                "busy_seconds": self.busy_seconds,
+                "load_wait_seconds": self.load_wait_seconds,
+                "flush_wait_seconds": self.flush_wait_seconds,
+                "prefetch_issued": self.prefetch_issued,
+                "prefetch_hits": self.prefetch_hits,
+                "prefetch_wasted": self.prefetch_wasted,
+            }
+
+    def count(self, counter: str, num: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + num)
+
+    def close(self) -> None:
+        """Tear the worker down; queued-but-unstarted work is cancelled.
+
+        Safe after an :class:`~repro.util.faults.InjectedCrash`: the
+        worker thread is never stuck (futures capture the exception), so
+        the shutdown always returns.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "IoPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class PendingCommit:
+    """One built-but-not-yet-durable checkpoint riding the pipeline.
+
+    Created at the end of superstep ``superstep`` with the flush writes
+    already queued on the I/O thread and the manifest snapshotted (it
+    references the pre-allocated flush paths).  ``retire_upto`` is the
+    retire-queue mark at build time: only files retired *before* the
+    manifest was built are unreferenced by it, so only those may be
+    purged once it commits — files retired later (by the next superstep
+    running ahead) wait for the next commit.
+    """
+
+    superstep: int
+    manifest: Dict[str, object]
+    flushes: List[Future] = field(default_factory=list)
+    retire_upto: int = 0

@@ -11,7 +11,9 @@ the best.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.partition.ddm import DestinationDistributionMap
 
@@ -52,26 +54,51 @@ class Scheduler:
         A returned pair may be ``(p, p)``: a single partition whose
         internal delta is the only remaining work.
         """
-        dirty = ddm.dirty_pairs()
-        if not dirty:
+        return self._select(ddm, resident_pids, assume_synced=None)
+
+    def peek_pair(
+        self,
+        ddm: DestinationDistributionMap,
+        resident_pids: Sequence[int],
+        assume_synced: Optional[Sequence[int]] = None,
+    ) -> Optional[Tuple[int, int]]:
+        """Predict the pair that will run *after* ``assume_synced`` completes.
+
+        The prediction simulates the currently loaded pair reaching its
+        fixed point (its DDM cells synced) without mutating the map, then
+        applies the exact :meth:`choose_pair` policy.  It cannot know
+        which edges the in-flight superstep will add, so it is a
+        heuristic — exactly what the I/O pipeline needs to start loading
+        the likely next partitions while the join computes; a wrong guess
+        costs one wasted prefetch, never correctness.
+        """
+        return self._select(ddm, resident_pids, assume_synced=assume_synced)
+
+    def _select(
+        self,
+        ddm: DestinationDistributionMap,
+        resident_pids: Sequence[int],
+        assume_synced: Optional[Sequence[int]],
+    ) -> Optional[Tuple[int, int]]:
+        ps, qs, scores = ddm.pair_scores(assume_synced=assume_synced)
+        if len(ps) == 0:
             return None
-        scored: List[Tuple[int, Tuple[int, int]]] = [
-            (ddm.pair_score(p, q), (p, q)) for p, q in dirty
-        ]
-        best_score = max(score for score, _ in scored)
+        best_score = int(scores.max())
         threshold = best_score * (1.0 - self.slack)
-        resident = set(resident_pids)
-        candidates = [(score, pair) for score, pair in scored if score >= threshold]
-        # Prefer more resident members, then higher score, then low ids
-        # (for determinism).
-        candidates.sort(
-            key=lambda item: (
-                -len(resident.intersection(item[1])),
-                -item[0],
-                item[1],
-            )
+        keep = scores >= threshold
+        ps, qs, scores = ps[keep], qs[keep], scores[keep]
+        resident = np.zeros(ddm.num_partitions, dtype=np.int64)
+        resident[list(resident_pids)] = 1
+        # len(set(pair) & resident): a (p, p) pair contributes p once.
+        resident_members = np.where(
+            ps == qs, resident[ps], resident[ps] + resident[qs]
         )
-        return candidates[0][1]
+        # Prefer more resident members, then higher score, then low ids
+        # (for determinism) — lexsort keys are listed least-significant
+        # first, so this reproduces the historical Python sort exactly.
+        order = np.lexsort((qs, ps, -scores, -resident_members))
+        i = order[0]
+        return int(ps[i]), int(qs[i])
 
 
 class RoundRobinScheduler:

@@ -33,6 +33,12 @@ class SuperstepRecord:
     serial_estimate_seconds: float = 0.0
     worker_respawns: int = 0
     backend_degraded: bool = False
+    # I/O pipeline telemetry (deltas over this superstep; DESIGN.md §10).
+    prefetch_issued: int = 0  # speculative loads started
+    prefetch_hits: int = 0  # prefetched partitions the superstep consumed
+    prefetch_wasted: int = 0  # mispredicted loads cancelled or evicted
+    load_wait_seconds: float = 0.0  # engine blocked joining in-flight loads
+    flush_wait_seconds: float = 0.0  # engine blocked draining write-backs
 
     @property
     def speedup_estimate(self) -> float:
@@ -78,6 +84,17 @@ class EngineStats:
     files_purged: int = 0  # retired partition files removed post-commit
     worker_respawns: int = 0  # join-pool rebuilds after dead workers
     backend_degraded: bool = False  # pool backend fell back to inline joins
+    # I/O pipeline counters (DESIGN.md §10): how much disk work ran in the
+    # background and how much of it the engine actually had to wait for.
+    pipeline_enabled: bool = False  # background I/O thread was attached
+    prefetch_issued: int = 0  # speculative partition loads started
+    prefetch_hits: int = 0  # speculative loads later consumed by acquire
+    prefetch_wasted: int = 0  # mispredicted loads cancelled or evicted
+    load_wait_seconds: float = 0.0  # engine time blocked on in-flight loads
+    flush_wait_seconds: float = 0.0  # engine time draining async write-backs
+    io_busy_seconds: float = 0.0  # wall time the I/O thread moved bytes
+    io_hidden_seconds: float = 0.0  # I/O that ran fully under compute
+    overlap_fraction: float = 0.0  # hidden / busy (0.0 when pipeline off)
 
     @property
     def num_supersteps(self) -> int:
@@ -167,6 +184,29 @@ class EngineStats:
             "files_purged": self.files_purged,
             "worker_respawns": self.worker_respawns,
             "backend_degraded": self.backend_degraded,
+            "pipeline": self.pipeline_enabled,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_wasted": self.prefetch_wasted,
+            "load_wait_s": round(self.load_wait_seconds, 3),
+            "flush_wait_s": round(self.flush_wait_seconds, 3),
+            "io_busy_s": round(self.io_busy_seconds, 3),
+            "io_hidden_s": round(self.io_hidden_seconds, 3),
+            "overlap_fraction": round(self.overlap_fraction, 3),
+        }
+
+    def pipeline_summary(self) -> Dict[str, object]:
+        """The I/O overlap counters as one row (CLI + the overlap bench)."""
+        return {
+            "pipeline": self.pipeline_enabled,
+            "prefetch_issued": self.prefetch_issued,
+            "prefetch_hits": self.prefetch_hits,
+            "prefetch_wasted": self.prefetch_wasted,
+            "load_wait_s": round(self.load_wait_seconds, 3),
+            "flush_wait_s": round(self.flush_wait_seconds, 3),
+            "io_busy_s": round(self.io_busy_seconds, 3),
+            "io_hidden_s": round(self.io_hidden_seconds, 3),
+            "overlap_fraction": round(self.overlap_fraction, 3),
         }
 
     def durability_summary(self) -> Dict[str, object]:

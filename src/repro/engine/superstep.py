@@ -169,10 +169,15 @@ def _fresh_pairs(
     """Candidate pairs not present in ``base`` (Algorithm 1's line 24).
 
     ``cand`` must be lexsorted and unique.  Only the base rows whose
-    source actually appears among the candidates are gathered, then
-    membership is decided by one flag-lexsort over base-and-candidate
-    pairs: a candidate immediately preceded by an identical base pair is
-    a duplicate.
+    source actually appears among the candidates are gathered.  Both the
+    gathered base pairs and the candidates are already lexsorted (base
+    rows come out in increasing source order with sorted keys), so
+    membership needs a *merge*, not another sort: each ``(src, key)``
+    pair packs into one int64 compound and a single ``searchsorted``
+    marks the candidates present in the base.  When ids are too large to
+    pack (sources ≥ 2³¹ or keys ≥ 2³², impossible for graphs within
+    :data:`repro.graph.packed.MAX_VERTEX_ID` but checked anyway) the
+    historical flag-lexsort path takes over.
     """
     if len(cand_src) == 0 or base.num_edges == 0:
         return cand_src, cand_keys
@@ -193,6 +198,38 @@ def _fresh_pairs(
     b_keys = base.keys[np.repeat(starts, counts) + within]
     b_src = np.repeat(base.vertices[rows], counts)
 
+    # Sources are sorted, so the maxima sit at the ends; keys need a scan.
+    if (
+        int(cand_src[-1]) < 2**31
+        and int(b_src[-1]) < 2**31
+        and int(cand_keys.max()) < 2**32
+        and int(b_keys.max()) < 2**32
+    ):
+        shift = np.int64(32)
+        b_comp = (b_src << shift) | b_keys
+        c_comp = (cand_src << shift) | cand_keys
+        pos = np.searchsorted(b_comp, c_comp)
+        pos_in = np.minimum(pos, len(b_comp) - 1)
+        present = (pos < len(b_comp)) & (b_comp[pos_in] == c_comp)
+        fresh = ~present
+        return cand_src[fresh], cand_keys[fresh]
+    return _fresh_pairs_lexsort(cand_src, cand_keys, b_src, b_keys)
+
+
+def _fresh_pairs_lexsort(
+    cand_src: np.ndarray,
+    cand_keys: np.ndarray,
+    b_src: np.ndarray,
+    b_keys: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Membership by flag-lexsort over base-and-candidate pairs.
+
+    The pre-merge implementation of :func:`_fresh_pairs`' final step: a
+    candidate immediately preceded by an identical base pair is a
+    duplicate.  Kept as the fallback for ids too large to pack into a
+    compound int64, and as the oracle for the fast path's equivalence
+    test.
+    """
     all_src = np.concatenate([b_src, cand_src])
     all_keys = np.concatenate([b_keys, cand_keys])
     flags = np.zeros(len(all_src), dtype=np.int64)

@@ -20,7 +20,7 @@ looks.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,31 @@ class DestinationDistributionMap:
         self.counts[src_pid, dst_pid] += num
         self.added_since_sync[src_pid, dst_pid] += num
         self.version[src_pid] += num
+
+    def record_new_edges_bulk(
+        self, cells: np.ndarray, counts: np.ndarray
+    ) -> None:
+        """Account many new-edge cells at once.
+
+        ``cells`` holds flattened ``src_pid * num_partitions + dst_pid``
+        indices and ``counts`` the parallel edge counts — exactly the
+        output of ``np.unique(..., return_counts=True)`` over bucketed
+        edges.  One scatter-add per matrix replaces the per-cell Python
+        loop the engine used to run every superstep.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        keep = counts > 0
+        if not keep.all():
+            cells, counts = cells[keep], counts[keep]
+        if len(cells) == 0:
+            return
+        n = self.num_partitions
+        # The matrices are C-contiguous, so reshape(-1) is a view and the
+        # scatter-add lands in place.
+        np.add.at(self.counts.reshape(-1), cells, counts)
+        np.add.at(self.added_since_sync.reshape(-1), cells, counts)
+        np.add.at(self.version, cells // n, counts)
 
     def mark_synced(self, pids: Iterable[int]) -> None:
         """Declare every pair among ``pids`` saturated (superstep finished)."""
@@ -94,16 +119,47 @@ class DestinationDistributionMap:
             return int(self.added_since_sync[p, p])
         return int(self.added_since_sync[p, q] + self.added_since_sync[q, p])
 
+    def pair_scores(
+        self, assume_synced: Optional[Sequence[int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All dirty pairs and their scores, as three parallel arrays.
+
+        Returns ``(ps, qs, scores)`` with ``ps[i] <= qs[i]``, ordered
+        p-major then q — the same enumeration order (and the exact same
+        dirtiness/score semantics) as the scalar :meth:`pair_dirty` /
+        :meth:`pair_score` pair, computed as whole-matrix boolean
+        algebra instead of an O(n²) Python loop.
+
+        With ``assume_synced`` the computation *simulates*
+        :meth:`mark_synced` over those partitions first (without
+        mutating the map) — the scheduler's lookahead uses this to
+        predict the pair that will run after the current one completes.
+        """
+        added = self.added_since_sync
+        synced = self.synced_version
+        if assume_synced:
+            ids = np.asarray(sorted(set(assume_synced)), dtype=np.int64)
+            added = added.copy()
+            synced = synced.copy()
+            added[np.ix_(ids, ids)] = 0
+            synced[np.ix_(ids, ids)] = self.version[ids][:, None]
+        interacts = (self.counts > 0) | (self.counts.T > 0)
+        stale = self.version[:, None] > synced
+        dirty = interacts & (stale | stale.T)
+        scores = added + added.T
+        np.fill_diagonal(scores, np.diagonal(added))
+        ps, qs = np.nonzero(np.triu(dirty))
+        return ps, qs, scores[ps, qs]
+
     def dirty_pairs(self) -> List[Tuple[int, int]]:
         """All unordered dirty pairs ``(p, q)`` with ``p <= q``."""
-        n = self.num_partitions
-        return [
-            (p, q) for p in range(n) for q in range(p, n) if self.pair_dirty(p, q)
-        ]
+        ps, qs, _ = self.pair_scores()
+        return [(int(p), int(q)) for p, q in zip(ps, qs)]
 
     def finished(self) -> bool:
         """Global fixed point: no pair has pending work (§4.3 termination)."""
-        return not self.dirty_pairs()
+        ps, _, _ = self.pair_scores()
+        return len(ps) == 0
 
     # ------------------------------------------------------------------
     # repartitioning

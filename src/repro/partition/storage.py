@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zipfile
 import zlib
 from pathlib import Path
@@ -304,6 +305,11 @@ class PartitionStore:
         self.injector = injector
         self.durable = durable
         self.verify_reads = verify_reads
+        # The I/O pipeline reads and writes partitions from a background
+        # thread while the engine thread evicts and loads; the lock keeps
+        # path allocation and the byte counters coherent.  Only metadata
+        # is guarded — file I/O itself runs outside the lock.
+        self._lock = threading.Lock()
         self._next_file_id = 0
         self._verified: Set[str] = set()
         self._retired: List[Path] = []
@@ -337,18 +343,28 @@ class PartitionStore:
     def allocate_path(self) -> Path:
         if self.workdir is None:
             raise RuntimeError("in-memory store cannot allocate partition files")
-        path = self.workdir / f"partition-{self._next_file_id:06d}.gp"
-        self._next_file_id += 1
+        with self._lock:
+            path = self.workdir / f"partition-{self._next_file_id:06d}.gp"
+            self._next_file_id += 1
         return path
 
     def _call_with_retry(self, fn):
         def on_retry(exc, attempt):
-            self.io_retries += 1
+            with self._lock:
+                self.io_retries += 1
 
         return self.retry.call(fn, on_retry=on_retry)
 
     def write(self, partition: Partition) -> Path:
-        path = self.allocate_path()
+        return self.write_to(partition, self.allocate_path())
+
+    def write_to(self, partition: Partition, path: Path) -> Path:
+        """Serialize ``partition`` to a pre-allocated ``path``.
+
+        The asynchronous write-back pipeline allocates the destination
+        up front (so the manifest can reference it before the bytes
+        land) and hands the serialization itself to the I/O thread.
+        """
 
         def attempt():
             if self.injector is not None:
@@ -359,13 +375,16 @@ class PartitionStore:
         self._call_with_retry(attempt)
         if self.injector is not None:
             self.injector.on_write_done(path)
-        self.bytes_written += path.stat().st_size
-        self.writes += 1
+        size = path.stat().st_size
+        with self._lock:
+            self.bytes_written += size
+            self.writes += 1
         return path
 
     def read(self, path: PathLike) -> Partition:
         path = Path(path)
-        verify = self.verify_reads and str(path) not in self._verified
+        with self._lock:
+            verify = self.verify_reads and str(path) not in self._verified
 
         def attempt():
             if self.injector is not None:
@@ -374,16 +393,19 @@ class PartitionStore:
                 return load_partition(path, verify=verify)
 
         partition = self._call_with_retry(attempt)
-        self._verified.add(str(path))
-        self.bytes_read += path.stat().st_size
-        self.reads += 1
+        size = path.stat().st_size
+        with self._lock:
+            self._verified.add(str(path))
+            self.bytes_read += size
+            self.reads += 1
         return partition
 
     def delete(self, path: PathLike) -> None:
         """Unlink ``path`` immediately.  Prefer :meth:`retire` when the
         file may still be referenced by the last committed manifest."""
         path = Path(path)
-        self._verified.discard(str(path))
+        with self._lock:
+            self._verified.discard(str(path))
         path.unlink(missing_ok=True)
 
     def retire(self, path: PathLike) -> None:
@@ -395,15 +417,37 @@ class PartitionStore:
         unrecoverable.  Retired files survive until the new manifest is
         on disk.
         """
-        self._retired.append(Path(path))
+        with self._lock:
+            self._retired.append(Path(path))
 
-    def purge_retired(self) -> int:
-        """Unlink every retired file; returns how many were removed."""
-        purged = 0
-        for path in self._retired:
-            self._verified.discard(str(path))
+    def retire_mark(self) -> int:
+        """The current length of the retire queue.
+
+        The pipelined commit protocol snapshots this when a manifest is
+        *built*: files retired before the snapshot are the ones that
+        manifest no longer references, so they — and only they — may be
+        purged once that manifest has durably committed.  Files retired
+        later (by the next superstep running ahead of the commit) may
+        still be referenced and must wait for the following commit.
+        """
+        with self._lock:
+            return len(self._retired)
+
+    def purge_retired(self, upto: Optional[int] = None) -> int:
+        """Unlink retired files; returns how many were removed.
+
+        With ``upto`` (a :meth:`retire_mark` snapshot) only the first
+        ``upto`` queue entries are purged; the rest stay queued for a
+        later commit.
+        """
+        with self._lock:
+            if upto is None:
+                batch, self._retired = self._retired, []
+            else:
+                batch, self._retired = self._retired[:upto], self._retired[upto:]
+            for path in batch:
+                self._verified.discard(str(path))
+            self.files_purged += len(batch)
+        for path in batch:
             path.unlink(missing_ok=True)
-            purged += 1
-        self._retired.clear()
-        self.files_purged += purged
-        return purged
+        return len(batch)

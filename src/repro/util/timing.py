@@ -9,6 +9,7 @@ as not applicable.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
@@ -55,10 +56,16 @@ class TimeBreakdown:
 
     Used by :class:`repro.engine.engine.GraspanEngine` to produce the
     Table 6 style CT / I/O breakdown.
+
+    Accumulation is thread-safe: with the I/O pipeline on, the ``io``
+    phase is recorded from the background I/O thread while the main
+    thread records ``compute``, so overlapping phases simply sum their
+    wall-clock contributions per thread.
     """
 
     def __init__(self) -> None:
         self._totals: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -66,22 +73,24 @@ class TimeBreakdown:
         try:
             yield
         finally:
-            self._totals[name] = self._totals.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            self.add(name, time.perf_counter() - start)
 
     def add(self, name: str, seconds: float) -> None:
-        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        with self._lock:
+            self._totals[name] = self._totals.get(name, 0.0) + seconds
 
     def get(self, name: str) -> float:
-        return self._totals.get(name, 0.0)
+        with self._lock:
+            return self._totals.get(name, 0.0)
 
     def total(self) -> float:
-        return sum(self._totals.values())
+        with self._lock:
+            return sum(self._totals.values())
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self._totals)
+        with self._lock:
+            return dict(self._totals)
 
     def __repr__(self) -> str:
-        parts = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self._totals.items()))
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.as_dict().items()))
         return f"TimeBreakdown({parts})"

@@ -67,3 +67,74 @@ class TestRoundRobin:
         ddm = ddm_from([[1, 0], [0, 0]])
         ddm.mark_synced([0, 1])
         assert RoundRobinScheduler().choose_pair(ddm, []) is None
+
+
+class TestPeekPair:
+    """The lookahead used by the I/O pipeline's speculative prefetch."""
+
+    def test_peek_without_assumption_matches_choose(self):
+        ddm = ddm_from([[0, 3, 0], [0, 0, 9], [2, 0, 0]])
+        scheduler = Scheduler()
+        assert scheduler.peek_pair(ddm, []) == scheduler.choose_pair(ddm, [])
+
+    def test_peek_predicts_pair_after_current_completes(self):
+        ddm = ddm_from([[0, 1, 0], [0, 0, 9], [0, 0, 0]])
+        scheduler = Scheduler(slack=0.0)
+        current = scheduler.choose_pair(ddm, [])
+        assert current == (1, 2)
+        predicted = scheduler.peek_pair(ddm, [], assume_synced=current)
+        # Simulate the real sync and check the prediction was exact.
+        ddm.mark_synced(current)
+        assert predicted == scheduler.choose_pair(ddm, [])
+
+    def test_peek_does_not_mutate_the_ddm(self):
+        ddm = ddm_from([[0, 4, 0], [0, 0, 7], [1, 0, 0]])
+        before = (
+            ddm.counts.copy(),
+            ddm.added_since_sync.copy(),
+            ddm.version.copy(),
+            ddm.synced_version.copy(),
+        )
+        Scheduler().peek_pair(ddm, [0], assume_synced=(1, 2))
+        assert np.array_equal(before[0], ddm.counts)
+        assert np.array_equal(before[1], ddm.added_since_sync)
+        assert np.array_equal(before[2], ddm.version)
+        assert np.array_equal(before[3], ddm.synced_version)
+
+    def test_peek_none_when_assumed_sync_finishes_everything(self):
+        ddm = ddm_from([[0, 5], [0, 0]])
+        assert Scheduler().peek_pair(ddm, [], assume_synced=(0, 1)) is None
+
+    def test_peek_respects_residency_tiebreak(self):
+        ddm = ddm_from(
+            [[0, 5, 0, 0], [0, 0, 0, 0], [0, 0, 0, 5], [0, 0, 0, 0]]
+        )
+        assert Scheduler(slack=0.1).peek_pair(ddm, [2]) == (2, 3)
+        assert Scheduler(slack=0.1).peek_pair(ddm, [0]) == (0, 1)
+
+
+class TestVectorizedScoring:
+    """pair_scores must replicate the scalar pair_dirty/pair_score pair."""
+
+    def test_pair_scores_matches_scalar_oracle(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n = int(rng.integers(2, 7))
+            counts = rng.integers(0, 4, size=(n, n))
+            ddm = ddm_from(counts)
+            # Randomize sync state a little.
+            for _ in range(int(rng.integers(0, 3))):
+                pids = rng.choice(n, size=2, replace=True)
+                ddm.mark_synced([int(p) for p in set(pids)])
+                ddm.record_new_edges(
+                    int(rng.integers(0, n)), int(rng.integers(0, n)), 1
+                )
+            expected = [
+                (p, q, ddm.pair_score(p, q))
+                for p in range(n)
+                for q in range(p, n)
+                if ddm.pair_dirty(p, q)
+            ]
+            ps, qs, scores = ddm.pair_scores()
+            got = list(zip(ps.tolist(), qs.tolist(), scores.tolist()))
+            assert got == expected
