@@ -119,6 +119,16 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         f"(~{par['speedup_estimate']}x)",
         file=sys.stderr,
     )
+    if str(par["backend"]).startswith("matmul"):
+        mm = stats.matmul_summary()
+        print(
+            f"matmul: {mm['products']} label-block products "
+            f"({mm['product_nnz']} nnz); "
+            f"{mm['blocks_built']} blocks built, "
+            f"{mm['blocks_reused']} reused "
+            f"({mm['block_reuse_fraction']:.0%})",
+            file=sys.stderr,
+        )
     if memory_budget is not None:
         print(
             f"residency: budget {stats.memory_budget} B, "
@@ -288,10 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
     closure.add_argument("--threads", type=int, default=1)
     closure.add_argument(
         "--backend",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "matmul"),
         default=None,
         help="join data plane (default: thread when --threads > 1, else "
-        "serial; process = shared-memory worker pool)",
+        "serial; process = shared-memory worker pool; matmul = per-label "
+        "boolean sparse matrix products, needs scipy)",
     )
     closure.set_defaults(func=_cmd_closure)
 

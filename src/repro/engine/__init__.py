@@ -12,6 +12,7 @@ from repro.engine.engine import (
     align_graph_labels,
 )
 from repro.engine.join import CsrView, apply_unary_closure, join_edges
+from repro.engine.matmul import MatmulJoinBackend, scipy_available
 from repro.engine.naive import naive_closure
 from repro.engine.parallel import (
     BACKENDS,
@@ -43,6 +44,8 @@ __all__ = [
     "BACKENDS",
     "JoinBackend",
     "JoinTelemetry",
+    "MatmulJoinBackend",
+    "scipy_available",
     "ProcessJoinBackend",
     "SerialJoinBackend",
     "ThreadJoinBackend",

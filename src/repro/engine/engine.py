@@ -167,13 +167,17 @@ class GraspanEngine:
         Workers for the parallel join (the paper used 8) — threads for
         the ``thread`` backend, processes for ``process``.
     parallel_backend:
-        Which join data plane to use: ``"serial"``, ``"thread"``, or
+        Which join data plane to use: ``"serial"``, ``"thread"``,
         ``"process"`` (shared-memory worker pool, the only one that
-        escapes the GIL).  ``None`` auto-selects from ``num_threads``:
+        escapes the GIL), or ``"matmul"`` (per-label boolean sparse
+        matrix products, DESIGN.md §11 — the fastest superstep compute
+        on dense closures).  ``None`` auto-selects from ``num_threads``:
         ``thread`` when ``num_threads > 1``, else ``serial``.  The pool
         is created once per :meth:`run` and reused across supersteps;
         ``process`` falls back to ``thread`` when shared memory is
-        unavailable.
+        unavailable and ``matmul`` falls back to ``serial`` when scipy
+        is not installed.  Every backend produces the byte-identical
+        closure.
     memory_budget:
         Resident-partition byte budget (requires ``workdir``).  The
         loaded superstep pair is pinned; everything else is evicted
@@ -713,6 +717,14 @@ class GraspanEngine:
                 backend_degraded=(
                     telemetry.backend_degraded if telemetry else False
                 ),
+                matmul_blocks_built=(
+                    telemetry.matmul_blocks_built if telemetry else 0
+                ),
+                matmul_blocks_reused=(
+                    telemetry.matmul_blocks_reused if telemetry else 0
+                ),
+                matmul_products=telemetry.matmul_products if telemetry else 0,
+                matmul_nnz=telemetry.matmul_nnz if telemetry else 0,
             )
         )
 

@@ -175,6 +175,11 @@ def join_edges(
         for lhs in produced:
             out_src.append(src_m[sel])
             out_keys.append(base | np.int64(lhs))
+    if not out_src:
+        # Degenerate grammars can match a slot whose result set is empty
+        # (every produced LHS pruned away); concatenating zero pieces
+        # would raise instead of yielding the empty candidate set.
+        return packed.EMPTY, packed.EMPTY
     return np.concatenate(out_src), np.concatenate(out_keys)
 
 

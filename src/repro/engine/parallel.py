@@ -49,7 +49,7 @@ from repro.graph import packed
 from repro.grammar.grammar import FrozenGrammar
 
 #: The valid values of ``GraspanEngine(parallel_backend=...)``.
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "matmul")
 
 #: Left joins smaller than this run inline even on pooled backends; the
 #: dispatch overhead would dwarf the join itself.
@@ -102,6 +102,13 @@ class JoinTelemetry:
     serial_estimate_seconds: float = 0.0
     backend_degraded: bool = False  # pool fell back to inline joins
     worker_respawns: int = 0  # pool rebuilds after a dead worker
+    # Matmul-backend counters (repro.engine.matmul): label-block CSR
+    # snapshots built vs carried over unchanged, boolean products formed,
+    # and the nonzeros they produced (distinct candidate (src, dst) pairs).
+    matmul_blocks_built: int = 0
+    matmul_blocks_reused: int = 0
+    matmul_products: int = 0
+    matmul_nnz: int = 0
 
     @property
     def chunk_balance(self) -> float:
@@ -251,6 +258,15 @@ class JoinBackend:
 
     def _release_published(self) -> None:
         """Hook for backends that pin per-iteration resources."""
+
+    def note_union(self, merged, a, b) -> None:
+        """Hint: ``merged`` is the disjoint union of views ``a`` and ``b``.
+
+        The superstep announces ``O <- O ∪ D`` through this hook so
+        backends that keep per-snapshot derived state (the matmul
+        backend's label blocks) can carry it across iterations instead
+        of rebuilding from scratch.  Default: ignore the hint.
+        """
 
     # -- joining ---------------------------------------------------------
     def join_views(
@@ -760,7 +776,10 @@ def make_backend(
     ``serial`` (the historical ``num_threads`` semantics).  ``process``
     silently substitutes a thread pool when shared memory is unavailable
     — the result is identical, only slower — and flags the substitution
-    in the telemetry's backend label.
+    in the telemetry's backend label.  ``matmul`` (the sparse-boolean-
+    matrix kernel, DESIGN.md §11) falls back to ``serial`` with a loud
+    warning when scipy is not installed — the closure is identical, only
+    the edge-pair kernel computes it.
     """
     if name is None:
         name = "thread" if num_workers > 1 else "serial"
@@ -768,6 +787,17 @@ def make_backend(
         raise ValueError(
             f"unknown parallel backend {name!r}; choose from {BACKENDS}"
         )
+    if name == "matmul":
+        from repro.engine.matmul import MatmulJoinBackend, scipy_available
+
+        if not scipy_available():
+            logger.warning(
+                "matmul join backend requested but scipy is not installed "
+                "(pip install 'repro[matmul]'); falling back to the serial "
+                "edge-pair join"
+            )
+            return SerialJoinBackend(grammar, 1, head_mask, requested="matmul")
+        return MatmulJoinBackend(grammar, num_workers, head_mask)
     if name == "serial":
         return SerialJoinBackend(grammar, 1, head_mask)
     if name == "thread":

@@ -33,6 +33,13 @@ class SuperstepRecord:
     serial_estimate_seconds: float = 0.0
     worker_respawns: int = 0
     backend_degraded: bool = False
+    # Matmul-kernel telemetry (DESIGN.md §11): per-label CSR blocks built
+    # vs carried over unchanged across iterations, boolean products
+    # formed, and their total nonzeros (distinct candidate pairs).
+    matmul_blocks_built: int = 0
+    matmul_blocks_reused: int = 0
+    matmul_products: int = 0
+    matmul_nnz: int = 0
     # I/O pipeline telemetry (deltas over this superstep; DESIGN.md §10).
     prefetch_issued: int = 0  # speculative loads started
     prefetch_hits: int = 0  # prefetched partitions the superstep consumed
@@ -193,6 +200,24 @@ class EngineStats:
             "io_busy_s": round(self.io_busy_seconds, 3),
             "io_hidden_s": round(self.io_hidden_seconds, 3),
             "overlap_fraction": round(self.overlap_fraction, 3),
+        }
+
+    def matmul_summary(self) -> Dict[str, object]:
+        """Aggregate matmul-kernel telemetry across all supersteps.
+
+        ``block_reuse_fraction`` is the share of label blocks an
+        iteration could carry over unchanged instead of rebuilding —
+        the payoff of the O ∪ D union hint (DESIGN.md §11).
+        """
+        built = sum(r.matmul_blocks_built for r in self.supersteps)
+        reused = sum(r.matmul_blocks_reused for r in self.supersteps)
+        total = built + reused
+        return {
+            "blocks_built": built,
+            "blocks_reused": reused,
+            "block_reuse_fraction": round(reused / total, 3) if total else 0.0,
+            "products": sum(r.matmul_products for r in self.supersteps),
+            "product_nnz": sum(r.matmul_nnz for r in self.supersteps),
         }
 
     def pipeline_summary(self) -> Dict[str, object]:

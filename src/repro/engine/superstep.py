@@ -82,16 +82,26 @@ class SuperstepResult:
 def _flatten_adjacency(
     adjacency: Union[Mapping, CsrView]
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Normalize dict or CSR input to flat lexsorted ``(src, key)`` arrays."""
+    """Normalize dict or CSR input to flat lexsorted ``(src, key)`` arrays.
+
+    Every downstream merge (``_merge_disjoint``, ``_fresh_pairs``, the
+    CSR regrouping) relies on per-vertex key arrays being sorted and
+    duplicate-free; dict input is user-supplied, so rows violating the
+    invariant are repaired (sort + dedup) on entry rather than silently
+    corrupting the fixed point.
+    """
     if isinstance(adjacency, CsrView):
         from repro.engine.parallel import expand_view
 
         return expand_view(adjacency)
-    items = [
-        (v, np.asarray(keys, dtype=np.int64))
-        for v, keys in adjacency.items()
-        if len(keys)
-    ]
+    items = []
+    for v, keys in adjacency.items():
+        arr = np.asarray(keys, dtype=np.int64)
+        if len(arr) == 0:
+            continue
+        if len(arr) > 1 and not np.all(arr[:-1] < arr[1:]):
+            arr = np.unique(arr)  # restore the sorted/duplicate-free invariant
+        items.append((v, arr))
     if not items:
         return packed.EMPTY, packed.EMPTY
     items.sort(key=lambda item: item[0])
@@ -164,7 +174,10 @@ def _unary_closure_pairs(
 
 
 def _fresh_pairs(
-    cand_src: np.ndarray, cand_keys: np.ndarray, base: CsrView
+    cand_src: np.ndarray,
+    cand_keys: np.ndarray,
+    base: CsrView,
+    key_bound: Optional[int] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Candidate pairs not present in ``base`` (Algorithm 1's line 24).
 
@@ -175,9 +188,15 @@ def _fresh_pairs(
     membership needs a *merge*, not another sort: each ``(src, key)``
     pair packs into one int64 compound and a single ``searchsorted``
     marks the candidates present in the base.  When ids are too large to
-    pack (sources ≥ 2³¹ or keys ≥ 2³², impossible for graphs within
-    :data:`repro.graph.packed.MAX_VERTEX_ID` but checked anyway) the
-    historical flag-lexsort path takes over.
+    pack (sources ≥ 2³¹ or keys ≥ 2³²) the flag-lexsort path takes over.
+
+    ``key_bound`` is an exclusive upper bound on every key on both sides.
+    The superstep derives it *once* from the largest initial target (no
+    join or unary closure ever mints a new target vertex, so
+    ``(max_target + 1) << LABEL_BITS`` holds for every iteration) —
+    without it, each call would rescan both key arrays, a full O(n) pass
+    per iteration on the hot path just to pick the fast path.  Sources
+    need no such bound: they are lexsorted, so their maxima are O(1).
     """
     if len(cand_src) == 0 or base.num_edges == 0:
         return cand_src, cand_keys
@@ -198,12 +217,14 @@ def _fresh_pairs(
     b_keys = base.keys[np.repeat(starts, counts) + within]
     b_src = np.repeat(base.vertices[rows], counts)
 
-    # Sources are sorted, so the maxima sit at the ends; keys need a scan.
+    # Sources are sorted, so the maxima sit at the ends in O(1); the key
+    # bound comes from the caller, or one max scan per side without it.
+    if key_bound is None:
+        key_bound = max(int(cand_keys.max()), int(b_keys.max())) + 1
     if (
         int(cand_src[-1]) < 2**31
         and int(b_src[-1]) < 2**31
-        and int(cand_keys.max()) < 2**32
-        and int(b_keys.max()) < 2**32
+        and key_bound <= 2**32
     ):
         shift = np.int64(32)
         b_comp = (b_src << shift) | b_keys
@@ -318,9 +339,26 @@ def run_superstep(
     base_src, base_keys = _flatten_adjacency(adjacency)
     new_src, new_keys = _unary_closure_pairs(base_src, base_keys, grammar)
     old_src, old_keys = packed.EMPTY, packed.EMPTY
+
+    # The `_fresh_pairs` fast-path bound, derived once per superstep: no
+    # join or unary closure ever introduces a target vertex absent from
+    # the initial edge set, so the largest packed key any iteration can
+    # produce stays below (max_target + 1) << LABEL_BITS.  Targets are
+    # within packed.MAX_VERTEX_ID, so the shift cannot overflow in
+    # Python ints.
+    if len(new_keys):
+        key_bound = (
+            int(packed.targets_of(new_keys).max()) + 1
+        ) << packed.LABEL_BITS
+    else:
+        key_bound = 1
+
     if len(new_src) > len(base_src):
         derived_src, derived_keys = _fresh_pairs(
-            new_src, new_keys, CsrView.from_flat(base_src, base_keys)
+            new_src,
+            new_keys,
+            CsrView.from_flat(base_src, base_keys),
+            key_bound=key_bound,
         )
         added_src_parts.append(derived_src)
         added_keys_parts.append(derived_keys)
@@ -328,11 +366,18 @@ def run_superstep(
 
     iterations = 0
     completed = True
+    prev_old_view: Optional[CsrView] = None
+    prev_new_view: Optional[CsrView] = None
     while len(new_src):
         iterations += 1
         backend.begin_iteration()
         new_view = CsrView.from_flat(new_src, new_keys)
         old_view = CsrView.from_flat(old_src, old_keys)
+        if prev_new_view is not None:
+            # This iteration's O is last iteration's O ∪ D: backends
+            # holding per-snapshot derived state (matmul label blocks)
+            # reuse it instead of rebuilding from scratch.
+            backend.note_union(old_view, prev_old_view, prev_new_view)
 
         # Component 1 (lines 7-14): old edges × new continuation lists.
         c1_src, c1_keys = backend.join_edge_list(
@@ -347,6 +392,7 @@ def run_superstep(
         # the in-memory edge count is unchanged by the merge.
         old_src, old_keys = _merge_disjoint(old_src, old_keys, new_src, new_keys)
         new_src, new_keys = packed.EMPTY, packed.EMPTY
+        prev_old_view, prev_new_view = old_view, new_view
 
         cand_src = np.concatenate([c1_src, c2_src])
         cand_keys = np.concatenate([c1_keys, c2_keys])
@@ -357,7 +403,10 @@ def run_superstep(
         # edges not already present.
         cand_src, cand_keys = _dedup_pairs(cand_src, cand_keys)
         fresh_src, fresh_keys = _fresh_pairs(
-            cand_src, cand_keys, CsrView.from_flat(old_src, old_keys)
+            cand_src,
+            cand_keys,
+            CsrView.from_flat(old_src, old_keys),
+            key_bound=key_bound,
         )
         if len(fresh_src):
             new_src, new_keys = fresh_src, fresh_keys

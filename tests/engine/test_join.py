@@ -98,6 +98,24 @@ class TestJoinEdges:
         )
         assert len(src) == 0 and len(keys) == 0
 
+    def test_matched_slot_with_empty_results_returns_empty(self):
+        """Regression: a matched slot with an empty result set must yield
+        the empty candidate arrays, not ``ValueError: need at least one
+        array to concatenate``."""
+        g = Grammar()
+        g.add_constraint("X", "A", "B")
+        frozen = g.freeze()
+        a, b = frozen.label_id("A"), frozen.label_id("B")
+        # Degenerate grammar: the (A, B) cell matches but produces nothing.
+        frozen.binary_results[int(frozen.binary_index[a, b])] = packed.EMPTY
+        left_src = np.asarray([0], dtype=np.int64)
+        left_keys = from_pairs([(1, a)])
+        right = CsrView.from_dict({1: from_pairs([(2, b)])})
+        src, keys = join_edges(
+            left_src, left_keys, right, frozen, frozen.head_labels()
+        )
+        assert len(src) == 0 and len(keys) == 0
+
     def test_multi_lhs_production(self):
         """A pair producing two labels yields both edges."""
         g = Grammar()

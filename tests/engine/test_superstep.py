@@ -168,6 +168,43 @@ class TestFreshPairsFastPath:
             assert np.array_equal(got_src, oracle_src), f"trial {trial}"
             assert np.array_equal(got_keys, oracle_keys), f"trial {trial}"
 
+    def test_boundary_ids_agree_with_oracle(self):
+        """Ids at and just past the fast path's packing limits (source
+        2**31, key bound 2**32) must agree with the oracle on both sides
+        of each boundary."""
+        from repro.engine.join import CsrView
+        from repro.engine.superstep import _dedup_pairs, _fresh_pairs
+
+        for src_hi in (2**31 - 1, 2**31):
+            for key_hi in (2**32 - 1, 2**32):
+                b_src = np.asarray([0, 3, src_hi], dtype=np.int64)
+                b_keys = np.asarray([key_hi, 7, key_hi], dtype=np.int64)
+                b_src, b_keys = _dedup_pairs(b_src, b_keys)
+                base = CsrView.from_flat(b_src, b_keys)
+                # One duplicate of base, one fresh key on a boundary
+                # source, one fresh boundary key on a small source.
+                c_src = np.asarray([0, 3, src_hi], dtype=np.int64)
+                c_keys = np.asarray([key_hi, key_hi, 5], dtype=np.int64)
+                c_src, c_keys = _dedup_pairs(c_src, c_keys)
+                got_src, got_keys = _fresh_pairs(c_src, c_keys, base)
+                want_src, want_keys = self._oracle(c_src, c_keys, base)
+                assert np.array_equal(got_src, want_src), (src_hi, key_hi)
+                assert np.array_equal(got_keys, want_keys), (src_hi, key_hi)
+
+    def test_explicit_key_bound_matches_rescan(self):
+        """Passing the precomputed per-superstep key bound must give the
+        same answer as the per-call max rescan it replaces."""
+        from repro.engine.superstep import _fresh_pairs
+
+        rng = np.random.default_rng(17)
+        for trial in range(10):
+            c_src, c_keys, base = self._random_case(rng)
+            bound = int(max(c_keys.max(), base.keys.max())) + 1
+            plain = _fresh_pairs(c_src, c_keys, base)
+            bounded = _fresh_pairs(c_src, c_keys, base, key_bound=bound)
+            assert np.array_equal(plain[0], bounded[0]), f"trial {trial}"
+            assert np.array_equal(plain[1], bounded[1]), f"trial {trial}"
+
     @staticmethod
     def _oracle(c_src, c_keys, base):
         """Brute-force set difference over Python tuples."""
@@ -185,3 +222,34 @@ class TestFreshPairsFastPath:
         src = np.asarray([s for s, _ in kept], dtype=np.int64)
         keys = np.asarray([k for _, k in kept], dtype=np.int64)
         return src, keys
+
+
+class TestFlattenAdjacency:
+    """Dict input must be normalised to the sorted/dup-free invariant."""
+
+    def test_unsorted_dict_rows_are_repaired(self, reach):
+        """Regression: an unsorted, duplicated per-vertex key array used
+        to flow into the merge machinery unchecked, silently corrupting
+        the closure; it must now give the same result as clean input."""
+        e = reach.label_id("E")
+        clean = adjacency_of([(0, 1, e), (0, 2, e), (1, 2, e), (2, 3, e)])
+        messy = dict(clean)
+        # Vertex 0's row: reversed order plus a duplicate edge.
+        messy[0] = np.asarray(
+            [packed.pack(2, e), packed.pack(1, e), packed.pack(2, e)],
+            dtype=np.int64,
+        )
+        got = run_superstep(messy, reach)
+        want = run_superstep(clean, reach)
+        assert closure_edges(got) == closure_edges(want)
+        assert got.edges_added == want.edges_added
+
+    def test_flatten_sorts_and_dedups(self, reach):
+        from repro.engine.superstep import _flatten_adjacency
+
+        e = reach.label_id("E")
+        src, keys = _flatten_adjacency(
+            {4: np.asarray([packed.pack(9, e), packed.pack(1, e), packed.pack(9, e)], dtype=np.int64)}
+        )
+        assert list(src) == [4, 4]
+        assert list(keys) == [packed.pack(1, e), packed.pack(9, e)]
