@@ -6,7 +6,7 @@ from benchmarks.conftest import results_path
 
 def test_table1_checkers(benchmark):
     rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
-    assert len(rows) == 8
+    assert len(rows) == 11
     text = render_table(
         "Table 1: checkers, targets, and baseline limitations",
         ["checker", "target", "baseline limitation", "has baseline"],

@@ -39,7 +39,10 @@ from repro.analysis import (
     RaceAnalysis,
     RaceResult,
     SourceFlowResult,
+    TaintAnalysis,
     TaintDataflowAnalysis,
+    TaintFlow,
+    TaintResult,
 )
 from repro.engine import (
     CheckpointError,
@@ -50,16 +53,30 @@ from repro.engine import (
 )
 from repro.partition import PartitionCorruptError
 from repro.util import FaultInjector, FaultPlan, InjectedCrash, RetryPolicy
-from repro.frontend import compile_program, dataflow_graph, parse, pointer_graph
+from repro.frontend import (
+    compile_program,
+    dataflow_graph,
+    parse,
+    pointer_graph,
+    taint_graph,
+)
 from repro.grammar import (
     Grammar,
     FrozenGrammar,
     nullflow_grammar,
     pointsto_grammar,
     pointsto_grammar_extended,
+    taint_grammar,
 )
 from repro.graph import MemGraph
-from repro.checkers import RaceChecker, check_program, run_analyses, run_checkers
+from repro.checkers import (
+    AsyncChecker,
+    RaceChecker,
+    TaintChecker,
+    check_program,
+    run_analyses,
+    run_checkers,
+)
 
 __version__ = "1.0.0"
 
@@ -69,11 +86,13 @@ __all__ = [
     "parse",
     "pointer_graph",
     "dataflow_graph",
+    "taint_graph",
     "Grammar",
     "FrozenGrammar",
     "pointsto_grammar",
     "pointsto_grammar_extended",
     "nullflow_grammar",
+    "taint_grammar",
     "MemGraph",
     "GraspanEngine",
     "GraspanComputation",
@@ -94,7 +113,12 @@ __all__ = [
     "EscapeResult",
     "RaceAnalysis",
     "RaceResult",
+    "TaintAnalysis",
+    "TaintFlow",
+    "TaintResult",
     "RaceChecker",
+    "TaintChecker",
+    "AsyncChecker",
     "check_program",
     "run_analyses",
     "run_checkers",

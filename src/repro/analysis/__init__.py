@@ -25,6 +25,7 @@ from repro.analysis.races import (
     RaceReport,
     RaceResult,
 )
+from repro.analysis.taint import TaintAnalysis, TaintFlow, TaintResult
 
 __all__ = [
     "PointsToAnalysis",
@@ -40,4 +41,7 @@ __all__ = [
     "RaceAnalysis",
     "RaceReport",
     "RaceResult",
+    "TaintAnalysis",
+    "TaintFlow",
+    "TaintResult",
 ]

@@ -26,6 +26,7 @@ from repro.bench.tables import (
     table4_rows,
     table5_rows,
     table6_rows,
+    taint_rows,
 )
 from repro.bench.ablation import (
     ablation_dedup_merge,
@@ -59,6 +60,7 @@ __all__ = [
     "table4_rows",
     "table5_rows",
     "table6_rows",
+    "taint_rows",
     "ablation_dedup_merge",
     "ablation_oldnew",
     "ablation_scheduler",

@@ -1,5 +1,7 @@
-"""Static checkers: Table 1's seven, baseline and Graspan-augmented, plus UNTest."""
+"""Static checkers: Table 1's seven, baseline and Graspan-augmented,
+plus the UNTest, Race, Taint, and Async clients."""
 
+from repro.checkers.asyncmisuse import AsyncChecker
 from repro.checkers.base import AnalysisContext, BugReport, Checker
 from repro.checkers.block import BlockChecker
 from repro.checkers.free import FreeChecker
@@ -9,6 +11,7 @@ from repro.checkers.pnull import PNullChecker
 from repro.checkers.race import RaceChecker
 from repro.checkers.range import RangeChecker
 from repro.checkers.size import SizeChecker
+from repro.checkers.taint import TaintChecker
 from repro.checkers.untest import UNTestChecker
 from repro.checkers.diffing import (
     FindingsDiff,
@@ -39,6 +42,8 @@ __all__ = [
     "RaceChecker",
     "RangeChecker",
     "SizeChecker",
+    "TaintChecker",
+    "AsyncChecker",
     "UNTestChecker",
     "ALL_CHECKERS",
     "CheckerRunResult",

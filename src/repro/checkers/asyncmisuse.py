@@ -1,0 +1,133 @@
+"""Async: blocking calls reachable from async contexts (new client).
+
+An ``async`` function runs on an event loop; a call that blocks the
+thread (``sleep``, directly or transitively) stalls every other task on
+that loop.  ``spawn`` hands work to a separate thread, so blocking
+*behind a spawn boundary* is fine.
+
+Baseline heuristic: only *direct* calls to the blocking primitive
+inside an ``async`` function body are reported.  Blocking hidden behind
+any wrapper — even one call deep — is missed (false negatives).
+
+Graspan augmentation: (1) close the "blocks" property over the call
+graph (shared with the Block checker), so wrappers are caught;
+(2) require *context evidence* from the call-structure closure — the
+call site must have produced a clone context marked async in
+:attr:`ProgramGraphs.async_contexts` and not severed by a spawn
+boundary, so work handed to a thread is correctly not flagged; and
+(3) resolve function-pointer calls with the pointer analysis.  All
+facts come from artifacts already in hand — no extra engine run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.checkers.block import blocking_closure, pointer_targets
+from repro.frontend.ast import BLOCKING_BUILTINS
+from repro.frontend.lower import LoweredFunction
+
+
+class AsyncChecker(Checker):
+    name = "Async"
+
+    # ------------------------------------------------------------------
+    # baseline: direct blocking builtins in async bodies only
+    # ------------------------------------------------------------------
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            if not func.is_async:
+                continue
+            for stmt in func.stmts:
+                if stmt.kind == "call" and stmt.callee in BLOCKING_BUILTINS:
+                    reports.append(
+                        BugReport(
+                            checker=self.name,
+                            function=func.name,
+                            module=func.module,
+                            line=stmt.line,
+                            variable=stmt.callee,
+                            message=(
+                                f"direct call to blocking {stmt.callee}() "
+                                f"in async function {func.name}"
+                            ),
+                        )
+                    )
+        return self.dedup(reports)
+
+    # ------------------------------------------------------------------
+    # augmented: call-graph blocking closure + async context evidence
+    # ------------------------------------------------------------------
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("pointsto")
+        blocking = blocking_closure(ctx)
+        reports = list(self.check_baseline(ctx))
+        for func in ctx.functions():
+            if not func.is_async:
+                continue
+            local_vars = set(func.params) | set(func.locals)
+            for stmt in func.stmts:
+                if stmt.kind != "call" or not stmt.callee:
+                    continue  # spawn boundaries are skipped by design
+                callee = stmt.callee
+                if callee in blocking:
+                    if self._async_context_evidence(ctx, func, stmt):
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=stmt.line,
+                                variable=callee,
+                                message=(
+                                    f"call to {callee}(), which transitively "
+                                    f"blocks, in async function {func.name}"
+                                ),
+                                interprocedural=True,
+                            )
+                        )
+                elif callee in local_vars or callee in ctx.pg.lowered.global_vars:
+                    targets = pointer_targets(ctx, func.name, callee)
+                    hit = sorted(targets & blocking)
+                    if hit:
+                        reports.append(
+                            BugReport(
+                                checker=self.name,
+                                function=func.name,
+                                module=func.module,
+                                line=stmt.line,
+                                variable=callee,
+                                message=(
+                                    f"indirect call through {callee!r} may "
+                                    f"invoke blocking {hit[0]}() in async "
+                                    f"function {func.name}"
+                                ),
+                                interprocedural=True,
+                            )
+                        )
+        return self.dedup(reports)
+
+    @staticmethod
+    def _async_context_evidence(
+        ctx: AnalysisContext, func: LoweredFunction, stmt
+    ) -> bool:
+        """Did this call site produce an async clone context?
+
+        Graph generation marks every child context created inside an
+        async function's dynamic extent (and not severed by ``spawn``)
+        in ``async_contexts``; the call site is a real async-blocking
+        hazard only when such a clone exists.
+        """
+        pg = ctx.pg
+        for child_ctx, site in pg.context_call_sites.items():
+            if (
+                site.caller == func.name
+                and site.line == stmt.line
+                and site.callee == stmt.callee
+                and not site.spawned
+                and child_ctx in pg.async_contexts
+            ):
+                return True
+        return False

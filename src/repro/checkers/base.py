@@ -15,6 +15,7 @@ from repro.analysis.dataflow import SourceFlowResult
 from repro.analysis.escape import EscapeResult
 from repro.analysis.pointsto import PointsToResult
 from repro.analysis.races import RaceResult
+from repro.analysis.taint import TaintResult
 from repro.frontend.graphgen import ProgramGraphs
 from repro.frontend.lower import LoweredFunction, LStmt
 
@@ -44,6 +45,7 @@ class AnalysisContext:
     pointsto: Optional[PointsToResult] = None
     nullflow: Optional[SourceFlowResult] = None
     taintflow: Optional[SourceFlowResult] = None
+    taint: Optional[TaintResult] = None
     # Closure *clients* — derived from pointsto without an engine run.
     escape: Optional[EscapeResult] = None
     races: Optional[RaceResult] = None

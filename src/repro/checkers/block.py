@@ -20,6 +20,45 @@ from repro.checkers.base import AnalysisContext, BugReport, Checker
 from repro.frontend.ast import BLOCKING_BUILTINS
 
 
+def blocking_closure(ctx: AnalysisContext) -> Set[str]:
+    """Defined functions that may (transitively) call ``sleep``.
+
+    Shared by the Block checker (blocking under a lock) and the Async
+    checker (blocking in an async context).
+    """
+    direct: Set[str] = set()
+    for func in ctx.functions():
+        for stmt in func.stmts:
+            if stmt.kind == "call" and stmt.callee in BLOCKING_BUILTINS:
+                direct.add(func.name)
+    callgraph = ctx.pg.callgraph
+    blocking = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for caller, sites in callgraph.callees.items():
+            if caller in blocking:
+                continue
+            if any(site.callee in blocking for site in sites):
+                blocking.add(caller)
+                changed = True
+    return blocking
+
+
+def pointer_targets(
+    ctx: AnalysisContext, function: str, pointer_var: str
+) -> Set[str]:
+    """Functions a function-pointer variable may target (via points-to)."""
+    targets: Set[str] = set()
+    namer = ctx.pg.namer
+    vids = namer.vertices_for(function, pointer_var)
+    if not vids:  # a global function pointer
+        vids = namer.vertices_for("", "@" + pointer_var)
+    for vid in vids:
+        targets |= ctx.pointsto.function_pointer_targets(vid)
+    return targets
+
+
 class BlockChecker(Checker):
     name = "Block"
 
@@ -98,36 +137,6 @@ class BlockChecker(Checker):
                             )
         return self.dedup(reports)
 
-    @staticmethod
-    def _blocking_closure(ctx: AnalysisContext) -> Set[str]:
-        """Defined functions that may (transitively) call ``sleep``."""
-        direct: Set[str] = set()
-        for func in ctx.functions():
-            for stmt in func.stmts:
-                if stmt.kind == "call" and stmt.callee in BLOCKING_BUILTINS:
-                    direct.add(func.name)
-        callgraph = ctx.pg.callgraph
-        blocking = set(direct)
-        changed = True
-        while changed:
-            changed = False
-            for caller, sites in callgraph.callees.items():
-                if caller in blocking:
-                    continue
-                if any(site.callee in blocking for site in sites):
-                    blocking.add(caller)
-                    changed = True
-        return blocking
-
-    @staticmethod
-    def _pointer_targets(
-        ctx: AnalysisContext, function: str, pointer_var: str
-    ) -> Set[str]:
-        targets: Set[str] = set()
-        namer = ctx.pg.namer
-        vids = namer.vertices_for(function, pointer_var)
-        if not vids:  # a global function pointer
-            vids = namer.vertices_for("", "@" + pointer_var)
-        for vid in vids:
-            targets |= ctx.pointsto.function_pointer_targets(vid)
-        return targets
+    # Module-level helpers, kept as static aliases for existing callers.
+    _blocking_closure = staticmethod(blocking_closure)
+    _pointer_targets = staticmethod(pointer_targets)

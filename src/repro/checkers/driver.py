@@ -17,6 +17,8 @@ from repro.analysis.dataflow import NullDataflowAnalysis, TaintDataflowAnalysis
 from repro.analysis.escape import EscapeAnalysis
 from repro.analysis.pointsto import PointsToAnalysis
 from repro.analysis.races import RaceAnalysis
+from repro.analysis.taint import TaintAnalysis
+from repro.checkers.asyncmisuse import AsyncChecker
 from repro.checkers.base import AnalysisContext, BugReport, Checker
 from repro.checkers.block import BlockChecker
 from repro.checkers.free import FreeChecker
@@ -26,13 +28,14 @@ from repro.checkers.pnull import PNullChecker
 from repro.checkers.race import RaceChecker
 from repro.checkers.range import RangeChecker
 from repro.checkers.size import SizeChecker
+from repro.checkers.taint import TaintChecker
 from repro.checkers.untest import UNTestChecker
 from repro.frontend.graphgen import ProgramGraphs
 
 PathLike = Union[str, Path]
 
-#: The checker registry, in Table 1 order plus the new UNTest and Race
-#: checkers.
+#: The checker registry, in Table 1 order plus the new UNTest, Race,
+#: Taint, and Async checkers.
 ALL_CHECKERS: Tuple[type, ...] = (
     BlockChecker,
     NullChecker,
@@ -43,6 +46,8 @@ ALL_CHECKERS: Tuple[type, ...] = (
     PNullChecker,
     UNTestChecker,
     RaceChecker,
+    TaintChecker,
+    AsyncChecker,
 )
 
 
@@ -112,8 +117,11 @@ def run_analyses(
     num_threads: int = 1,
     parallel_backend: Optional[str] = None,
 ) -> AnalysisContext:
-    """Run pointer, NULL, and taint analyses (plus the closure-reusing
-    escape and race clients); bundle into a context."""
+    """Run the four engine-backed analyses — pointer, NULL dataflow,
+    user-data dataflow, and the taint/injection closure — plus the
+    closure-reusing escape and race clients; bundle into a context.
+    The Taint and Async checkers consume the bundled results without
+    further engine runs."""
     pointsto = PointsToAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
@@ -132,6 +140,12 @@ def run_analyses(
         num_threads=num_threads,
         parallel_backend=parallel_backend,
     ).run(pg, pointsto=pointsto)
+    taint = TaintAnalysis(
+        max_edges_per_partition=max_edges_per_partition,
+        workdir=workdir,
+        num_threads=num_threads,
+        parallel_backend=parallel_backend,
+    ).run(pg, pointsto=pointsto)
     # Closure clients: escape + race facts fall out of the pointer
     # closure already in hand — no further engine runs.
     escape = EscapeAnalysis().run(pg, pointsto)
@@ -141,6 +155,7 @@ def run_analyses(
         pointsto=pointsto,
         nullflow=nullflow,
         taintflow=taintflow,
+        taint=taint,
         escape=escape,
         races=races,
     )

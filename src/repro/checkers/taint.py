@@ -1,0 +1,109 @@
+"""Taint: unsanitized input reaching an injection sink (new client).
+
+Baseline heuristic: purely intraprocedural and name-keyed.  One linear
+pass per function tracks which local names currently hold ``input()``
+data; a ``query()``/``exec()`` argument in that set is reported.  Two
+documented blind spots follow: taint entering through a call (the
+source in a callee, the sink in the caller) is invisible, and taint
+stored to the heap and reloaded through an alias is invisible (the
+load kills the name).  One documented *over*-report: the baseline does
+not model the cleanser — ``sanitize()`` is treated like any other copy,
+so sanitized data still looks tainted (false alarms on every
+sanitizer-decoy gadget).
+
+Graspan augmentation: consumes the taint closure
+(:mod:`repro.analysis.taint` — grammar ``TT ::= TS | TT TD`` over the
+taint graph).  Interprocedural flows ride the context-sensitive ``A``
+edges, heap flows ride the alias bridges, and sanitization is encoded
+structurally (no edge through a cleanser), so the checker is a lookup:
+a sink argument is reported iff its clone vertex carries a ``TT`` edge.
+No extra engine run — the closure was computed once by
+:func:`repro.checkers.driver.run_analyses`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.checkers.base import AnalysisContext, BugReport, Checker
+from repro.frontend.ast import TAINT_SOURCES
+
+
+class TaintChecker(Checker):
+    name = "Taint"
+
+    # ------------------------------------------------------------------
+    # baseline: intraprocedural, name-keyed, cleanser-blind
+    # ------------------------------------------------------------------
+    def check_baseline(self, ctx: AnalysisContext) -> List[BugReport]:
+        reports: List[BugReport] = []
+        for func in ctx.functions():
+            tainted: Set[str] = set()
+            for stmt in func.stmts:
+                if stmt.kind == "call":
+                    if stmt.callee in TAINT_SOURCES and stmt.lhs:
+                        tainted.add(stmt.lhs)
+                    elif stmt.lhs:
+                        tainted.discard(stmt.lhs)  # opaque call: kills
+                elif stmt.kind == "sink":
+                    for var in stmt.args:
+                        if var in tainted:
+                            reports.append(
+                                BugReport(
+                                    checker=self.name,
+                                    function=func.name,
+                                    module=func.module,
+                                    line=stmt.line,
+                                    variable=var,
+                                    message=(
+                                        f"input() data reaches "
+                                        f"{stmt.callee}({var}) in this "
+                                        "function"
+                                    ),
+                                )
+                            )
+                elif stmt.kind == "copy" and stmt.lhs:
+                    if stmt.rhs in tainted:
+                        tainted.add(stmt.lhs)
+                    else:
+                        tainted.discard(stmt.lhs)
+                elif stmt.kind == "sanitize" and stmt.lhs:
+                    # Documented flaw: the baseline treats the cleanser
+                    # like a copy, so sanitized data still looks tainted.
+                    if stmt.rhs in tainted:
+                        tainted.add(stmt.lhs)
+                    else:
+                        tainted.discard(stmt.lhs)
+                elif stmt.kind == "binop" and stmt.lhs:
+                    if any(op in tainted for op in stmt.operands):
+                        tainted.add(stmt.lhs)
+                    else:
+                        tainted.discard(stmt.lhs)
+                elif stmt.kind in ("load", "alloc", "null", "const") and stmt.lhs:
+                    tainted.discard(stmt.lhs)  # heap/fresh values: kills
+        return self.dedup(reports)
+
+    # ------------------------------------------------------------------
+    # augmented: lookup in the taint closure
+    # ------------------------------------------------------------------
+    def check_augmented(self, ctx: AnalysisContext) -> List[BugReport]:
+        ctx.require("taint")
+        reports: List[BugReport] = []
+        for flow in ctx.taint.flows:
+            reports.append(
+                BugReport(
+                    checker=self.name,
+                    function=flow.function,
+                    module=flow.module,
+                    line=flow.line,
+                    variable=flow.var,
+                    message=(
+                        f"unsanitized input() data reaches "
+                        f"{flow.sink}({flow.var}) "
+                        f"[{len(flow.contexts)} context"
+                        f"{'s' if len(flow.contexts) != 1 else ''}]"
+                    ),
+                    interprocedural=True,
+                )
+            )
+        return self.dedup(reports)

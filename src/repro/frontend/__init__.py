@@ -24,7 +24,7 @@ from repro.frontend.graphgen import (
     ProgramGraphs,
     generate_graphs,
 )
-from repro.frontend.graphs import dataflow_graph, pointer_graph
+from repro.frontend.graphs import dataflow_graph, pointer_graph, taint_graph
 from repro.frontend.lexer import LexError, Token, tokenize
 from repro.frontend.lower import (
     Guard,
@@ -71,6 +71,7 @@ __all__ = [
     "generate_graphs",
     "pointer_graph",
     "dataflow_graph",
+    "taint_graph",
     "LexError",
     "Token",
     "tokenize",

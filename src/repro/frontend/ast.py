@@ -6,8 +6,11 @@ assignments (``a = b``, ``a = &b``, ``a = *b``, ``*a = b``), allocation
 offsets ignored, §2.2), functions, direct and indirect calls, guards
 (``if``/``while`` conditions, which the checkers read as NULL tests),
 thread creation (``spawn f(args);``, the race detector's concurrency
-source), and the builtins the Table 1 checkers care about (``free``,
-``lock``, ``unlock``, ``sleep``, ``get_user``).
+source), ``async`` functions and ``await``-ed calls (the async-misuse
+checker's context source), the taint intrinsics (``input`` source,
+``query``/``exec`` sinks, ``sanitize`` cleanser), and the builtins the
+Table 1 checkers care about (``free``, ``lock``, ``unlock``, ``sleep``,
+``get_user``).
 """
 
 from __future__ import annotations
@@ -83,13 +86,20 @@ class IntConst(Expr):
 
 @dataclass(frozen=True)
 class Call(Expr):
-    """``callee(args)``; ``callee`` may be a function or a pointer variable."""
+    """``callee(args)``; ``callee`` may be a function or a pointer variable.
+
+    ``awaited`` marks ``await callee(args)`` — the caller suspends until
+    the (async) callee finishes, so control still flows through the call
+    like a direct call; the flag exists for the async-misuse analysis.
+    """
 
     callee: str
     args: Tuple[Expr, ...]
+    awaited: bool = False
 
     def __str__(self) -> str:
-        return f"{self.callee}({', '.join(map(str, self.args))})"
+        prefix = "await " if self.awaited else ""
+        return f"{prefix}{self.callee}({', '.join(map(str, self.args))})"
 
 
 @dataclass(frozen=True)
@@ -212,6 +222,7 @@ class Function:
     module: str = ""  # e.g. "drivers", "fs" — the Table 4 taxonomy
     line: int = 0
     param_sizes: List[int] = field(default_factory=list)  # base-type sizes
+    is_async: bool = False  # declared ``async`` — an async-context root
 
 
 @dataclass
@@ -278,8 +289,18 @@ BUILTINS = frozenset(
         "get_user",  # returns user-controlled data (Range checker)
         "disable_irq",
         "enable_irq",
+        "input",  # taint source: returns untrusted external data
+        "query",  # taint sink: SQL-style injection point
+        "exec",  # taint sink: command-execution injection point
+        "sanitize",  # taint cleanser: returns a cleansed copy of its arg
     }
 )
 
 #: Builtins that block (must not be called while holding a lock).
 BLOCKING_BUILTINS = frozenset({"sleep"})
+
+#: Taint intrinsics: sources return untrusted external data, sinks must
+#: never receive it unsanitized, and the cleanser stops propagation.
+TAINT_SOURCES = frozenset({"input"})
+TAINT_SINKS = frozenset({"query", "exec"})
+TAINT_CLEANSERS = frozenset({"sanitize"})

@@ -40,10 +40,12 @@ KIND_D = "D"  # dereference
 KIND_N = "N"  # NULL source
 KIND_U = "U"  # user-data (taint) source
 KIND_TF = "TF"  # taint-only flow (through arithmetic)
+KIND_TS = "TS"  # untrusted-input source (``input()``, taint grammar)
 
 #: Special shared symbols (root context).
 SYM_NULL = "NULL"
 SYM_USER = "USER"
+SYM_TAINT = "TAINT"
 
 
 class InlineBudgetExceeded(RuntimeError):
@@ -87,6 +89,7 @@ class FunctionTemplate:
     indirect_calls: List[TemplateIndirectCall]
     return_syms: List[str]
     alloc_sizes: Dict[str, Optional[int]] = field(default_factory=dict)
+    is_async: bool = False  # declared ``async`` (async-misuse analysis)
 
 
 @dataclass(frozen=True)
@@ -127,6 +130,10 @@ class ProgramGraphs:
     #: Contexts created by a `spawn` site: the roots of spawned-thread
     #: subtrees in the context tree (race detector's thread boundaries).
     spawn_contexts: Set[int] = field(default_factory=set)
+    #: Contexts whose clone executes inside an async function's dynamic
+    #: extent (no spawn boundary crossed): the async-misuse checker's
+    #: evidence that a call runs on the event loop.
+    async_contexts: Set[int] = field(default_factory=set)
     #: function name -> every context it was instantiated in.
     instance_contexts: Dict[str, Set[int]] = field(default_factory=dict)
     #: child context -> the call site that created it.
@@ -154,8 +161,10 @@ class ProgramGraphs:
 
 def _is_global_symbol(sym: str) -> bool:
     base = sym.lstrip("*&")
-    return base.startswith("@") or base in (SYM_NULL, SYM_USER) or base.startswith(
-        "fn:"
+    return (
+        base.startswith("@")
+        or base in (SYM_NULL, SYM_USER, SYM_TAINT)
+        or base.startswith("fn:")
     )
 
 
@@ -221,6 +230,7 @@ class _TemplateBuilder:
             indirect_calls=self.indirect_calls,
             return_syms=[self._resolve(v) for v in self.func.return_vars()],
             alloc_sizes=self.alloc_sizes,
+            is_async=self.func.is_async,
         )
 
     def _build_stmt(self, stmt) -> None:
@@ -259,6 +269,21 @@ class _TemplateBuilder:
             self._build_call(stmt)
         elif kind == "spawn":
             self._build_call(stmt, spawned=True)
+        elif kind == "sanitize":
+            # The taint grammar's sanitization barrier: deliberately NO
+            # flow edge from rhs to lhs, so no TT path crosses a
+            # cleanser.  Both sides still get vertices (the taint client
+            # resolves sink arguments by name).
+            if stmt.rhs:
+                self._resolve(stmt.rhs)
+            if stmt.lhs:
+                self._resolve(stmt.lhs)
+        elif kind == "sink":
+            # Sinks consume values but produce none: no edges; resolve
+            # the arguments so every sink variable has a vertex.
+            for arg in stmt.args:
+                if arg:
+                    self._resolve(arg)
         # test / free / lock / unlock / const / return: no graph edges.
 
     def _build_call(self, stmt, spawned: bool = False) -> None:
@@ -277,6 +302,9 @@ class _TemplateBuilder:
             )
         elif callee == "get_user" and lhs is not None:
             self.edges.append(TemplateEdge(KIND_U, SYM_USER, lhs, stmt.line))
+        elif callee == "input" and lhs is not None:
+            # Untrusted-input source: the taint grammar's TS terminal.
+            self.edges.append(TemplateEdge(KIND_TS, SYM_TAINT, lhs, stmt.line))
         # Other externals: opaque (documented in DESIGN.md).
 
 
@@ -321,6 +349,7 @@ class _Instantiator:
             KIND_N,
             KIND_U,
             KIND_TF,
+            KIND_TS,
         )
         self._kind_id = {name: i for i, name in enumerate(self.kind_names)}
         self._globals: Dict[str, int] = {}
@@ -328,6 +357,7 @@ class _Instantiator:
         self.indirect_instances: List[IndirectCallInstance] = []
         self._ever_instantiated: Set[str] = set()
         self.spawn_contexts: Set[int] = set()
+        self.async_contexts: Set[int] = set()
         self.instance_contexts: Dict[str, Set[int]] = {}
         self.context_call_sites: Dict[int, ContextCallSite] = {}
         # Bounded context sensitivity: SCC groups deeper than
@@ -434,6 +464,18 @@ class _Instantiator:
                     )
                     if call.spawned:
                         self.spawn_contexts.add(child_ctx)
+                    # Async extent: the callee's clone runs in an async
+                    # context when the callee is itself async, or the
+                    # caller's extent was async and no spawn boundary
+                    # (a new thread/task) is crossed.
+                    if self.templates[call.callee].is_async or (
+                        not call.spawned
+                        and (
+                            self.templates[fname].is_async
+                            or group_ctx in self.async_contexts
+                        )
+                    ):
+                        self.async_contexts.add(child_ctx)
                     arg_vids = tuple(self._sym_vid(a, symtab) for a in call.args)
                     lhs_vid = (
                         self._sym_vid(call.lhs, symtab)
@@ -556,6 +598,7 @@ def generate_graphs(
         lowered=lowered,
         templates=templates,
         spawn_contexts=inst.spawn_contexts,
+        async_contexts=inst.async_contexts,
         instance_contexts=inst.instance_contexts,
         context_call_sites=inst.context_call_sites,
     )

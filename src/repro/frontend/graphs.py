@@ -23,6 +23,7 @@ from repro.frontend.graphgen import (
     KIND_M,
     KIND_N,
     KIND_TF,
+    KIND_TS,
     KIND_U,
     ProgramGraphs,
 )
@@ -36,6 +37,8 @@ from repro.grammar.builtin import (
     LABEL_M,
     LABEL_M_BAR,
     LABEL_N,
+    LABEL_TD,
+    LABEL_TS,
 )
 
 POINTER_LABELS = (
@@ -48,6 +51,8 @@ POINTER_LABELS = (
 )
 
 DATAFLOW_LABELS = (LABEL_N, LABEL_DF)
+
+TAINT_LABELS = (LABEL_TS, LABEL_TD)
 
 
 def pointer_graph(pg: ProgramGraphs) -> MemGraph:
@@ -127,4 +132,49 @@ def dataflow_graph(
         all_lab,
         num_vertices=pg.num_vertices,
         label_names=DATAFLOW_LABELS,
+    )
+
+
+def taint_graph(
+    pg: ProgramGraphs,
+    alias_pairs: Iterable[Tuple[int, int]] = (),
+) -> MemGraph:
+    """The taint/injection analysis input graph.
+
+    ``TS`` edges mark untrusted-input sources (``input()`` results,
+    reached from the shared TAINT vertex); ``TD`` edges are every
+    taint-propagating flow — assignments and parameter/return bindings
+    (``A``), arithmetic (``TF``: concatenating a tainted string into a
+    query keeps it tainted), and alias bridges from the pointer
+    analysis (both directions), so taint crosses the heap exactly where
+    stores and loads may touch the same cell.  ``sanitize()`` emitted
+    no edge at all, so the closure's TT paths cannot cross a cleanser.
+    """
+    label_id = {name: i for i, name in enumerate(TAINT_LABELS)}
+    pieces: List[Tuple[np.ndarray, np.ndarray, int]] = []
+
+    src, dst = pg.edges_of_kind(KIND_TS)
+    pieces.append((src, dst, label_id[LABEL_TS]))
+
+    src, dst = pg.edges_of_kind(KIND_A, KIND_TF)
+    pieces.append((src, dst, label_id[LABEL_TD]))
+
+    pairs = list(alias_pairs)
+    if pairs:
+        a = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        b = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        pieces.append((a, b, label_id[LABEL_TD]))
+        pieces.append((b, a, label_id[LABEL_TD]))
+
+    all_src = np.concatenate([p[0] for p in pieces])
+    all_dst = np.concatenate([p[1] for p in pieces])
+    all_lab = np.concatenate(
+        [np.full(len(p[0]), p[2], dtype=np.int64) for p in pieces]
+    )
+    return MemGraph.from_arrays(
+        all_src,
+        all_dst,
+        all_lab,
+        num_vertices=pg.num_vertices,
+        label_names=TAINT_LABELS,
     )

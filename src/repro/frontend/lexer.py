@@ -18,6 +18,8 @@ KEYWORDS = frozenset(
         "for",
         "return",
         "spawn",
+        "async",
+        "await",
         "NULL",
     }
 )

@@ -32,7 +32,8 @@ class LStmt:
 
     ``kind`` is one of: ``copy``, ``load``, ``store``, ``addrof``,
     ``alloc``, ``null``, ``const``, ``binop``, ``funcref``, ``call``,
-    ``return``, ``test``, ``free``, ``lock``, ``unlock``.
+    ``return``, ``test``, ``free``, ``lock``, ``unlock``, ``sink``,
+    ``sanitize``.
     Field usage per kind:
 
     =========  =========================================================
@@ -54,7 +55,13 @@ class LStmt:
     free      free(rhs)
     lock      lock(rhs)
     unlock    unlock(rhs)
+    sink      callee(args)          (taint sink: ``query``/``exec``; the
+                                     arguments must be sanitized)
+    sanitize  lhs = sanitize(rhs)   (taint cleanser: lhs is clean)
     =========  =========================================================
+
+    ``awaited`` is True on ``call`` statements written ``await f(...)``
+    (informational; the async-misuse analysis works off call structure).
     """
 
     kind: str
@@ -68,6 +75,7 @@ class LStmt:
     nonnull: bool = True
     index_var: Optional[str] = None  # array-index variable (Range checker)
     size: Optional[int] = None  # malloc byte count (Size checker)
+    awaited: bool = False  # call written as ``await callee(...)``
 
 
 @dataclass
@@ -84,6 +92,7 @@ class LoweredFunction:
     line: int = 0
     pointer_vars: Set[str] = field(default_factory=set)  # declared pointers
     var_sizes: Dict[str, int] = field(default_factory=dict)  # base-type sizes
+    is_async: bool = False  # declared ``async``
 
     def return_vars(self) -> List[str]:
         return [s.rhs for s in self.stmts if s.kind == "return" and s.rhs]
@@ -137,6 +146,7 @@ class _FunctionLowerer:
             line=self.func.line,
             pointer_vars=pointer_vars,
             var_sizes=var_sizes,
+            is_async=self.func.is_async,
         )
 
     def _fresh(self) -> str:
@@ -315,6 +325,25 @@ class _FunctionLowerer:
         allow_void: bool,
     ) -> str:
         arg_vars = tuple(self._lower_expr(a, line) for a in call.args)
+        # Taint intrinsics (a user-defined function of the same name
+        # shadows the intrinsic, like ``input`` does via the generic
+        # call path below).
+        if call.callee not in self.function_names:
+            if call.callee in ast.TAINT_SINKS:
+                self._emit(
+                    "sink",
+                    line,
+                    callee=call.callee,
+                    rhs=arg_vars[0] if arg_vars else None,
+                    args=arg_vars,
+                )
+                return into if into is not None else ""
+            if call.callee in ast.TAINT_CLEANSERS:
+                d = into if into is not None else self._fresh()
+                self._emit(
+                    "sanitize", line, lhs=d, rhs=arg_vars[0] if arg_vars else None
+                )
+                return d
         builtin_kind = {
             "free": "free",
             "lock": "lock",
@@ -326,7 +355,14 @@ class _FunctionLowerer:
         lhs = into
         if lhs is None and not allow_void:
             lhs = self._fresh()
-        self._emit("call", line, lhs=lhs, callee=call.callee, args=arg_vars)
+        self._emit(
+            "call",
+            line,
+            lhs=lhs,
+            callee=call.callee,
+            args=arg_vars,
+            awaited=call.awaited,
+        )
         return lhs if lhs is not None else ""
 
     def _lower_effect_call(self, expr: ast.Expr, line: int) -> None:

@@ -65,11 +65,17 @@ class Parser:
     def parse_program(self, module: str = "") -> ast.Program:
         program = ast.Program()
         while not self.check("eof"):
+            is_async = bool(self.accept("keyword", "async"))
             is_pointer, line, size = self._parse_type()
             name = self.expect("ident").text
             if self.check("symbol", "("):
-                program.functions.append(
-                    self._parse_function(name, is_pointer, line, module)
+                func = self._parse_function(name, is_pointer, line, module)
+                func.is_async = is_async
+                program.functions.append(func)
+            elif is_async:
+                raise ParseError(
+                    f"line {line}: 'async' applies to function definitions, "
+                    f"not to the global variable {name!r}"
                 )
             else:
                 program.globals.append(
@@ -310,6 +316,16 @@ class Parser:
         return left
 
     def _parse_unary(self) -> ast.Expr:
+        if self.check("keyword", "await"):
+            tok = self.advance()
+            operand = self._parse_unary()
+            if not isinstance(operand, ast.Call):
+                raise ParseError(
+                    f"line {tok.line}: 'await' must be applied to a call"
+                )
+            return ast.Call(
+                callee=operand.callee, args=operand.args, awaited=True
+            )
         if self.accept("symbol", "*"):
             return ast.Deref(operand=self._parse_unary())
         if self.accept("symbol", "&"):

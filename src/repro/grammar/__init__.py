@@ -35,6 +35,9 @@ from repro.grammar.builtin import (
     LABEL_NF,
     LABEL_OF,
     LABEL_T,
+    LABEL_TD,
+    LABEL_TS,
+    LABEL_TT,
     LABEL_VF,
     LABEL_T1,
     LABEL_VA,
@@ -44,6 +47,7 @@ from repro.grammar.builtin import (
     pointsto_grammar,
     pointsto_grammar_extended,
     reachability_grammar,
+    taint_grammar,
 )
 
 __all__ = [
@@ -60,6 +64,7 @@ __all__ = [
     "pointsto_grammar",
     "pointsto_grammar_extended",
     "nullflow_grammar",
+    "taint_grammar",
     "reachability_grammar",
     "dyck_grammar",
     "LABEL_M",
@@ -78,4 +83,7 @@ __all__ = [
     "LABEL_N",
     "LABEL_DF",
     "LABEL_NF",
+    "LABEL_TS",
+    "LABEL_TD",
+    "LABEL_TT",
 ]

@@ -22,6 +22,19 @@ assigned NULL; ``DF`` is a value-flow edge of the dataflow graph
 (assignments, parameter/return bindings, and load/store flows resolved
 with pointer-analysis results).  A ``nullFlow`` edge into a variable means
 NULL may reach it.
+
+Taint/injection analysis (source → sink, a third grammar client)::
+
+    taint ::= TS | taint TD
+
+``TS`` is an edge from the distinguished TAINT-source vertex to a
+variable receiving untrusted input (``input()``); ``TD`` is a
+taint-propagating flow edge (assignments, parameter/return bindings,
+arithmetic, and alias-resolved heap bridges).  Sanitization is encoded
+*structurally*: ``y = sanitize(x)`` contributes no ``TD`` edge, so a
+``TT`` closure edge into a variable literally means "tainted data
+reaches it without passing a cleanser" — the checker only has to look
+the sink argument up in the closure.
 """
 
 from __future__ import annotations
@@ -44,6 +57,11 @@ LABEL_T = "T"  # helper nonterminal from the normalized grammar
 LABEL_N = "N"  # NULL source edge
 LABEL_DF = "DF"  # dataflow (value-flow) edge
 LABEL_NF = "NF"  # nullFlow
+
+# Canonical label names for the taint/injection analysis.
+LABEL_TS = "TS"  # taint source edge (TAINT vertex -> input() result)
+LABEL_TD = "TD"  # taint-propagating dataflow edge
+LABEL_TT = "TT"  # taint (tainted-reaches-without-sanitization)
 
 
 def pointsto_grammar() -> FrozenGrammar:
@@ -129,6 +147,25 @@ def nullflow_grammar() -> FrozenGrammar:
         g.label(name)
     g.add_constraint(LABEL_NF, LABEL_N)
     g.add_constraint(LABEL_NF, LABEL_NF, LABEL_DF)
+    return g.freeze()
+
+
+def taint_grammar() -> FrozenGrammar:
+    """The two-production taint source→sink grammar.
+
+    Structurally the same shape as :func:`nullflow_grammar` — the point
+    of the platform: a new interprocedural analysis is a new grammar
+    plus a new edge extractor, not new engine code.  ``TD`` edges are
+    emitted for every taint-propagating statement (copies, binops,
+    parameter/return bindings, alias-resolved heap bridges) but *not*
+    for ``sanitize()`` calls, so a ``TT`` closure edge into a vertex
+    means untrusted input reaches it without passing a cleanser.
+    """
+    g = Grammar()
+    for name in (LABEL_TS, LABEL_TD):
+        g.label(name)
+    g.add_constraint(LABEL_TT, LABEL_TS)
+    g.add_constraint(LABEL_TT, LABEL_TT, LABEL_TD)
     return g.freeze()
 
 

@@ -58,6 +58,14 @@ def linux_like(scale: float = 1.0, seed: int = 11) -> Workload:
         race_unguarded=3,
         race_heap=2,
         race_guarded_decoys=2,
+        taint_direct=3,
+        taint_flow=3,
+        taint_flow_chain=3,
+        taint_heap=2,
+        taint_sanitizer_decoys=2,
+        async_direct=2,
+        async_deep=2,
+        async_safe_decoys=2,
         recursion_gadgets=2,
         module_weights=dict(LINUX_MODULE_WEIGHTS),
     ).scaled(scale)
@@ -95,6 +103,14 @@ def postgresql_like(scale: float = 1.0, seed: int = 22) -> Workload:
         race_unguarded=2,
         race_heap=1,
         race_guarded_decoys=1,
+        taint_direct=2,
+        taint_flow=2,
+        taint_flow_chain=2,
+        taint_heap=1,
+        taint_sanitizer_decoys=1,
+        async_direct=1,
+        async_deep=1,
+        async_safe_decoys=1,
         recursion_gadgets=1,
         module_weights={
             "backend": 0.45,
@@ -138,6 +154,14 @@ def httpd_like(scale: float = 1.0, seed: int = 33) -> Workload:
         race_unguarded=1,
         race_heap=1,
         race_guarded_decoys=1,
+        taint_direct=1,
+        taint_flow=1,
+        taint_flow_chain=2,
+        taint_heap=1,
+        taint_sanitizer_decoys=1,
+        async_direct=1,
+        async_deep=1,
+        async_safe_decoys=1,
         recursion_gadgets=1,
         module_weights={
             "server": 0.4,

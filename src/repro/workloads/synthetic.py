@@ -91,6 +91,14 @@ class WorkloadSpec:
     race_unguarded: int = 2
     race_heap: int = 2
     race_guarded_decoys: int = 2
+    taint_direct: int = 2
+    taint_flow: int = 3
+    taint_flow_chain: int = 2  # passthrough hops per deep taint flow
+    taint_heap: int = 2
+    taint_sanitizer_decoys: int = 2
+    async_direct: int = 2
+    async_deep: int = 2
+    async_safe_decoys: int = 2
     recursion_gadgets: int = 1
     module_weights: Dict[str, float] = field(
         default_factory=lambda: dict(LINUX_MODULE_WEIGHTS)
@@ -127,6 +135,13 @@ class WorkloadSpec:
             "race_unguarded",
             "race_heap",
             "race_guarded_decoys",
+            "taint_direct",
+            "taint_flow",
+            "taint_heap",
+            "taint_sanitizer_decoys",
+            "async_direct",
+            "async_deep",
+            "async_safe_decoys",
         ):
             setattr(spec, name, max(1, int(math.ceil(getattr(self, name) * factor))))
         return spec
@@ -140,6 +155,9 @@ class Workload:
     sources: List[Tuple[str, str]]  # (module, source text)
     ground_truth: List[GroundTruthBug]
     spec: WorkloadSpec
+    #: Functions emitted as false-alarm bait (sanitizer/spawn decoys):
+    #: a correct augmented checker reports nothing in any of them.
+    decoy_functions: List[str] = field(default_factory=list)
 
     @property
     def loc(self) -> int:
@@ -155,6 +173,13 @@ class Workload:
         return compile_program(self.sources, max_inlines=max_inlines)
 
     def truth_for(self, checker: str) -> List[GroundTruthBug]:
+        from repro.checkers.driver import ALL_CHECKERS
+
+        known = {cls.name for cls in ALL_CHECKERS}
+        if checker not in known:
+            raise KeyError(
+                f"unknown checker {checker!r}; expected one of {sorted(known)}"
+            )
         return [t for t in self.ground_truth if t.checker == checker]
 
 
@@ -191,6 +216,7 @@ class SyntheticProgramBuilder:
         self.rng = random.Random(spec.seed)
         self.sources = _ModuleSources(self.rng, spec.module_weights)
         self.truth: List[GroundTruthBug] = []
+        self.decoys: List[str] = []
         self._uid = 0
 
     def _next_id(self) -> int:
@@ -246,11 +272,26 @@ class SyntheticProgramBuilder:
             self._emit_race_heap()
         for _ in range(self.spec.race_guarded_decoys):
             self._emit_race_guarded_decoy()
+        for _ in range(self.spec.taint_direct):
+            self._emit_taint_direct()
+        for _ in range(self.spec.taint_flow):
+            self._emit_taint_flow()
+        for _ in range(self.spec.taint_heap):
+            self._emit_taint_heap()
+        for _ in range(self.spec.taint_sanitizer_decoys):
+            self._emit_taint_sanitizer_decoy()
+        for _ in range(self.spec.async_direct):
+            self._emit_async_direct()
+        for _ in range(self.spec.async_deep):
+            self._emit_async_deep()
+        for _ in range(self.spec.async_safe_decoys):
+            self._emit_async_safe_decoy()
         return Workload(
             name=self.spec.name,
             sources=self.sources.finish(),
             ground_truth=self.truth,
             spec=self.spec,
+            decoy_functions=self.decoys,
         )
 
     # ------------------------------------------------------------------
@@ -880,6 +921,193 @@ void rg_host_{k}(void) {{
 }}
 """,
         )
+
+    # ------------------------------------------------------------------
+    # Taint/injection gadgets (input() sources, query()/exec() sinks)
+    # ------------------------------------------------------------------
+    def _emit_taint_direct(self) -> None:
+        """Source and sink in one function: ``tv = input(); query(tv)``.
+        Both the name-keyed baseline and the grammar-driven detector
+        report it."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void td_host_{k}(void) {{
+    int tv{k};
+    tv{k} = input();
+    query(tv{k});
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Taint", f"td_host_{k}", f"tv{k}"))
+
+    def _emit_taint_flow(self) -> None:
+        """Interprocedural flow: the source value crosses a chain of
+        passthrough helpers before reaching the sink.  The baseline
+        kills taint at every call boundary (false negative); the taint
+        closure threads it through parameter/return A-edges."""
+        k = self._next_id()
+        hops = max(1, self.spec.taint_flow_chain)
+        module = self.sources.pick_module(bias_drivers=True)
+        chunks = [
+            f"""int tf_src_{k}(void) {{
+    int td;
+    td = input();
+    return td;
+}}
+"""
+        ]
+        for h in range(hops):
+            chunks.append(
+                f"""int tf_mid_{k}_{h}(int x{k}) {{
+    int y{k};
+    y{k} = x{k};
+    return y{k};
+}}
+"""
+            )
+        calls = f"    ta = tf_src_{k}();\n"
+        var = "ta"
+        for h in range(hops):
+            nxt = f"tb{h}" if h < hops - 1 else f"tq{k}"
+            calls += f"    {nxt} = tf_mid_{k}_{h}({var});\n"
+            var = nxt
+        decls = "".join(
+            f"    int tb{h};\n" for h in range(hops - 1)
+        )
+        chunks.append(
+            f"""void tf_victim_{k}(void) {{
+    int ta;
+{decls}    int tq{k};
+{calls}    query(tq{k});
+}}
+"""
+        )
+        self.sources.add(module, "".join(chunks))
+        self.truth.append(GroundTruthBug("Taint", f"tf_victim_{k}", f"tq{k}"))
+
+    def _emit_taint_heap(self) -> None:
+        """Taint laundered through the heap: stored through one pointer,
+        loaded back through an alias.  Name-keyed tracking is blind; the
+        alias-aware taint closure follows the store/load pair."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void th_host_{k}(void) {{
+    int *cell{k};
+    int *thalias{k};
+    int tin;
+    int tout{k};
+    cell{k} = malloc(8);
+    thalias{k} = cell{k};
+    tin = input();
+    *cell{k} = tin;
+    tout{k} = *thalias{k};
+    exec(tout{k});
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Taint", f"th_host_{k}", f"tout{k}"))
+
+    def _emit_taint_sanitizer_decoy(self) -> None:
+        """False-alarm bait: the tainted value passes through
+        ``sanitize()`` before the sink.  The baseline treats sanitize
+        like a copy and cries injection (FP); the grammar encodes
+        sanitization as an edge break, so no TT path reaches the sink
+        and no ground truth is recorded."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void tsd_host_{k}(void) {{
+    int raw;
+    int cl{k};
+    raw = input();
+    cl{k} = sanitize(raw);
+    exec(cl{k});
+}}
+int tsd_src_{k}(void) {{
+    int z;
+    z = input();
+    return z;
+}}
+void tsd_deep_{k}(void) {{
+    int dv;
+    int ds{k};
+    dv = tsd_src_{k}();
+    ds{k} = sanitize(dv);
+    query(ds{k});
+}}
+""",
+        )
+        self.decoys.extend([f"tsd_host_{k}", f"tsd_deep_{k}"])
+
+    # ------------------------------------------------------------------
+    # Async-misuse gadgets (blocking calls on the event loop)
+    # ------------------------------------------------------------------
+    def _emit_async_direct(self) -> None:
+        """Direct ``sleep()`` inside an async body: both modes report."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""async void ad_host_{k}(void) {{
+    sleep();
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Async", f"ad_host_{k}", "sleep"))
+
+    def _emit_async_deep(self) -> None:
+        """Blocking hidden one call deep in an async function that also
+        awaits a genuine coroutine.  The baseline only sees direct
+        sleeps (false negative); the call-graph blocking closure plus
+        the async context marking catch the wrapper."""
+        k = self._next_id()
+        module = self.sources.pick_module(bias_drivers=True)
+        self.sources.add(
+            module,
+            f"""void aw_block_{k}(void) {{
+    sleep();
+}}
+async int aw_fetch_{k}(void) {{
+    int r{k};
+    r{k} = 1;
+    return r{k};
+}}
+async void aw_deep_{k}(void) {{
+    int q{k};
+    q{k} = await aw_fetch_{k}();
+    aw_block_{k}();
+}}
+""",
+        )
+        self.truth.append(GroundTruthBug("Async", f"aw_deep_{k}", f"aw_block_{k}"))
+
+    def _emit_async_safe_decoy(self) -> None:
+        """False-alarm bait: the async function spawns the sleepy worker
+        onto its own thread.  ``spawn`` severs the async extent, so a
+        correct detector stays quiet and no ground truth is recorded."""
+        k = self._next_id()
+        module = self.sources.pick_module()
+        self.sources.add(
+            module,
+            f"""void as_sleepy_{k}(void) {{
+    sleep();
+}}
+void as_helper_{k}(void) {{
+    int h{k};
+    h{k} = 3;
+}}
+async void as_host_{k}(void) {{
+    as_helper_{k}();
+    spawn as_sleepy_{k}();
+}}
+""",
+        )
+        self.decoys.append(f"as_host_{k}")
 
     def _emit_size_decoy(self) -> None:
         """Odd size on purpose (header + payload): a known FP pattern."""

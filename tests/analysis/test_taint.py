@@ -1,0 +1,227 @@
+"""Tests for the grammar-driven taint/injection analysis."""
+
+from repro.analysis import PointsToAnalysis, TaintAnalysis
+from repro.frontend import compile_program
+from repro.grammar import LABEL_TT, taint_grammar
+
+
+def taint_for(source):
+    pg = compile_program(source)
+    pts = PointsToAnalysis().run(pg)
+    return TaintAnalysis().run(pg, pointsto=pts)
+
+
+def flow_keys(result):
+    return {(f.function, f.sink, f.var) for f in result.flows}
+
+
+class TestGrammar:
+    def test_taint_grammar_shape(self):
+        g = taint_grammar()
+        assert g.label_id(LABEL_TT) >= 0
+        assert g.label_id("TS") >= 0
+        assert g.label_id("TD") >= 0
+
+
+class TestDirectFlow:
+    def test_source_to_sink_same_function(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int v;
+                v = input();
+                query(v);
+            }
+            """
+        )
+        assert flow_keys(result) == {("handler", "query", "v")}
+        assert result.may_receive("handler", "v")
+        assert result.num_tainted > 0
+
+    def test_copies_propagate(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int v;
+                int w;
+                v = input();
+                w = v;
+                exec(w);
+            }
+            """
+        )
+        assert flow_keys(result) == {("handler", "exec", "w")}
+
+    def test_untainted_sink_argument_is_clean(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int v;
+                int c;
+                v = input();
+                c = 7;
+                query(c);
+            }
+            """
+        )
+        assert result.flows == []
+        # the source result is tainted even though no flow reaches a sink
+        assert result.may_receive("handler", "v")
+
+
+class TestInterproceduralFlow:
+    def test_flow_through_call_chain(self):
+        result = taint_for(
+            """
+            int src(void) {
+                int raw;
+                raw = input();
+                return raw;
+            }
+            int mid(int x) {
+                int y;
+                y = x;
+                return y;
+            }
+            void victim(void) {
+                int a;
+                int q;
+                a = src();
+                q = mid(a);
+                query(q);
+            }
+            """
+        )
+        assert ("victim", "query", "q") in flow_keys(result)
+
+    def test_contexts_reaching_counts_clones(self):
+        result = taint_for(
+            """
+            int src(void) {
+                int raw;
+                raw = input();
+                return raw;
+            }
+            void once(void) {
+                int a;
+                a = src();
+                exec(a);
+            }
+            void twice(void) {
+                int b;
+                int c;
+                b = src();
+                c = src();
+                query(b);
+                query(c);
+            }
+            """
+        )
+        assert ("once", "exec", "a") in flow_keys(result)
+        assert ("twice", "query", "b") in flow_keys(result)
+        assert ("twice", "query", "c") in flow_keys(result)
+        assert result.contexts_reaching("once", "a")
+
+
+class TestHeapFlow:
+    def test_taint_through_store_load_alias(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int *cell;
+                int *alias;
+                int tin;
+                int tout;
+                cell = malloc(8);
+                alias = cell;
+                tin = input();
+                *cell = tin;
+                tout = *alias;
+                exec(tout);
+            }
+            """
+        )
+        assert ("handler", "exec", "tout") in flow_keys(result)
+
+
+class TestSanitization:
+    def test_sanitize_breaks_the_flow(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int raw;
+                int clean;
+                raw = input();
+                clean = sanitize(raw);
+                exec(clean);
+            }
+            """
+        )
+        assert result.flows == []
+        assert not result.may_receive("handler", "clean")
+        # the raw value stays tainted; only the sanitized copy is clean
+        assert result.may_receive("handler", "raw")
+
+    def test_sanitize_in_callee_protects_caller(self):
+        result = taint_for(
+            """
+            int scrub(int x) {
+                int s;
+                s = sanitize(x);
+                return s;
+            }
+            void handler(void) {
+                int raw;
+                int ok;
+                raw = input();
+                ok = scrub(raw);
+                query(ok);
+            }
+            """
+        )
+        assert result.flows == []
+
+    def test_unsanitized_path_still_reported_alongside(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int raw;
+                int clean;
+                raw = input();
+                clean = sanitize(raw);
+                exec(clean);
+                query(raw);
+            }
+            """
+        )
+        assert flow_keys(result) == {("handler", "query", "raw")}
+
+
+class TestResultApi:
+    def test_describe_mentions_sink_and_function(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int v;
+                v = input();
+                query(v);
+            }
+            """
+        )
+        text = result.flows[0].describe()
+        assert "query" in text
+        assert "handler" in text
+        assert "injection" in text
+
+    def test_no_sources_means_no_taint(self):
+        result = taint_for(
+            """
+            void handler(void) {
+                int v;
+                v = 3;
+                query(v);
+            }
+            """
+        )
+        assert result.num_tainted == 0
+        assert result.flows == []

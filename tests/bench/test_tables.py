@@ -33,8 +33,8 @@ def httpd_small():
 class TestTableFunctions:
     def test_table1(self):
         rows = table1_rows()
-        assert len(rows) == 9
-        assert {r["checker"] for r in rows} >= {"Null", "UNTest", "Race"}
+        assert len(rows) == 11
+        assert {r["checker"] for r in rows} >= {"Null", "UNTest", "Race", "Taint", "Async"}
 
     def test_table2(self, httpd_small):
         rows = table2_rows([httpd_small])

@@ -1,0 +1,126 @@
+"""Tests for the Async checker: blocking calls reachable from async code."""
+
+from repro.checkers import AsyncChecker, run_analyses
+from repro.engine import GraspanEngine
+from repro.frontend import compile_program
+
+
+def ctx_for(source):
+    return run_analyses(compile_program(source, module="m"))
+
+
+def keys(reports):
+    return {(r.function, r.variable) for r in reports}
+
+
+DIRECT = """
+async void host(void) {
+    sleep();
+}
+"""
+
+WRAPPED = """
+void do_block(void) {
+    sleep();
+}
+async int fetch(void) {
+    int r;
+    r = 1;
+    return r;
+}
+async void deep(void) {
+    int q;
+    q = await fetch();
+    do_block();
+}
+"""
+
+SPAWN_DECOY = """
+void sleepy(void) {
+    sleep();
+}
+void helper(void) {
+    int h;
+    h = 3;
+}
+async void host(void) {
+    helper();
+    spawn sleepy();
+}
+"""
+
+SYNC_ONLY = """
+void do_block(void) {
+    sleep();
+}
+void caller(void) {
+    do_block();
+}
+"""
+
+FUNCTION_POINTER = """
+void do_block(void) {
+    sleep();
+}
+async void host(void) {
+    void *fp;
+    fp = do_block;
+    fp();
+}
+"""
+
+
+class TestBaseline:
+    def test_detects_direct_sleep_in_async_body(self):
+        ctx = ctx_for(DIRECT)
+        assert keys(AsyncChecker().check_baseline(ctx)) == {("host", "sleep")}
+
+    def test_misses_wrapped_blocking(self):
+        """Only direct sleeps are seen (documented false negative)."""
+        ctx = ctx_for(WRAPPED)
+        assert AsyncChecker().check_baseline(ctx) == []
+
+    def test_ignores_sync_functions(self):
+        ctx = ctx_for(SYNC_ONLY)
+        assert AsyncChecker().check_baseline(ctx) == []
+
+
+class TestAugmented:
+    def test_detects_direct_sleep(self):
+        ctx = ctx_for(DIRECT)
+        assert keys(AsyncChecker().check_augmented(ctx)) == {("host", "sleep")}
+
+    def test_detects_wrapped_blocking(self):
+        ctx = ctx_for(WRAPPED)
+        reports = AsyncChecker().check_augmented(ctx)
+        assert ("deep", "do_block") in keys(reports)
+        # the clean coroutine await is not flagged
+        assert ("deep", "fetch") not in keys(reports)
+
+    def test_spawn_severs_the_async_extent(self):
+        """Work handed to a thread may block; no report."""
+        ctx = ctx_for(SPAWN_DECOY)
+        assert AsyncChecker().check_augmented(ctx) == []
+
+    def test_blocking_in_sync_code_not_flagged(self):
+        ctx = ctx_for(SYNC_ONLY)
+        assert AsyncChecker().check_augmented(ctx) == []
+
+    def test_indirect_call_via_function_pointer(self):
+        ctx = ctx_for(FUNCTION_POINTER)
+        reports = AsyncChecker().check_augmented(ctx)
+        assert ("host", "fp") in keys(reports)
+
+    def test_no_extra_engine_runs(self, monkeypatch):
+        ctx = ctx_for(WRAPPED)
+        calls = []
+        original = GraspanEngine.run
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(GraspanEngine, "run", counting)
+        reports = AsyncChecker().check_augmented(ctx)
+        assert reports
+        assert calls == []

@@ -1,0 +1,117 @@
+"""Tests for the Taint checker: baseline blind spots vs augmentation."""
+
+from repro.checkers import TaintChecker, run_analyses
+from repro.engine import GraspanEngine
+from repro.frontend import compile_program
+
+
+def ctx_for(source):
+    return run_analyses(compile_program(source, module="m"))
+
+
+def keys(reports):
+    return {(r.function, r.variable) for r in reports}
+
+
+DIRECT = """
+void handler(void) {
+    int v;
+    v = input();
+    query(v);
+}
+"""
+
+INTERPROCEDURAL = """
+int src(void) {
+    int raw;
+    raw = input();
+    return raw;
+}
+void victim(void) {
+    int q;
+    q = src();
+    exec(q);
+}
+"""
+
+SANITIZED = """
+void handler(void) {
+    int raw;
+    int clean;
+    raw = input();
+    clean = sanitize(raw);
+    exec(clean);
+}
+"""
+
+HEAP_ALIAS = """
+void handler(void) {
+    int *cell;
+    int *alias;
+    int tin;
+    int tout;
+    cell = malloc(8);
+    alias = cell;
+    tin = input();
+    *cell = tin;
+    tout = *alias;
+    exec(tout);
+}
+"""
+
+
+class TestBaseline:
+    def test_detects_same_function_flow(self):
+        ctx = ctx_for(DIRECT)
+        assert keys(TaintChecker().check_baseline(ctx)) == {("handler", "v")}
+
+    def test_misses_interprocedural_flow(self):
+        """Name-keyed: the call boundary kills the taint (documented
+        false negative)."""
+        ctx = ctx_for(INTERPROCEDURAL)
+        assert TaintChecker().check_baseline(ctx) == []
+
+    def test_false_alarm_on_sanitized_flow(self):
+        """The baseline treats sanitize() like a copy, so the cleansed
+        value still looks tainted (documented false positive)."""
+        ctx = ctx_for(SANITIZED)
+        assert keys(TaintChecker().check_baseline(ctx)) == {("handler", "clean")}
+
+    def test_misses_heap_laundered_flow(self):
+        ctx = ctx_for(HEAP_ALIAS)
+        assert TaintChecker().check_baseline(ctx) == []
+
+
+class TestAugmented:
+    def test_detects_direct_flow(self):
+        ctx = ctx_for(DIRECT)
+        assert keys(TaintChecker().check_augmented(ctx)) == {("handler", "v")}
+
+    def test_detects_interprocedural_flow(self):
+        ctx = ctx_for(INTERPROCEDURAL)
+        reports = TaintChecker().check_augmented(ctx)
+        assert keys(reports) == {("victim", "q")}
+        assert all(r.interprocedural for r in reports)
+
+    def test_suppresses_sanitized_flow(self):
+        ctx = ctx_for(SANITIZED)
+        assert TaintChecker().check_augmented(ctx) == []
+
+    def test_detects_heap_laundered_flow(self):
+        ctx = ctx_for(HEAP_ALIAS)
+        assert keys(TaintChecker().check_augmented(ctx)) == {("handler", "tout")}
+
+    def test_no_extra_engine_runs(self, monkeypatch):
+        """The checker is a pure client of the prepared context."""
+        ctx = ctx_for(INTERPROCEDURAL)
+        calls = []
+        original = GraspanEngine.run
+
+        def counting(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(GraspanEngine, "run", counting)
+        reports = TaintChecker().check_augmented(ctx)
+        assert reports
+        assert calls == []

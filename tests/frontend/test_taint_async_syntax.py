@@ -1,0 +1,143 @@
+"""Tests for the taint intrinsics and async/await frontend support."""
+
+import pytest
+
+from repro.frontend import ParseError, compile_program, parse
+from repro.frontend.graphgen import KIND_TS, SYM_TAINT
+from repro.frontend.lower import lower_program
+
+
+class TestParsing:
+    def test_async_function_flag(self):
+        prog = parse("async void f(void) { }\nvoid g(void) { }\n")
+        assert prog.function("f").is_async
+        assert not prog.function("g").is_async
+
+    def test_await_call_flag(self):
+        prog = parse(
+            """
+            async int fetch(void) { int r; r = 1; return r; }
+            async void f(void) { int x; x = await fetch(); }
+            """
+        )
+        stmt = prog.function("f").body[1]
+        assert stmt.rhs.awaited
+        assert "await" in str(stmt.rhs)
+
+    def test_async_on_global_is_an_error(self):
+        with pytest.raises(ParseError, match="applies to function definitions"):
+            parse("async int g;")
+
+    def test_await_non_call_is_an_error(self):
+        with pytest.raises(ParseError, match="must be applied to a call"):
+            parse("async void f(void) { int x; x = await 3; }")
+
+
+class TestLowering:
+    def test_sink_statement(self):
+        lowered = lower_program(
+            parse("void f(void) { int v; v = input(); query(v); }")
+        )
+        sinks = lowered.functions["f"].statements_of_kind("sink")
+        assert len(sinks) == 1
+        assert sinks[0].callee == "query"
+        assert list(sinks[0].args) == ["v"]
+
+    def test_sanitize_statement(self):
+        lowered = lower_program(
+            parse("void f(void) { int v; int c; v = input(); c = sanitize(v); }")
+        )
+        cleans = lowered.functions["f"].statements_of_kind("sanitize")
+        assert len(cleans) == 1
+        assert cleans[0].lhs == "c"
+        assert cleans[0].rhs == "v"
+
+    def test_awaited_call_marked(self):
+        lowered = lower_program(
+            parse(
+                """
+                async int fetch(void) { int r; r = 1; return r; }
+                async void f(void) { int x; x = await fetch(); }
+                """
+            )
+        )
+        calls = lowered.functions["f"].statements_of_kind("call")
+        assert [c.awaited for c in calls] == [True]
+        assert lowered.functions["f"].is_async
+
+
+class TestGraphGeneration:
+    def test_input_emits_taint_source_edge(self):
+        pg = compile_program("void f(void) { int v; v = input(); }")
+        src, dst = pg.edges_of_kind(KIND_TS)
+        assert len(src) == 1
+        taint_vid = pg.namer.vertices_for("", SYM_TAINT)[0]
+        assert src[0] == taint_vid
+
+    def test_sink_and_sanitize_emit_no_edges(self):
+        pg = compile_program(
+            """
+            void f(void) {
+                int v;
+                int c;
+                v = input();
+                c = sanitize(v);
+                query(c);
+            }
+            """
+        )
+        # exactly the one TS edge; sanitize contributes no assignment edge
+        src, dst = pg.edges_of_kind(KIND_TS)
+        assert len(src) == 1
+
+
+class TestAsyncContexts:
+    def test_callee_of_async_function_is_async_context(self):
+        pg = compile_program(
+            """
+            void leaf(void) { int x; x = 1; }
+            async void host(void) { leaf(); }
+            """
+        )
+        assert pg.async_contexts
+        for ctx in pg.async_contexts:
+            assert pg.context_call_sites[ctx].callee == "leaf"
+
+    def test_async_extends_transitively(self):
+        pg = compile_program(
+            """
+            void inner(void) { int x; x = 1; }
+            void outer(void) { inner(); }
+            async void host(void) { outer(); }
+            """
+        )
+        callees = {pg.context_call_sites[c].callee for c in pg.async_contexts}
+        assert callees == {"outer", "inner"}
+
+    def test_spawn_severs_async_extent(self):
+        pg = compile_program(
+            """
+            void worker(void) { int x; x = 1; }
+            async void host(void) { spawn worker(); }
+            """
+        )
+        assert pg.async_contexts == set()
+
+    def test_sync_call_chain_has_no_async_contexts(self):
+        pg = compile_program(
+            """
+            void inner(void) { int x; x = 1; }
+            void outer(void) { inner(); }
+            """
+        )
+        assert pg.async_contexts == set()
+
+    def test_async_callee_is_async_even_from_sync_caller(self):
+        pg = compile_program(
+            """
+            async void coro(void) { int x; x = 1; }
+            void driver(void) { coro(); }
+            """
+        )
+        callees = {pg.context_call_sites[c].callee for c in pg.async_contexts}
+        assert callees == {"coro"}

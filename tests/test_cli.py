@@ -145,6 +145,50 @@ class TestRaces:
         assert "race on" not in captured.out
 
 
+TAINTED_SOURCE = """
+int fetch(void) {
+    int raw;
+    raw = input();
+    return raw;
+}
+void handler(void) {
+    int q;
+    q = fetch();
+    query(q);
+}
+"""
+
+SANITIZED_SOURCE = """
+void handler(void) {
+    int raw;
+    int clean;
+    raw = input();
+    clean = sanitize(raw);
+    exec(clean);
+}
+"""
+
+
+class TestTaint:
+    def test_reports_flow_and_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(TAINTED_SOURCE)
+        code = main(["taint", str(src)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "injection" in captured.out
+        assert "handler" in captured.out
+        assert "tainted vertices" in captured.err
+
+    def test_sanitized_program_exits_zero(self, tmp_path, capsys):
+        src = tmp_path / "prog.c"
+        src.write_text(SANITIZED_SOURCE)
+        code = main(["taint", str(src)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "injection" not in captured.out
+
+
 class TestWorkload:
     def test_generates_sources_and_truth(self, tmp_path, capsys):
         out = tmp_path / "wl"

@@ -31,6 +31,27 @@ class TestPublicSurface:
         nulls = repro.NullDataflowAnalysis().run(pg, pointsto=pts)
         assert nulls.may_receive("main_fn", "v")
 
+    def test_taint_flow(self):
+        """The five-client closure story: taint as a public analysis."""
+        pg = repro.compile_program(
+            """
+            int src(void) { int raw; raw = input(); return raw; }
+            void handler(void) { int q; q = src(); query(q); }
+            """
+        )
+        pts = repro.PointsToAnalysis().run(pg)
+        taint = repro.TaintAnalysis().run(pg, pointsto=pts)
+        assert taint.may_receive("handler", "q")
+        assert [f.sink for f in taint.flows] == ["query"]
+
+    def test_checker_registry_exports(self):
+        from repro.checkers import ALL_CHECKERS
+
+        names = {cls.name for cls in ALL_CHECKERS}
+        assert {"Race", "Taint", "Async"} <= names
+        assert repro.TaintChecker in ALL_CHECKERS
+        assert repro.AsyncChecker in ALL_CHECKERS
+
     def test_grammar_engine_flow(self):
         g = repro.Grammar()
         g.add_constraint("R", "E")

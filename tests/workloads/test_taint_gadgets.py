@@ -1,0 +1,131 @@
+"""Tests for the taint/async workload gadgets and ``truth_for`` validation."""
+
+import pytest
+
+from repro.workloads import WorkloadSpec, generate
+from repro.workloads.synthetic import SyntheticProgramBuilder
+
+
+def spec(**overrides):
+    base = dict(
+        name="tg",
+        seed=5,
+        num_roots=2,
+        layers=2,
+        layer_width=3,
+    )
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate(spec())
+
+
+class TestTruthForValidation:
+    def test_known_checker_filters(self, workload):
+        taints = workload.truth_for("Taint")
+        assert taints and all(t.checker == "Taint" for t in taints)
+
+    def test_unknown_checker_raises_keyerror(self, workload):
+        with pytest.raises(KeyError, match="unknown checker 'Tanit'"):
+            workload.truth_for("Tanit")
+
+    def test_error_lists_valid_names(self, workload):
+        with pytest.raises(KeyError, match="Async"):
+            workload.truth_for("")
+
+
+class TestTaintGadgets:
+    def test_direct_gadget_records_truth(self):
+        builder = SyntheticProgramBuilder(spec())
+        builder._emit_taint_direct()
+        assert len(builder.truth) == 1
+        assert builder.truth[0].checker == "Taint"
+        assert builder.truth[0].function.startswith("td_host_")
+
+    def test_flow_gadget_uses_chain_length(self):
+        builder = SyntheticProgramBuilder(spec(taint_flow_chain=4))
+        builder._emit_taint_flow()
+        text = "\n".join(t for _, t in builder.sources.finish())
+        for hop in range(4):
+            assert f"tf_mid_1_{hop}" in text
+        assert len(builder.truth) == 1
+
+    def test_sanitizer_decoy_records_no_truth(self):
+        """The decoy is a correct program: sanitize() guards every sink."""
+        builder = SyntheticProgramBuilder(spec())
+        builder._emit_taint_sanitizer_decoy()
+        assert builder.truth == []
+        assert len(builder.decoys) == 2
+        assert all(f.startswith("tsd_") for f in builder.decoys)
+        text = "\n".join(t for _, t in builder.sources.finish())
+        assert "sanitize(" in text
+
+    def test_heap_gadget_records_truth(self):
+        builder = SyntheticProgramBuilder(spec())
+        builder._emit_taint_heap()
+        assert [t.checker for t in builder.truth] == ["Taint"]
+
+
+class TestAsyncGadgets:
+    def test_direct_gadget_records_truth(self):
+        builder = SyntheticProgramBuilder(spec())
+        builder._emit_async_direct()
+        assert [t.checker for t in builder.truth] == ["Async"]
+        assert builder.truth[0].variable == "sleep"
+
+    def test_deep_gadget_uses_await(self):
+        builder = SyntheticProgramBuilder(spec())
+        builder._emit_async_deep()
+        text = "\n".join(t for _, t in builder.sources.finish())
+        assert "await " in text
+        assert [t.checker for t in builder.truth] == ["Async"]
+        assert builder.truth[0].variable.startswith("aw_block_")
+
+    def test_safe_decoy_spawns_and_records_no_truth(self):
+        builder = SyntheticProgramBuilder(spec())
+        builder._emit_async_safe_decoy()
+        assert builder.truth == []
+        assert len(builder.decoys) == 1
+        text = "\n".join(t for _, t in builder.sources.finish())
+        assert "spawn as_sleepy_" in text
+
+
+class TestWorkloadIntegration:
+    def test_decoy_functions_surface_on_workload(self, workload):
+        assert workload.decoy_functions
+        defined = set()
+        for _, text in workload.sources:
+            defined.update(
+                line.split("(")[0].split()[-1]
+                for line in text.splitlines()
+                if line.startswith(("void ", "int ", "async "))
+            )
+        for decoy in workload.decoy_functions:
+            assert decoy in defined
+
+    def test_gadgets_compile(self, workload):
+        pg = workload.compile()
+        assert pg.async_contexts
+        src, dst = pg.edges_of_kind("TS")
+        assert len(src) > 0
+
+    def test_scaled_keeps_new_gadgets_at_least_one(self):
+        small = spec().scaled(0.01)
+        for name in (
+            "taint_direct",
+            "taint_flow",
+            "taint_heap",
+            "taint_sanitizer_decoys",
+            "async_direct",
+            "async_deep",
+            "async_safe_decoys",
+        ):
+            assert getattr(small, name) >= 1
+
+    def test_deterministic_in_seed(self):
+        a, b = generate(spec()), generate(spec())
+        assert a.sources == b.sources
+        assert a.decoy_functions == b.decoy_functions
