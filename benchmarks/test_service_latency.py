@@ -1,0 +1,201 @@
+"""Closure-as-a-service latency: concurrent queries and delta re-closure.
+
+Three measurements against one live daemon (DESIGN.md §14):
+
+* **cold load** — compile + four store-backed closures + hot-partition
+  pinning for a whole workload, the daemon's worst case;
+* **sustained concurrent queries** — eight client threads hammering
+  checker queries against the resident closures; per-request p50/p99
+  round-trip latency is the serving-tier headline;
+* **incremental vs cold** — a single-function edit re-closed through the
+  store's delta path against a from-scratch run of the same mutated
+  graph, the speedup row that justifies the store.
+
+Machine-readable numbers land in ``results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import tempfile
+import time
+from pathlib import Path
+from threading import Thread
+
+import numpy as np
+
+from benchmarks.conftest import results_path
+from repro.bench import render_table, rows_from_dicts, save_and_print
+from repro.engine.store import ClosureStore
+from repro.grammar.builtin import pointsto_grammar_extended
+from repro.service import ClosureDaemon, ServiceClient, ServiceThread
+
+QUERY_WORKERS = 8
+QUERIES_PER_WORKER = 5
+#: The per-worker query mix: one broad all-checker sweep, then targeted
+#: single-checker queries — the shape an editor integration produces.
+CHECKER_MIX = [None, "Null", "Taint", "Free", "Race"]
+
+
+def _function_edit(pg, graph):
+    """New assignment flows inside one function (see tests/engine)."""
+    label = graph.label_names.index("A")
+    namer = pg.namer
+    for fname in sorted(pg.lowered.functions):
+        func = pg.lowered.functions[fname]
+        names = sorted(set(func.params) | set(func.locals))
+        if len(names) < 2:
+            continue
+        for a, b in itertools.combinations(names, 2):
+            by_ctx = {namer.context(v): v for v in namer.vertices_for(fname, a)}
+            extra = []
+            for vb in namer.vertices_for(fname, b):
+                va = by_ctx.get(namer.context(vb))
+                if va is not None and not graph.has_edge(va, vb, label):
+                    extra.append((va, vb, label))
+            if extra:
+                return graph.with_edges(extra)
+    raise RuntimeError("no mutable function found")
+
+
+def test_service_latency(httpd):
+    sources = list(httpd.workload.sources)
+    max_edges = max(500, httpd.pointer.num_edges // 6)
+    latencies_ms = []
+    errors = []
+
+    with tempfile.TemporaryDirectory(prefix="closure-svc-") as tmp:
+        daemon = ClosureDaemon(
+            Path(tmp) / "store",
+            max_edges_per_partition=max_edges,
+            memory_budget=8 * 1024 * 1024,
+            num_workers=QUERY_WORKERS,
+        )
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                started = time.perf_counter()
+                loaded = client.load(httpd.name, sources=sources)
+                load_s = time.perf_counter() - started
+
+                def worker():
+                    try:
+                        with ServiceClient(host, port) as c:
+                            for i in range(QUERIES_PER_WORKER):
+                                checker = CHECKER_MIX[i % len(CHECKER_MIX)]
+                                t0 = time.perf_counter()
+                                c.check(httpd.name, checker=checker)
+                                latencies_ms.append(
+                                    (time.perf_counter() - t0) * 1000.0
+                                )
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [Thread(target=worker) for _ in range(QUERY_WORKERS)]
+                query_start = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                query_wall_s = time.perf_counter() - query_start
+                status = client.status()
+
+        assert not errors
+        assert len(latencies_ms) == QUERY_WORKERS * QUERIES_PER_WORKER
+
+        # -- incremental vs cold, through the same store machinery ------
+        grammar = pointsto_grammar_extended()
+        store = ClosureStore(
+            Path(tmp) / "delta-store", max_edges_per_partition=max_edges
+        )
+        base = store.closure(grammar, httpd.pointer)
+        mutated = _function_edit(httpd.pg, httpd.pointer)
+
+        t0 = time.perf_counter()
+        incremental = store.closure(grammar, mutated)
+        incremental_s = time.perf_counter() - t0
+        assert incremental.stats.closure_source == "incremental"
+
+        cold_store = ClosureStore(
+            Path(tmp) / "cold-store", max_edges_per_partition=max_edges
+        )
+        t0 = time.perf_counter()
+        cold = cold_store.closure(grammar, mutated)
+        cold_s = time.perf_counter() - t0
+        assert cold.stats.closure_source == "cold"
+        assert incremental.stats.num_supersteps < cold.stats.num_supersteps
+
+    p50 = float(np.percentile(latencies_ms, 50))
+    p99 = float(np.percentile(latencies_ms, 99))
+    qps = len(latencies_ms) / query_wall_s
+    speedup = cold_s / incremental_s if incremental_s > 0 else float("inf")
+
+    closures = status["programs"][httpd.name]["closures"]
+    rows = [
+        {
+            "phase": "cold load (4 closures + pin)",
+            "wall_s": round(load_s, 3),
+            "detail": ",".join(
+                f"{k}:{v['source']}" for k, v in sorted(loaded["closures"].items())
+            ),
+        },
+        {
+            "phase": f"{QUERY_WORKERS}x{QUERIES_PER_WORKER} concurrent checks",
+            "wall_s": round(query_wall_s, 3),
+            "detail": f"p50 {p50:.1f}ms p99 {p99:.1f}ms ({qps:.0f} q/s)",
+        },
+        {
+            "phase": "incremental re-closure",
+            "wall_s": round(incremental_s, 3),
+            "detail": (
+                f"{incremental.stats.num_supersteps} supersteps, "
+                f"{incremental.stats.delta_seed_partitions} seeded"
+            ),
+        },
+        {
+            "phase": "cold re-closure (reference)",
+            "wall_s": round(cold_s, 3),
+            "detail": (
+                f"{cold.stats.num_supersteps} supersteps; "
+                f"incremental speedup {speedup:.1f}x"
+            ),
+        },
+    ]
+    text = render_table(
+        "Closure-as-a-service: load, query latency, delta re-closure",
+        ["phase", "wall s", "detail"],
+        rows_from_dicts(rows, ["phase", "wall_s", "detail"]),
+        note="daemon queries served from pinned-resident closures "
+        "under an 8 MiB budget",
+    )
+    save_and_print(text, results_path("service_latency.txt"))
+
+    with open(results_path("BENCH_service.json"), "w") as fh:
+        json.dump(
+            {
+                "workload": httpd.name,
+                "load_s": load_s,
+                "query_workers": QUERY_WORKERS,
+                "queries": len(latencies_ms),
+                "query_wall_s": query_wall_s,
+                "latency_p50_ms": p50,
+                "latency_p99_ms": p99,
+                "queries_per_s": qps,
+                "residency": {
+                    label: {
+                        "peak_resident_bytes": c["peak_resident_bytes"],
+                        "memory_budget": c["memory_budget"],
+                        "pinned": len(c["pinned"]),
+                    }
+                    for label, c in closures.items()
+                },
+                "incremental_s": incremental_s,
+                "cold_s": cold_s,
+                "incremental_speedup": speedup,
+                "incremental_supersteps": incremental.stats.num_supersteps,
+                "cold_supersteps": cold.stats.num_supersteps,
+                "base_supersteps": base.stats.num_supersteps,
+            },
+            fh,
+            indent=2,
+        )

@@ -88,6 +88,9 @@ class SourceTrackingAnalysis:
     workdir: Optional[PathLike] = None
     num_threads: int = 1
     parallel_backend: Optional[str] = None
+    #: Optional :class:`repro.engine.store.ClosureStore`; see
+    #: :class:`repro.analysis.pointsto.PointsToAnalysis`.
+    closure_store: Optional[object] = None
 
     def run(
         self,
@@ -99,14 +102,17 @@ class SourceTrackingAnalysis:
         if pointsto is not None:
             alias_pairs = pointsto.deref_alias_pairs()
         graph = dataflow_graph(pg, alias_pairs=alias_pairs, taint=self.taint)
-        engine = GraspanEngine(
-            nullflow_grammar(),
-            max_edges_per_partition=self.max_edges_per_partition,
-            workdir=self.workdir,
-            num_threads=self.num_threads,
-            parallel_backend=self.parallel_backend,
-        )
-        computation = engine.run(graph)
+        if self.closure_store is not None:
+            computation = self.closure_store.closure(nullflow_grammar(), graph)
+        else:
+            engine = GraspanEngine(
+                nullflow_grammar(),
+                max_edges_per_partition=self.max_edges_per_partition,
+                workdir=self.workdir,
+                num_threads=self.num_threads,
+                parallel_backend=self.parallel_backend,
+            )
+            computation = engine.run(graph)
         return SourceFlowResult(
             pg, computation, kind="taint" if self.taint else "null"
         )

@@ -132,15 +132,24 @@ class PointsToAnalysis:
     workdir: Optional[PathLike] = None
     num_threads: int = 1
     parallel_backend: Optional[str] = None
+    #: When set, closures come from this
+    #: :class:`repro.engine.store.ClosureStore` — cached or incrementally
+    #: re-closed instead of recomputed; the store's engine configuration
+    #: (sizing, budget, backend) wins over this analysis's fields.
+    closure_store: Optional[object] = None
 
     def run(self, pg: ProgramGraphs) -> PointsToResult:
         grammar = self.grammar if self.grammar is not None else pointsto_grammar_extended()
-        engine = GraspanEngine(
-            grammar,
-            max_edges_per_partition=self.max_edges_per_partition,
-            workdir=self.workdir,
-            num_threads=self.num_threads,
-            parallel_backend=self.parallel_backend,
-        )
-        computation = engine.run(pointer_graph(pg))
+        graph = pointer_graph(pg)
+        if self.closure_store is not None:
+            computation = self.closure_store.closure(grammar, graph)
+        else:
+            engine = GraspanEngine(
+                grammar,
+                max_edges_per_partition=self.max_edges_per_partition,
+                workdir=self.workdir,
+                num_threads=self.num_threads,
+                parallel_backend=self.parallel_backend,
+            )
+            computation = engine.run(graph)
         return PointsToResult(pg, computation)

@@ -169,6 +169,9 @@ class TaintAnalysis:
     workdir: Optional[PathLike] = None
     num_threads: int = 1
     parallel_backend: Optional[str] = None
+    #: Optional :class:`repro.engine.store.ClosureStore`; see
+    #: :class:`repro.analysis.pointsto.PointsToAnalysis`.
+    closure_store: Optional[object] = None
 
     def run(
         self,
@@ -179,12 +182,15 @@ class TaintAnalysis:
         if pointsto is not None:
             alias_pairs = pointsto.deref_alias_pairs()
         graph = taint_graph(pg, alias_pairs=alias_pairs)
-        engine = GraspanEngine(
-            taint_grammar(),
-            max_edges_per_partition=self.max_edges_per_partition,
-            workdir=self.workdir,
-            num_threads=self.num_threads,
-            parallel_backend=self.parallel_backend,
-        )
-        computation = engine.run(graph)
+        if self.closure_store is not None:
+            computation = self.closure_store.closure(taint_grammar(), graph)
+        else:
+            engine = GraspanEngine(
+                taint_grammar(),
+                max_edges_per_partition=self.max_edges_per_partition,
+                workdir=self.workdir,
+                num_threads=self.num_threads,
+                parallel_backend=self.parallel_backend,
+            )
+            computation = engine.run(graph)
         return TaintResult(pg, computation)

@@ -116,35 +116,46 @@ def run_analyses(
     workdir: Optional[PathLike] = None,
     num_threads: int = 1,
     parallel_backend: Optional[str] = None,
+    closure_store=None,
 ) -> AnalysisContext:
     """Run the four engine-backed analyses — pointer, NULL dataflow,
     user-data dataflow, and the taint/injection closure — plus the
     closure-reusing escape and race clients; bundle into a context.
     The Taint and Async checkers consume the bundled results without
-    further engine runs."""
+    further engine runs.
+
+    ``closure_store`` (a :class:`repro.engine.store.ClosureStore`)
+    routes all four closures through the persistent cache: unchanged
+    programs hit finished entries, edited programs re-close
+    incrementally from the nearest base (DESIGN.md §14).  The store's
+    engine configuration wins over the sizing arguments here."""
     pointsto = PointsToAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
         parallel_backend=parallel_backend,
+        closure_store=closure_store,
     ).run(pg)
     nullflow = NullDataflowAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
         parallel_backend=parallel_backend,
+        closure_store=closure_store,
     ).run(pg, pointsto=pointsto)
     taintflow = TaintDataflowAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
         parallel_backend=parallel_backend,
+        closure_store=closure_store,
     ).run(pg, pointsto=pointsto)
     taint = TaintAnalysis(
         max_edges_per_partition=max_edges_per_partition,
         workdir=workdir,
         num_threads=num_threads,
         parallel_backend=parallel_backend,
+        closure_store=closure_store,
     ).run(pg, pointsto=pointsto)
     # Closure clients: escape + race facts fall out of the pointer
     # closure already in hand — no further engine runs.

@@ -26,6 +26,12 @@ Five subcommands cover the system's main entry points:
 ``workload``
     Generate one of the evaluation codebases to a directory (MiniC
     sources per module plus the ground-truth JSON).
+
+``serve``
+    Closure-as-a-service: start the daemon over a persistent closure
+    store.  Programs loaded through it resolve as cache hits or
+    incremental delta re-closures when possible; checker queries are
+    served concurrently against pinned-resident closures.
 """
 
 from __future__ import annotations
@@ -236,6 +242,35 @@ def _cmd_taint(args: argparse.Namespace) -> int:
     return 1 if taint.flows else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ClosureDaemon
+    from repro.util.faults import FaultInjector, FaultPlan
+    from repro.util.memory import parse_memory_size
+
+    fault_plan = FaultPlan.from_env()
+    injector = None
+    if not fault_plan.empty():
+        injector = FaultInjector(fault_plan)
+        print(f"fault injection active: {fault_plan}", file=sys.stderr)
+    daemon = ClosureDaemon(
+        store_root=args.store,
+        host=args.host,
+        port=args.port,
+        max_edges_per_partition=args.max_edges_per_partition,
+        memory_budget=(
+            parse_memory_size(args.memory_budget) if args.memory_budget else None
+        ),
+        num_threads=args.threads,
+        parallel_backend=args.backend,
+        num_workers=args.workers,
+        fault_injector=injector,
+        crash_mode="exit",
+        announce=True,
+    )
+    daemon.serve_forever()
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.workloads import workload_by_name
 
@@ -362,6 +397,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound inlining depth (default: fully context-sensitive)",
     )
     taint.set_defaults(func=_cmd_taint)
+
+    serve = sub.add_parser(
+        "serve", help="closure-as-a-service daemon over a persistent store"
+    )
+    serve.add_argument(
+        "--store", required=True, help="closure store directory (created if missing)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (announced on stderr)"
+    )
+    serve.add_argument(
+        "--max-edges-per-partition",
+        type=int,
+        default=None,
+        dest="max_edges_per_partition",
+    )
+    serve.add_argument(
+        "--memory-budget",
+        default=None,
+        dest="memory_budget",
+        help="resident-partition byte budget per closure, e.g. 64M",
+    )
+    serve.add_argument("--threads", type=int, default=1)
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process", "matmul"),
+        default=None,
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="concurrent query worker threads",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     workload = sub.add_parser("workload", help="generate an evaluation codebase")
     workload.add_argument("name", choices=("linux", "postgresql", "httpd"))

@@ -26,7 +26,13 @@ from repro.engine.parallel import (
 )
 from repro.engine.pipeline import IoPipeline, PendingCommit
 from repro.engine.scheduler import RoundRobinScheduler, Scheduler
+from repro.engine.session import (
+    ClosureSession,
+    SessionStateError,
+    record_added_edges,
+)
 from repro.engine.stats import EngineStats, SuperstepRecord
+from repro.engine.store import ClosureStore, edge_diff, seed_delta_edges
 from repro.engine.superstep import SuperstepResult, run_superstep
 
 __all__ = [
@@ -53,6 +59,12 @@ __all__ = [
     "shared_memory_available",
     "IoPipeline",
     "PendingCommit",
+    "ClosureSession",
+    "SessionStateError",
+    "record_added_edges",
+    "ClosureStore",
+    "edge_diff",
+    "seed_delta_edges",
     "Scheduler",
     "RoundRobinScheduler",
     "EngineStats",

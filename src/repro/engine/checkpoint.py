@@ -86,14 +86,31 @@ def grammar_fingerprint(grammar: FrozenGrammar) -> int:
     return zlib.crc32(payload.encode("utf-8"))
 
 
-def graph_fingerprint(graph) -> int:
-    """CRC32 over the aligned input graph's flat edge arrays."""
+def graph_fingerprint(graph, partition_table=None) -> int:
+    """CRC32 over the aligned input graph's flat edge arrays.
+
+    ``partition_table`` — the planned ``[[lo, hi], ...]`` interval table
+    (see :func:`repro.partition.preprocess.planned_partition_table`) — is
+    folded into the digest when given.  The closure cache keys entries by
+    this fingerprint, and a repartitioned but edge-identical graph must
+    *not* hit a cache entry computed under a different partition layout:
+    the cached manifest's partition files, DDM shape, and scheduler state
+    all assume the old table.
+    """
     crc = zlib.crc32(np.ascontiguousarray(graph.src, dtype=np.int64).data)
     crc = zlib.crc32(np.ascontiguousarray(graph.keys, dtype=np.int64).data, crc)
-    return zlib.crc32(
+    crc = zlib.crc32(
         json.dumps([graph.num_vertices, list(graph.label_names)]).encode("utf-8"),
         crc,
     )
+    if partition_table is not None:
+        crc = zlib.crc32(
+            json.dumps(
+                [[int(lo), int(hi)] for lo, hi in partition_table]
+            ).encode("utf-8"),
+            crc,
+        )
+    return crc
 
 
 def _fsync_dir(directory: Path) -> None:

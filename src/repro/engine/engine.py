@@ -1,10 +1,11 @@
 """The Graspan engine: out-of-core, edge-pair-centric DTC computation.
 
-:class:`GraspanEngine` ties everything together (§4): preprocessing shards
-the input graph; the scheduler picks two partitions per superstep from the
-DDM deltas; each superstep runs Algorithm 1's fixed point over the loaded
-edge lists; new edges are bucketed back into the DDM; oversized partitions
-are split; and the run ends when every DDM delta cell is clean.  The
+:class:`GraspanEngine` is the *configuration* layer (§4): grammar,
+partition sizing, residency budget, backend and durability policy.  The
+run machinery itself — ingest, the superstep loop, checkpoint/pipeline
+wiring, lifecycle — lives in :class:`repro.engine.session.ClosureSession`
+(DESIGN.md §14); :meth:`GraspanEngine.run` is a thin one-shot wrapper
+that opens a session, drives it to the fixed point, and closes it.  The
 result object exposes the paper's reporting APIs — iterate edges with a
 given label (e.g. ``objectFlow`` for a points-to solution) — plus the
 statistics behind Tables 5-6 and Figure 4.
@@ -18,31 +19,16 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.engine.checkpoint import (
-    RunJournal,
-    build_manifest,
-    grammar_fingerprint,
-    graph_fingerprint,
-    restore_partition_set,
-    restore_scheduler,
-    validate_manifest,
-)
-from repro.engine.join import CsrView
-from repro.engine.parallel import BACKENDS, JoinBackend, make_backend
-from repro.engine.pipeline import IoPipeline, PendingCommit
+from repro.engine.parallel import BACKENDS
 from repro.engine.scheduler import Scheduler
-from repro.engine.stats import EngineStats, SuperstepRecord
-from repro.engine.superstep import run_superstep
+from repro.engine.stats import EngineStats
 from repro.graph import packed
 from repro.graph.graph import MemGraph
 from repro.grammar.grammar import FrozenGrammar
-from repro.partition.preprocess import preprocess
 from repro.partition.pset import PartitionSet
-from repro.partition.storage import PartitionStore
 from repro.util.faults import FaultInjector
 from repro.util.memory import MemoryBudgetExceeded
 from repro.util.retry import RetryPolicy
-from repro.util.timing import Stopwatch
 
 PathLike = Union[str, Path]
 
@@ -267,8 +253,24 @@ class GraspanEngine:
         self.retry = retry
 
     # ------------------------------------------------------------------
+    def session(self, graph: MemGraph, resume: bool = False, **kwargs):
+        """A new :class:`~repro.engine.session.ClosureSession` over ``graph``.
+
+        The engine object carries only configuration and may back any
+        number of concurrent sessions; pass ``scheduler=Scheduler()`` in
+        ``kwargs`` when sessions run concurrently so each gets private
+        scheduling state.
+        """
+        from repro.engine.session import ClosureSession
+
+        return ClosureSession(self, graph, resume=resume, **kwargs)
+
     def run(self, graph: MemGraph, resume: bool = False) -> GraspanComputation:
         """Compute the grammar-guided transitive closure of ``graph``.
+
+        One-shot convenience over the session lifecycle: open a
+        :class:`~repro.engine.session.ClosureSession`, drive it to the
+        fixed point, close it, return the finished computation.
 
         With ``resume`` (and checkpointing on), a manifest left in the
         workdir by an interrupted run restarts the computation from its
@@ -279,310 +281,12 @@ class GraspanEngine:
         :class:`~repro.engine.checkpoint.CheckpointError`; a missing
         manifest silently falls back to a fresh run.
         """
-        if graph.num_vertices == 0 or graph.num_edges == 0:
-            return self._empty_computation(graph)
-        graph = align_graph_labels(graph, self.grammar)
-        stats = EngineStats(
-            original_edges=graph.num_edges, num_vertices=graph.num_vertices
-        )
-        store = None
-        if self.workdir is not None:
-            store = PartitionStore(
-                workdir=self.workdir,
-                timers=stats.timers,
-                retry=self.retry if self.retry is not None else RetryPolicy(),
-                injector=self.fault_injector,
-            )
-            stats.tmp_scrubbed = store.tmp_scrubbed
-        checkpoint_on = self.workdir is not None and self.checkpoint is not False
-        journal = None
-        grammar_crc = graph_crc = 0
-        if checkpoint_on:
-            journal = RunJournal(self.workdir, injector=self.fault_injector)
-            grammar_crc = grammar_fingerprint(self.grammar)
-            graph_crc = graph_fingerprint(graph)
-        manifest = journal.load_manifest() if (resume and journal) else None
-
-        superstep_index = 0
-        if manifest is not None:
-            validate_manifest(manifest, grammar_crc, graph_crc)
-            pset = restore_partition_set(
-                manifest, store, journal, memory_budget=self.memory_budget
-            )
-            restore_scheduler(self.scheduler, manifest.get("scheduler", {}))
-            superstep_index = int(manifest["superstep"])
-            stats.resumed_from_superstep = superstep_index
-            stats.initial_partitions = int(manifest["initial_partitions"])
-            stats.repartition_count = int(manifest["repartition_count"])
-            journal.append({"event": "resume", "superstep": superstep_index})
-        else:
-            pset = preprocess(
-                graph,
-                max_edges_per_partition=self.max_edges_per_partition,
-                num_partitions=self.num_partitions,
-                workdir=self.workdir,
-                timers=stats.timers,
-                memory_budget=self.memory_budget,
-                store=store,
-            )
-            stats.initial_partitions = pset.num_partitions
-            if journal is not None:
-                journal.append(
-                    {
-                        "event": "begin",
-                        "grammar_crc": grammar_crc,
-                        "graph_crc": graph_crc,
-                        "partitions": pset.num_partitions,
-                        "edges": graph.num_edges,
-                    }
-                )
-                journal.save_degrees(pset.out_degrees, pset.in_degrees)
-        stats.memory_budget = pset.memory_budget
-        stats.checkpoint_enabled = journal is not None
-        if journal is not None:
-            pset.defer_deletes = True
-            if manifest is None:
-                # Checkpoint 0: the preprocessed state, so a crash inside
-                # the very first superstep already has a resume point.
-                self._commit_checkpoint(
-                    journal, pset, superstep_index, grammar_crc, graph_crc, stats
-                )
-
-        mid_limit = self.mid_superstep_limit()
-        pipeline_on = (
-            self.workdir is not None and pset.store.disk_backed
-            if self.pipeline is None
-            else bool(self.pipeline)
-        )
-        io = IoPipeline() if pipeline_on else None
-        stats.pipeline_enabled = io is not None
-        if io is not None:
-            pset.attach_io(io)
-
-        # The backend (and its worker pool / shared segments) lives for
-        # the whole run; the context manager guarantees shutdown even if
-        # a superstep raises.
+        session = self.session(graph, resume=resume)
         try:
-            with make_backend(
-                self.parallel_backend, self.grammar, self.num_threads
-            ) as backend:
-                backend.injector = self.fault_injector
-                pending: Optional[PendingCommit] = None
-                try:
-                    while True:
-                        pair = self.scheduler.choose_pair(
-                            pset.ddm, pset.scheduling_resident_pids()
-                        )
-                        if io is not None:
-                            pset.reconcile_prefetch(pair if pair else ())
-                        if pair is None:
-                            break
-                        if len(stats.supersteps) >= self.max_supersteps:
-                            raise RuntimeError(
-                                f"exceeded max_supersteps="
-                                f"{self.max_supersteps}; the computation "
-                                "may be diverging"
-                            )
-                        before = io.snapshot() if io is not None else None
-                        self._run_one_superstep(
-                            pset, pair, mid_limit, stats, backend, io
-                        )
-                        superstep_index += 1
-                        if journal is not None:
-                            if io is None:
-                                self._commit_checkpoint(
-                                    journal,
-                                    pset,
-                                    superstep_index,
-                                    grammar_crc,
-                                    graph_crc,
-                                    stats,
-                                )
-                            else:
-                                # Lagged commit: make the *previous*
-                                # superstep durable (its flushes have had
-                                # a whole superstep to complete in the
-                                # background), then queue this one.
-                                self._drain_commit(journal, pset, pending, io, stats)
-                                pending = self._begin_commit(
-                                    journal,
-                                    pset,
-                                    superstep_index,
-                                    grammar_crc,
-                                    graph_crc,
-                                    stats,
-                                    io,
-                                )
-                        if before is not None:
-                            self._record_pipeline_delta(stats, before, io)
-                    if journal is not None and io is not None:
-                        self._drain_commit(journal, pset, pending, io, stats)
-                        pending = None
-                finally:
-                    stats.worker_respawns = getattr(backend, "worker_respawns", 0)
-                    stats.backend_degraded = bool(
-                        getattr(backend, "_degraded", False)
-                    )
+            session.open()
+            return session.run()
         finally:
-            if io is not None:
-                snap = io.snapshot()
-                stats.prefetch_issued = int(snap["prefetch_issued"])
-                stats.prefetch_hits = int(snap["prefetch_hits"])
-                stats.prefetch_wasted = int(snap["prefetch_wasted"])
-                stats.load_wait_seconds = snap["load_wait_seconds"]
-                stats.flush_wait_seconds = snap["flush_wait_seconds"]
-                stats.io_busy_seconds = snap["busy_seconds"]
-                stats.io_hidden_seconds = io.hidden_seconds
-                stats.overlap_fraction = io.overlap_fraction
-                pset.detach_io()
-                io.close()
-
-        if pset.store.disk_backed:
-            pset.evict_all_except(())
-            pset.store.purge_retired()
-        stats.final_edges = pset.total_edges()
-        stats.final_partitions = pset.num_partitions
-        if journal is not None:
-            journal.append(
-                {
-                    "event": "finish",
-                    "superstep": superstep_index,
-                    "final_edges": stats.final_edges,
-                }
-            )
-        self._snapshot_residency(pset, stats)
-        return GraspanComputation(pset, self.grammar, stats)
-
-    def _commit_checkpoint(
-        self,
-        journal: RunJournal,
-        pset: PartitionSet,
-        superstep_index: int,
-        grammar_crc: int,
-        graph_crc: int,
-        stats: EngineStats,
-    ) -> None:
-        """Durably commit the current state as superstep ``superstep_index``.
-
-        Ordering is the whole point: flush dirty partitions (fsync'd),
-        *then* atomically replace the manifest (the commit point), *then*
-        purge files the previous manifest referenced.  A crash anywhere
-        in between resumes cleanly from one side of the commit or the
-        other.
-        """
-        with stats.timers.phase("checkpoint"):
-            pset.flush_dirty()
-            journal.commit(
-                build_manifest(
-                    pset,
-                    superstep_index,
-                    grammar_crc,
-                    graph_crc,
-                    self.scheduler,
-                    original_edges=stats.original_edges,
-                    initial_partitions=stats.initial_partitions,
-                    repartition_count=stats.repartition_count,
-                )
-            )
-            pset.store.purge_retired()
-        stats.checkpoints_written += 1
-
-    def _begin_commit(
-        self,
-        journal: RunJournal,
-        pset: PartitionSet,
-        superstep_index: int,
-        grammar_crc: int,
-        graph_crc: int,
-        stats: EngineStats,
-        io: IoPipeline,
-    ) -> PendingCommit:
-        """Queue superstep ``superstep_index``'s checkpoint on the pipeline.
-
-        The dirty partitions are snapshotted and their writes handed to
-        the I/O thread (:meth:`PartitionSet.begin_flush` pre-allocates
-        the destination paths, so the manifest can be built immediately);
-        the manifest itself stays in memory until :meth:`_drain_commit`.
-        The retire mark is taken *after* the flush retires superseded
-        files: everything retired up to here is unreferenced by this
-        manifest and may be purged once it commits.
-        """
-        with stats.timers.phase("checkpoint"):
-            flushes = pset.begin_flush()
-            manifest = build_manifest(
-                pset,
-                superstep_index,
-                grammar_crc,
-                graph_crc,
-                self.scheduler,
-                original_edges=stats.original_edges,
-                initial_partitions=stats.initial_partitions,
-                repartition_count=stats.repartition_count,
-            )
-            mark = pset.store.retire_mark()
-        return PendingCommit(
-            superstep=superstep_index,
-            manifest=manifest,
-            flushes=flushes,
-            retire_upto=mark,
-        )
-
-    def _drain_commit(
-        self,
-        journal: RunJournal,
-        pset: PartitionSet,
-        pending: Optional[PendingCommit],
-        io: IoPipeline,
-        stats: EngineStats,
-    ) -> None:
-        """Make a queued checkpoint durable: wait flushes, commit, purge.
-
-        This is PR 4's ordering verbatim, one superstep later: every
-        partition file the manifest references is fully written and
-        fsync'd *before* the manifest atomically replaces its
-        predecessor, and files only the predecessor referenced are
-        purged *after*.  A crash in an async flush surfaces here (the
-        future re-raises), before the manifest could commit — exactly
-        where the synchronous path would have crashed.
-        """
-        if pending is None:
-            return
-        with stats.timers.phase("checkpoint"):
-            for future in pending.flushes:
-                io.wait_flush(future)
-            journal.commit(pending.manifest)
-            pset.store.purge_retired(upto=pending.retire_upto)
-        stats.checkpoints_written += 1
-
-    @staticmethod
-    def _record_pipeline_delta(
-        stats: EngineStats, before: Dict[str, float], io: IoPipeline
-    ) -> None:
-        """Stamp the just-finished superstep's record with pipeline deltas."""
-        after = io.snapshot()
-        record = stats.supersteps[-1]
-        record.prefetch_issued = int(after["prefetch_issued"] - before["prefetch_issued"])
-        record.prefetch_hits = int(after["prefetch_hits"] - before["prefetch_hits"])
-        record.prefetch_wasted = int(after["prefetch_wasted"] - before["prefetch_wasted"])
-        record.load_wait_seconds = after["load_wait_seconds"] - before["load_wait_seconds"]
-        record.flush_wait_seconds = (
-            after["flush_wait_seconds"] - before["flush_wait_seconds"]
-        )
-
-    @staticmethod
-    def _snapshot_residency(pset: PartitionSet, stats: EngineStats) -> None:
-        """Copy residency/storage counters into the run's stats."""
-        residency = pset.residency
-        stats.peak_resident_bytes = residency.peak_resident_bytes
-        stats.max_partition_bytes = residency.max_partition_bytes
-        stats.evictions = residency.evictions
-        stats.cache_hits = residency.cache_hits
-        stats.partition_loads = residency.loads
-        stats.bytes_read = pset.store.bytes_read
-        stats.bytes_written = pset.store.bytes_written
-        stats.io_retries = pset.store.io_retries
-        stats.tmp_scrubbed = max(stats.tmp_scrubbed, pset.store.tmp_scrubbed)
-        stats.files_purged = pset.store.files_purged
+            session.close()
 
     def mid_superstep_limit(self) -> int:
         """The resident-edge budget that triggers a mid-superstep bail-out.
@@ -598,190 +302,6 @@ class GraspanEngine:
         return int(
             2 * self.max_edges_per_partition * max(self.repartition_growth, 1.0)
         )
-
-    def _empty_computation(self, graph: MemGraph) -> GraspanComputation:
-        """A trivial result for graphs with nothing to compute."""
-        from repro.partition.ddm import DestinationDistributionMap
-        from repro.partition.interval import VertexIntervalTable
-        from repro.partition.partition import Partition
-        from repro.partition.storage import PartitionStore
-
-        vit = VertexIntervalTable.single(max(1, graph.num_vertices))
-        pset = PartitionSet(
-            vit,
-            DestinationDistributionMap(np.zeros((1, 1), dtype=np.int64)),
-            [Partition(vit.interval(0), {})],
-            PartitionStore(),
-            label_names=self.grammar.names,
-        )
-        stats = EngineStats(num_vertices=graph.num_vertices)
-        stats.initial_partitions = stats.final_partitions = 1
-        return GraspanComputation(pset, self.grammar, stats)
-
-    # ------------------------------------------------------------------
-    def _run_one_superstep(
-        self,
-        pset: PartitionSet,
-        pair: Tuple[int, int],
-        mid_limit: int,
-        stats: EngineStats,
-        backend: JoinBackend,
-        io: Optional[IoPipeline] = None,
-    ) -> None:
-        p, q = min(pair), max(pair)
-        loaded = (p,) if p == q else (p, q)
-        with pset.pinned(*loaded):
-            if pset.memory_budget is None:
-                # Historical policy: delayed write-back, only partitions
-                # not needed next are evicted.
-                pset.evict_all_except(loaded)
-            parts = [pset.acquire(pid) for pid in loaded]
-
-            # Speculative prefetch: predict the pair that runs after this
-            # one and start loading its non-resident members on the I/O
-            # thread while the join below computes.  The prediction can't
-            # see the edges this superstep will add, so it is fallible —
-            # mispredictions are reconciled (cancelled/evicted) before the
-            # next superstep loads.
-            peek = getattr(self.scheduler, "peek_pair", None)
-            if io is not None and peek is not None:
-                predicted = peek(
-                    pset.ddm,
-                    pset.scheduling_resident_pids(),
-                    assume_synced=loaded,
-                )
-                if predicted is not None:
-                    for pid in dict.fromkeys(predicted):
-                        if pid not in loaded and not pset.is_resident(pid):
-                            pset.prefetch(pid)
-
-            # Combine the loaded CSRs by concatenation: p < q, so their
-            # vertex ranges are disjoint and already ordered.
-            combined = self._combine_views(parts)
-
-            watch = Stopwatch().start()
-            with stats.timers.phase("compute"):
-                result = run_superstep(
-                    combined,
-                    self.grammar,
-                    memory_limit_edges=mid_limit,
-                    num_threads=self.num_threads,
-                    backend=backend,
-                )
-            seconds = watch.stop()
-
-            # Scatter the merged flat edge set back into the loaded
-            # partitions: one searchsorted cut per interval, rows are
-            # zero-copy slices of the result keys.
-            for pid, part in zip(loaded, parts):
-                lo = int(np.searchsorted(result.src, part.interval.lo, side="left"))
-                hi = int(np.searchsorted(result.src, part.interval.hi, side="right"))
-                view = CsrView.from_flat(result.src[lo:hi], result.keys[lo:hi])
-                part.replace_csr(view.vertices, view.indptr, view.keys)
-                pset.note_mutated(pid)
-                # Rows of resident partitions are cheap to recompute exactly,
-                # correcting any proportional approximations from past splits.
-                pset.ddm.set_exact_row(pid, part.destination_counts(pset.vit))
-
-            self._record_added_edges(pset, result.added_src, result.added_keys)
-            if result.completed:
-                pset.ddm.mark_synced(loaded)
-
-            resident_edges = sum(pset.edge_count(pid) for pid in loaded)
-            stats.peak_resident_edges = max(
-                stats.peak_resident_edges, resident_edges
-            )
-
-            self._maybe_repartition(pset, loaded, stats)
-        # Growth during the superstep may have pushed the resident total
-        # over the budget; settle it now that nothing is pinned.
-        pset.enforce_budget()
-
-        telemetry = result.telemetry
-        stats.supersteps.append(
-            SuperstepRecord(
-                pair=(p, q),
-                iterations=result.iterations,
-                edges_added=result.edges_added,
-                seconds=seconds,
-                completed=result.completed,
-                num_partitions_after=pset.num_partitions,
-                backend=telemetry.backend if telemetry else "serial",
-                chunk_count=telemetry.chunk_count if telemetry else 0,
-                chunk_balance=telemetry.chunk_balance if telemetry else 1.0,
-                pool_seconds=telemetry.pool_seconds if telemetry else 0.0,
-                serial_estimate_seconds=(
-                    telemetry.serial_estimate_seconds if telemetry else 0.0
-                ),
-                worker_respawns=telemetry.worker_respawns if telemetry else 0,
-                backend_degraded=(
-                    telemetry.backend_degraded if telemetry else False
-                ),
-                matmul_blocks_built=(
-                    telemetry.matmul_blocks_built if telemetry else 0
-                ),
-                matmul_blocks_reused=(
-                    telemetry.matmul_blocks_reused if telemetry else 0
-                ),
-                matmul_products=telemetry.matmul_products if telemetry else 0,
-                matmul_nnz=telemetry.matmul_nnz if telemetry else 0,
-            )
-        )
-
-    @staticmethod
-    def _combine_views(parts: List) -> CsrView:
-        """Concatenate loaded partitions' CSRs into one join-ready view.
-
-        The partitions arrive in ascending interval order with disjoint
-        vertex ranges, so concatenation (with the right half's ``indptr``
-        rebased) *is* the merge — no sort, no dict.
-        """
-        if len(parts) == 1:
-            return CsrView(*parts[0].csr())
-        vertices = np.concatenate([part.vertices for part in parts])
-        keys = np.concatenate([part.keys for part in parts])
-        indptr_parts = [parts[0].indptr]
-        offset = int(parts[0].indptr[-1])
-        for part in parts[1:]:
-            indptr_parts.append(part.indptr[1:] + offset)
-            offset += int(part.indptr[-1])
-        return CsrView(vertices, np.concatenate(indptr_parts), keys)
-
-    def _record_added_edges(
-        self, pset: PartitionSet, added_src: np.ndarray, added_keys: np.ndarray
-    ) -> None:
-        """Bucket new edges into DDM cells by (source, target) interval.
-
-        The interval-low array is cached on the set (splits invalidate
-        it) and the bucketed cells land in the DDM through one bulk
-        scatter-add instead of a per-cell Python loop.
-        """
-        if len(added_src) == 0:
-            return
-        lows = pset.interval_lows()
-        src_pid = np.searchsorted(lows, added_src, side="right") - 1
-        dst_pid = (
-            np.searchsorted(lows, packed.targets_of(added_keys), side="right") - 1
-        )
-        n = pset.vit.num_partitions
-        cells, counts = np.unique(src_pid * n + dst_pid, return_counts=True)
-        pset.ddm.record_new_edges_bulk(cells, counts)
-
-    def _maybe_repartition(
-        self, pset: PartitionSet, loaded: Tuple[int, ...], stats: EngineStats
-    ) -> None:
-        """Split loaded partitions that outgrew the size threshold (§4.3)."""
-        if self.max_edges_per_partition is None:
-            return
-        threshold = int(self.max_edges_per_partition * self.repartition_growth)
-        # Split high ids first so earlier ids stay valid through id shifts.
-        for pid in sorted(loaded, reverse=True):
-            while (
-                pset.edge_count(pid) > threshold
-                and len(pset.vit.interval(pid)) > 1
-            ):
-                pset.split(pid)
-                stats.repartition_count += 1
 
 
 def align_graph_labels(graph: MemGraph, grammar: FrozenGrammar) -> MemGraph:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -102,6 +103,44 @@ class EngineStats:
     io_busy_seconds: float = 0.0  # wall time the I/O thread moved bytes
     io_hidden_seconds: float = 0.0  # I/O that ran fully under compute
     overlap_fraction: float = 0.0  # hidden / busy (0.0 when pipeline off)
+    # Closure-store provenance (DESIGN.md §14): how this closure was
+    # obtained and, for delta re-closures, how big the input diff was.
+    closure_source: str = "cold"  # "cold" | "cache" | "incremental"
+    delta_added_edges: int = 0  # input edges added vs the base closure
+    delta_deleted_edges: int = 0  # input edges removed (forces a cold run)
+    delta_seed_partitions: int = 0  # partitions seeded with delta edges
+    # Accumulation lock: stats are session-scoped, but the daemon reads
+    # summaries concurrently with a running session and helper threads
+    # (pipeline, service executor) may bump counters; every read-modify-
+    # write below goes through this lock.  Excluded from ==/repr so the
+    # dataclass still compares by measurement.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_superstep(self, record: SuperstepRecord) -> None:
+        """Append one superstep's record under the accumulation lock."""
+        with self.lock:
+            self.supersteps.append(record)
+
+    def add_counter(self, name: str, amount: int = 1) -> int:
+        """Atomically bump an integer counter field; returns the new value.
+
+        ``stats.field += 1`` is a read-modify-write that loses updates
+        under concurrency; every counter mutation from superstep or
+        service code funnels through here instead.
+        """
+        with self.lock:
+            value = getattr(self, name) + amount
+            setattr(self, name, value)
+            return value
+
+    def max_counter(self, name: str, candidate: int) -> int:
+        """Atomically raise a high-water-mark field to ``candidate``."""
+        with self.lock:
+            value = max(getattr(self, name), candidate)
+            setattr(self, name, value)
+            return value
 
     @property
     def num_supersteps(self) -> int:
@@ -200,6 +239,10 @@ class EngineStats:
             "io_busy_s": round(self.io_busy_seconds, 3),
             "io_hidden_s": round(self.io_hidden_seconds, 3),
             "overlap_fraction": round(self.overlap_fraction, 3),
+            "closure_source": self.closure_source,
+            "delta_added_edges": self.delta_added_edges,
+            "delta_deleted_edges": self.delta_deleted_edges,
+            "delta_seed_partitions": self.delta_seed_partitions,
         }
 
     def matmul_summary(self) -> Dict[str, object]:

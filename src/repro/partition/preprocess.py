@@ -75,6 +75,29 @@ def balanced_intervals(graph: MemGraph, num_partitions: int) -> VertexIntervalTa
     return VertexIntervalTable(intervals)
 
 
+def planned_partition_table(
+    graph: MemGraph,
+    max_edges_per_partition: Optional[int] = None,
+    num_partitions: Optional[int] = None,
+) -> List[List[int]]:
+    """The ``[[lo, hi], ...]`` interval table :func:`preprocess` would build.
+
+    Deterministic in the graph and the sizing hints, and cheap (one
+    cumulative sum — no partitions are materialized).  This is what the
+    closure cache folds into its graph fingerprint: a repartitioned but
+    edge-identical configuration plans a different table and therefore
+    keys a different cache entry (see
+    :func:`repro.engine.checkpoint.graph_fingerprint`).
+    """
+    if graph.num_vertices == 0:
+        return []
+    count = choose_num_partitions(
+        graph.num_edges, max_edges_per_partition, num_partitions
+    )
+    vit = balanced_intervals(graph, count)
+    return [[iv.lo, iv.hi] for iv in vit.intervals()]
+
+
 def preprocess(
     graph: MemGraph,
     max_edges_per_partition: Optional[int] = None,

@@ -514,6 +514,54 @@ class PartitionSet:
                 for slot in self._slots:
                     slot.pinned = False
 
+    def pin_hot(self, headroom: Optional[int] = None) -> List[int]:
+        """Pin the hottest partitions resident, leaving ``headroom`` bytes.
+
+        Serving-tier warm-up (DESIGN.md §14): the closure daemon calls
+        this once per finished closure so checker queries hit memory
+        instead of re-reading partition files per request.  Partitions
+        are ranked by edge count (the best available proxy for how much
+        of each query's scan they absorb) and loaded + pinned greedily
+        while ``pinned_bytes + headroom`` stays within the memory
+        budget.  ``headroom`` defaults to the largest known partition,
+        so a query touching an *unpinned* partition can always load it
+        by evicting only unpinned residents — preserving the engine's
+        "peak ≤ budget + one partition" residency invariant.
+
+        No-op (returns ``[]``) without a memory budget: unbudgeted sets
+        keep everything resident anyway.  Returns the pinned pids.
+        """
+        if self.memory_budget is None:
+            return []
+        with self._lock:
+            sizes = [slot.nbytes for slot in self._slots]
+            order = sorted(
+                range(len(self._slots)),
+                key=lambda pid: self._slots[pid].edge_count,
+                reverse=True,
+            )
+        if headroom is None:
+            headroom = max(sizes, default=0)
+        pinned: List[int] = []
+        used = 0
+        for pid in order:
+            size = sizes[pid]
+            if size <= 0:
+                continue
+            if used + size + headroom > self.memory_budget:
+                continue
+            self.acquire(pid)
+            self.pin((pid,))
+            used += size
+            pinned.append(pid)
+        return pinned
+
+    def unpin_all(self) -> None:
+        """Release every pin (daemon shutdown / closure replacement)."""
+        with self._lock:
+            for slot in self._slots:
+                slot.pinned = False
+
     def enforce_budget(self) -> None:
         """Evict LRU unpinned partitions until within budget (if any)."""
         with self._lock:

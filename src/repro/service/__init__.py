@@ -1,0 +1,35 @@
+"""Closure-as-a-service: the daemon layer over the closure store.
+
+The Graspan pipeline is batch-shaped — compile, close, check, exit —
+but the closures it computes outlive any one run (DESIGN.md §14).  This
+package keeps them warm: a small asyncio daemon owns a
+:class:`~repro.engine.store.ClosureStore`, loads programs on request
+(cache hit, incremental delta re-closure, or cold run — whichever is
+cheapest), pins the hottest partitions resident under the configured
+memory budget, and serves concurrent checker queries over a JSON-lines
+socket protocol.
+
+``python -m repro serve --store DIR`` starts one; :class:`ServiceClient`
+talks to it; :class:`ServiceThread` embeds one in-process for tests and
+benchmarks.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ClosureDaemon, ServiceThread
+from repro.service.protocol import (
+    MAX_MESSAGE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "ClosureDaemon",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceError",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "MAX_MESSAGE_BYTES",
+]

@@ -1,0 +1,112 @@
+"""A thin synchronous client for the closure daemon.
+
+One TCP connection, one JSON-lines conversation.  Each convenience
+method sends a request and blocks for its response; responses with
+``ok: false`` raise :class:`ServiceError` so callers never silently use
+an error payload as data.  The client is *not* thread-safe — concurrent
+query tests and benchmarks open one client per thread, which is also the
+honest way to measure the daemon's concurrency.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.protocol import decode_message, encode_message
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with ``ok: false`` (or not at all)."""
+
+    def __init__(self, message: str, response: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.response = response or {}
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.daemon.ClosureDaemon`.
+
+    ``timeout`` bounds each request round-trip; ``load`` of a cold
+    program runs a full closure on the other side, so the default is
+    generous.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 600.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request; return its ``ok: true`` response."""
+        self._fh.write(encode_message(message))
+        self._fh.flush()
+        line = self._fh.readline()
+        if not line:
+            raise ServiceError(
+                f"connection closed before a response to {message.get('op')!r}"
+            )
+        response = decode_message(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "unknown service error"), response
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the protocol verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def status(self) -> Dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def load(
+        self,
+        name: str,
+        source: Optional[str] = None,
+        sources: Optional[Sequence[Tuple[str, str]]] = None,
+        context_depth: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Compile + close + pin a program on the daemon under ``name``."""
+        message: Dict[str, Any] = {"op": "load", "name": name}
+        if sources is not None:
+            message["sources"] = [list(pair) for pair in sources]
+        elif source is not None:
+            message["source"] = source
+        if context_depth is not None:
+            message["context_depth"] = context_depth
+        return self.request(message)
+
+    def check(
+        self,
+        program: str,
+        checker: Optional[str] = None,
+        mode: str = "augmented",
+    ) -> List[Dict[str, Any]]:
+        """Reports from one checker (or all) against a loaded program."""
+        message: Dict[str, Any] = {"op": "check", "program": program, "mode": mode}
+        if checker is not None:
+            message["checker"] = checker
+        return self.request(message)["reports"]
+
+    def shutdown(self) -> None:
+        """Stop the daemon (responds, then closes the server)."""
+        self.request({"op": "shutdown"})

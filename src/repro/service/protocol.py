@@ -1,0 +1,61 @@
+"""The wire protocol: one JSON object per line, UTF-8, newline-framed.
+
+Requests and responses share the same framing; every message is a JSON
+object.  Requests carry an ``op`` field (``ping`` / ``status`` /
+``load`` / ``check`` / ``shutdown``); responses always carry ``ok``
+(bool) and, when ``ok`` is false, an ``error`` string.  Newline framing
+keeps both ends trivial — the daemon reads with
+``StreamReader.readline`` and the client with a socket ``makefile`` —
+and any JSON-speaking tool can talk to the daemon with ``nc``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+#: Upper bound on one framed message.  Sources for a whole workload ride
+#: in a single ``load`` request, so this is generous; the daemon passes
+#: it as the asyncio stream limit (the default 64 KiB is far too small).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed frame: not JSON, not an object, or too large."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One message as a newline-terminated UTF-8 JSON line."""
+    line = json.dumps(message, separators=(",", ":"), ensure_ascii=False)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    return data
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one framed line back into a message object."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame decodes to {type(message).__name__}, expected an object"
+        )
+    return message
+
+
+def error_response(error: str, **extra: Any) -> Dict[str, Any]:
+    """The canonical failure response."""
+    out: Dict[str, Any] = {"ok": False, "error": error}
+    out.update(extra)
+    return out

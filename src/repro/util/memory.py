@@ -79,14 +79,18 @@ _SIZE_MULTIPLIERS = {
     "mb": 1 << 20,
     "g": 1 << 30,
     "gb": 1 << 30,
+    # IEC forms; the multipliers here are binary either way.
+    "kib": 1 << 10,
+    "mib": 1 << 20,
+    "gib": 1 << 30,
 }
 
 
 def parse_memory_size(text: str) -> int:
     """Parse a human memory size like ``"64M"``, ``"2g"``, or ``"4096"``.
 
-    Accepts an optional K/M/G (or KB/MB/GB) suffix, case-insensitive,
-    with binary multipliers.  Returns bytes.  Raises :class:`ValueError`
+    Accepts an optional K/M/G (or KB/MB/GB, KiB/MiB/GiB) suffix,
+    case-insensitive, with binary multipliers.  Returns bytes.  Raises :class:`ValueError`
     on malformed input or non-positive sizes — this backs the engine's
     ``--memory-budget`` CLI flag, so the message names the offender.
     """

@@ -1,0 +1,207 @@
+"""The ClosureSession lifecycle: open → step/run → query → close.
+
+The session is the tentpole extraction from the old monolithic
+``GraspanEngine.run``; these tests pin down the lifecycle contract
+(state errors, idempotence, context management), the equivalence of
+stepping and running, and the thread-safety of the session-scoped
+stats accumulation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import GraspanEngine
+from repro.engine.session import SessionStateError
+from repro.engine.stats import EngineStats, SuperstepRecord
+from repro.graph import MemGraph
+
+
+def closure_graph(computation):
+    return computation.load_resident().to_memgraph()
+
+
+class TestLifecycle:
+    def test_run_matches_engine_run(self, reach, chain_graph):
+        reference = GraspanEngine(reach).run(chain_graph)
+        session = GraspanEngine(reach).session(chain_graph)
+        try:
+            session.open()
+            computation = session.run()
+        finally:
+            session.close()
+        ref = closure_graph(reference)
+        got = closure_graph(computation)
+        assert np.array_equal(got.src, ref.src)
+        assert np.array_equal(got.keys, ref.keys)
+
+    def test_context_manager(self, reach, diamond_graph):
+        with GraspanEngine(reach).session(diamond_graph) as session:
+            computation = session.run()
+        assert computation.stats.num_supersteps > 0
+        # R-closure of the diamond: 0 reaches every other vertex.
+        assert computation.stats.final_edges > diamond_graph.num_edges
+
+    def test_manual_stepping_reaches_same_fixpoint(self, reach, chain_graph):
+        reference = GraspanEngine(reach).run(chain_graph)
+        with GraspanEngine(reach).session(chain_graph) as session:
+            steps = 0
+            while session.step():
+                steps += 1
+            computation = session.run()  # already at fixpoint: finalizes
+        assert steps == computation.stats.num_supersteps
+        ref = closure_graph(reference)
+        got = closure_graph(computation)
+        assert np.array_equal(got.src, ref.src)
+        assert np.array_equal(got.keys, ref.keys)
+
+    def test_step_before_open_raises(self, reach, chain_graph):
+        session = GraspanEngine(reach).session(chain_graph)
+        with pytest.raises(SessionStateError):
+            session.step()
+        with pytest.raises(SessionStateError):
+            session.run()
+
+    def test_open_is_idempotent(self, reach, chain_graph):
+        with GraspanEngine(reach).session(chain_graph) as session:
+            assert session.open() is session
+            session.run()
+
+    def test_reopen_after_close_raises(self, reach, chain_graph):
+        session = GraspanEngine(reach).session(chain_graph)
+        session.open()
+        session.run()
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(SessionStateError):
+            session.open()
+
+    def test_empty_graph_short_circuits(self, reach):
+        empty = MemGraph.from_edges([], label_names=["E"])
+        with GraspanEngine(reach).session(empty) as session:
+            computation = session.run()
+        assert computation.stats.num_supersteps == 0
+        assert computation.num_edges == 0
+
+    def test_engine_run_delegates_to_session(self, reach, chain_graph):
+        """The engine facade is now a thin session wrapper."""
+        computation = GraspanEngine(reach).run(chain_graph)
+        # 10-vertex chain: R-closure is all ordered pairs plus E edges.
+        assert computation.stats.final_edges == 9 + 45
+
+    def test_out_of_core_session(self, reach, chain_graph, tmp_path):
+        with GraspanEngine(
+            reach, max_edges_per_partition=4, workdir=tmp_path
+        ).session(chain_graph) as session:
+            computation = session.run()
+        reference = GraspanEngine(reach).run(chain_graph)
+        ref = closure_graph(reference)
+        got = closure_graph(computation)
+        assert np.array_equal(got.src, ref.src)
+        assert np.array_equal(got.keys, ref.keys)
+        assert computation.stats.checkpoints_written > 0
+
+
+class TestConcurrentSessions:
+    def test_sessions_do_not_share_stats(self, reach):
+        """Each session accumulates into its own EngineStats."""
+        engine = GraspanEngine(reach)
+        graphs = [
+            MemGraph.from_edges(
+                [(i, i + 1, 0) for i in range(n)], label_names=["E"]
+            )
+            for n in (5, 9)
+        ]
+        results = [None, None]
+        errors = []
+
+        def work(idx):
+            try:
+                with engine.session(graphs[idx]) as session:
+                    results[idx] = session.run()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        small, big = results
+        assert small.stats is not big.stats
+        assert small.stats.final_edges == 5 + 15  # 5-chain pairs
+        assert big.stats.final_edges == 9 + 45  # 9-chain pairs
+
+
+class TestStatsAccumulation:
+    def test_add_counter_is_atomic_under_contention(self):
+        stats = EngineStats()
+        rounds, workers = 500, 8
+
+        def bump():
+            for _ in range(rounds):
+                stats.add_counter("repartition_count")
+
+        threads = [threading.Thread(target=bump) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.repartition_count == rounds * workers
+
+    def test_max_counter_keeps_high_water_mark(self):
+        stats = EngineStats()
+
+        def raise_to(values):
+            for v in values:
+                stats.max_counter("peak_resident_edges", v)
+
+        threads = [
+            threading.Thread(target=raise_to, args=(range(i, 400, 7),))
+            for i in range(7)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.peak_resident_edges == max(
+            max(range(i, 400, 7)) for i in range(7)
+        )
+
+    def test_record_superstep_is_lossless_under_contention(self):
+        stats = EngineStats()
+        per_thread, workers = 200, 6
+
+        def record():
+            for i in range(per_thread):
+                stats.record_superstep(
+                    SuperstepRecord(
+                        pair=(0, 0),
+                        iterations=1,
+                        edges_added=i,
+                        seconds=0.0,
+                        completed=True,
+                        num_partitions_after=1,
+                    )
+                )
+
+        threads = [threading.Thread(target=record) for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.num_supersteps == per_thread * workers
+
+    def test_summary_reports_delta_fields(self):
+        stats = EngineStats()
+        stats.closure_source = "incremental"
+        stats.delta_added_edges = 3
+        stats.delta_seed_partitions = 1
+        summary = stats.summary()
+        assert summary["closure_source"] == "incremental"
+        assert summary["delta_added_edges"] == 3
+        assert summary["delta_seed_partitions"] == 1

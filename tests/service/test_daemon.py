@@ -1,0 +1,330 @@
+"""Closure daemon tests: protocol, queries, concurrency, crash recovery.
+
+The in-process tests run the daemon on a background thread
+(:class:`~repro.service.daemon.ServiceThread`) against real sockets; the
+subprocess test drives ``python -m repro serve`` end to end, kills it
+mid-closure with an injected fault, and verifies a restarted daemon
+resumes the interrupted store entry from its committed watermark.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.service import (
+    ClosureDaemon,
+    ProtocolError,
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    decode_message,
+    encode_message,
+)
+from repro.service.daemon import CRASH_EXIT_STATUS
+from repro.util.faults import FaultInjector, FaultPlan
+
+#: Interprocedural aliasing, NULL flow, and an unsanitized taint flow —
+#: every analysis has something to find.
+SERVICE_SOURCE = """
+int *shared;
+
+void *make(void) {
+    int *fresh;
+    fresh = malloc(8);
+    return fresh;
+}
+
+void *risky(int n) {
+    int *p;
+    p = NULL;
+    if (n) { p = malloc(8); }
+    return p;
+}
+
+void handle(void) {
+    int *a;
+    int *b;
+    int t;
+    a = make();
+    b = risky(0);
+    *b = 1;
+    t = input();
+    *a = t;
+    query(*a);
+}
+"""
+
+ALL_CHECKER_NAMES = [
+    "Block",
+    "Null",
+    "Range",
+    "Lock",
+    "Free",
+    "Size",
+    "PNull",
+    "UNTest",
+    "Race",
+    "Taint",
+    "Async",
+]
+
+
+def make_daemon(tmp_path, **kwargs):
+    kwargs.setdefault("max_edges_per_partition", 32)
+    return ClosureDaemon(tmp_path / "store", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the wire protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_roundtrip(self):
+        message = {"op": "load", "name": "x", "source": "int main() {}"}
+        assert decode_message(encode_message(message)) == message
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1,2,3]\n")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json\n")
+
+    def test_unknown_op_is_an_error_response(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError, match="unknown op"):
+                    client.request({"op": "frobnicate"})
+
+
+# ---------------------------------------------------------------------------
+# load / check / status over a live socket
+# ---------------------------------------------------------------------------
+
+
+class TestDaemonQueries:
+    def test_ping_load_check_status(self, tmp_path):
+        daemon = make_daemon(tmp_path, memory_budget=1 << 20)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                assert client.ping()
+
+                loaded = client.load("svc", source=SERVICE_SOURCE)
+                assert loaded["program"] == "svc"
+                assert set(loaded["closures"]) == {
+                    "pointsto",
+                    "nullflow",
+                    "taintflow",
+                    "taint",
+                }
+                assert all(
+                    c["source"] in ("cold", "cache", "incremental")
+                    for c in loaded["closures"].values()
+                )
+
+                response = client.request(
+                    {"op": "check", "program": "svc", "mode": "augmented"}
+                )
+                assert response["checkers"] == ALL_CHECKER_NAMES
+                reports = response["reports"]
+                assert any(r["checker"] == "Taint" for r in reports)
+                assert all(
+                    {"checker", "function", "line", "message"} <= set(r)
+                    for r in reports
+                )
+
+                null_only = client.check("svc", checker="Null")
+                assert all(r["checker"] == "Null" for r in null_only)
+                baseline = client.check("svc", checker="Null", mode="baseline")
+                assert all(not r["interprocedural"] for r in baseline)
+
+                status = client.status()
+                svc = status["programs"]["svc"]
+                assert svc["closures"]["pointsto"]["memory_budget"] == 1 << 20
+                assert status["store_entries"] >= 1
+                assert status["crashed"] is None
+
+    def test_errors_do_not_kill_the_server(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError, match="not loaded"):
+                    client.check("missing")
+                with pytest.raises(ServiceError, match="needs source"):
+                    client.request({"op": "load", "name": "empty"})
+                with pytest.raises(ServiceError, match="unknown checker"):
+                    client.load("svc", source=SERVICE_SOURCE)
+                    client.check("svc", checker="Nonesuch")
+                assert client.ping()  # still serving
+
+    def test_reload_hits_the_cache(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                first = client.load("svc", source=SERVICE_SOURCE)
+                assert any(
+                    c["source"] == "cold" for c in first["closures"].values()
+                )
+                second = client.load("svc", source=SERVICE_SOURCE)
+                assert all(
+                    c["source"] == "cache" for c in second["closures"].values()
+                )
+                assert all(
+                    c["supersteps"] == 0 for c in second["closures"].values()
+                )
+
+
+class TestConcurrentQueries:
+    def test_eight_concurrent_clients_within_budget(self, tmp_path):
+        budget = 64 * 1024
+        daemon = make_daemon(
+            tmp_path, memory_budget=budget, num_workers=8
+        )
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                client.load("svc", source=SERVICE_SOURCE)
+
+            errors = []
+            reports_seen = []
+
+            def hammer(checker):
+                try:
+                    with ServiceClient(host, port) as c:
+                        for _ in range(3):
+                            reports_seen.append(len(c.check("svc", checker=checker)))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            checkers = ["Null", "Taint", "Free", "Race", None, None, None, None]
+            threads = [
+                threading.Thread(target=hammer, args=(c,)) for c in checkers
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+
+            with ServiceClient(host, port) as client:
+                status = client.status()
+            for label, closure in status["programs"]["svc"]["closures"].items():
+                assert closure["memory_budget"] == budget
+                # The serving-tier residency invariant: pinning plus
+                # query loads never exceed budget + one partition.
+                assert closure["peak_resident_bytes"] <= (
+                    budget + closure["largest_partition_bytes"]
+                ), label
+
+
+# ---------------------------------------------------------------------------
+# crash and recovery
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_injected_crash_reported_then_resumed(self, tmp_path):
+        plan = FaultPlan(crash_after_commit=2)
+        crashy = make_daemon(
+            tmp_path, fault_injector=FaultInjector(plan), crash_mode="raise"
+        )
+        thread = ServiceThread(crashy)
+        host, port = thread.start()
+        try:
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError, match="injected crash") as err:
+                    client.load("svc", source=SERVICE_SOURCE)
+                assert err.value.response.get("crashed") is True
+        finally:
+            thread.stop()
+        assert crashy.crashed is not None
+
+        # A fresh daemon over the same store resumes the interrupted
+        # entry from its committed watermark and completes the load.
+        recovered = make_daemon(tmp_path)
+        with ServiceThread(recovered) as (host, port):
+            with ServiceClient(host, port) as client:
+                loaded = client.load("svc", source=SERVICE_SOURCE)
+                resumed = [
+                    c
+                    for c in loaded["closures"].values()
+                    if c["resumed_from"] is not None
+                ]
+                assert resumed, "no closure resumed from the crashed entry"
+                assert client.check("svc", checker="Taint")
+
+
+@pytest.mark.slow
+class TestServeSubprocess:
+    def test_kill_restart_reserve(self, tmp_path):
+        """The CLI daemon: killed mid-closure by a fault, restarted, re-served."""
+        store = tmp_path / "store"
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"),
+            REPRO_FAULT_CRASH_COMMIT="2",
+        )
+        args = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store",
+            str(store),
+            "--port",
+            "0",
+            "--max-edges-per-partition",
+            "32",
+        ]
+        proc = subprocess.Popen(
+            args, env=env, stderr=subprocess.PIPE, text=True
+        )
+        try:
+            port = None
+            for line in proc.stderr:
+                if line.startswith("serving on "):
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port is not None, "daemon never announced its port"
+            with ServiceClient("127.0.0.1", port, timeout=120) as client:
+                with pytest.raises(ServiceError, match="connection closed"):
+                    client.load("svc", source=SERVICE_SOURCE)
+            assert proc.wait(timeout=60) == CRASH_EXIT_STATUS
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        # Restart without the fault: the interrupted entry resumes.
+        env.pop("REPRO_FAULT_CRASH_COMMIT")
+        proc = subprocess.Popen(
+            args, env=env, stderr=subprocess.PIPE, text=True
+        )
+        try:
+            port = None
+            for line in proc.stderr:
+                if line.startswith("serving on "):
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port is not None
+            with ServiceClient("127.0.0.1", port, timeout=300) as client:
+                loaded = client.load("svc", source=SERVICE_SOURCE)
+                assert any(
+                    c["resumed_from"] is not None
+                    for c in loaded["closures"].values()
+                )
+                assert client.check("svc", checker="Taint")
+                client.shutdown()
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
