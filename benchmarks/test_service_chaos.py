@@ -1,0 +1,347 @@
+"""Sustained load vs a fault-injected daemon: nothing is silently lost.
+
+Chaos counterpart to ``test_service_latency`` (DESIGN.md §15): eight
+retry-enabled clients hammer a daemon that is deliberately small
+(``max_inflight`` well under the worker count) and deliberately unlucky
+(scheduled transient I/O errors, one injected mid-load crash, corrupted
+store entries).  The accounting contract is absolute — every request a
+worker issues must end in exactly one of:
+
+* a successful response (possibly after typed ``overloaded`` sheds the
+  client's bounded backoff absorbed);
+* a typed error the worker can act on (``crashed`` → re-issue, which
+  must then *resume* the interrupted closure);
+* :class:`ServiceUnavailable` after the retry budget.
+
+An exception outside that taxonomy, or a request that vanishes without
+an outcome, fails the benchmark.  p50/p99 client-observed latency plus
+shed/retry/degradation counters land in the ``chaos`` section of
+``results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import results_path
+from repro.bench import render_table, rows_from_dicts, save_and_print
+from repro.engine.checkpoint import MANIFEST_NAME
+from repro.service import (
+    ClosureDaemon,
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    ServiceUnavailable,
+)
+from repro.util.faults import FaultInjector, FaultPlan
+from repro.util.retry import RetryPolicy
+
+CLIENT_WORKERS = 8
+LOADS_PER_WORKER = 4
+CHECKS_PER_WORKER = 4
+MAX_INFLIGHT = 3
+
+#: Bounded patience: enough backoff to ride out a shed storm from seven
+#: rivals, small enough that a dead daemon surfaces in a few seconds.
+CLIENT_RETRY = RetryPolicy(
+    attempts=8, base_delay=0.05, multiplier=2.0, max_delay=1.0, jitter=0.25
+)
+
+#: Every program is this template under fresh names, so concurrent loads
+#: never collide in the linked interprocedural graph and each still has
+#: a NULL deref and an unsanitized taint flow for checkers to find.
+PROGRAM = """
+int *shared_{tag};
+
+void *make_{tag}(void) {{
+    int *fresh;
+    fresh = malloc(8);
+    return fresh;
+}}
+
+void *risky_{tag}(int n) {{
+    int *p;
+    p = NULL;
+    if (n) {{ p = malloc(8); }}
+    return p;
+}}
+
+void handle_{tag}(void) {{
+    int *a;
+    int *b;
+    int t;
+    a = make_{tag}();
+    b = risky_{tag}(0);
+    *b = 1;
+    t = input();
+    *a = t;
+    query(*a);
+}}
+"""
+
+
+def program(tag):
+    return PROGRAM.format(tag=tag)
+
+
+def corrupt_entry(store_root):
+    """Scribble over every committed manifest under the store."""
+    count = 0
+    for manifest in Path(store_root).glob(f"*/{MANIFEST_NAME}"):
+        manifest.write_text("{ chaos was here")
+        count += 1
+    return count
+
+
+class Worker:
+    """One client thread; records an outcome for every request issued."""
+
+    def __init__(self, index, host, port, degrade_name):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.degrade_name = degrade_name
+        self.outcomes = []
+        self.latencies_ms = []
+        self.retries = 0
+        self.thread = threading.Thread(target=self.run, name=f"chaos-{index}")
+
+    def _record(self, client, op, fn):
+        before = client.retries
+        t0 = time.perf_counter()
+        try:
+            fn()
+            outcome = "ok-retried" if client.retries > before else "ok"
+        except ServiceUnavailable:
+            outcome = "unavailable"
+        except ServiceError as exc:
+            kind = (exc.response or {}).get("kind")
+            crashed = bool((exc.response or {}).get("crashed"))
+            outcome = f"typed:{kind or ('crashed' if crashed else 'error')}"
+        except Exception as exc:  # noqa: BLE001 - the contract under test
+            outcome = f"UNTYPED:{type(exc).__name__}"
+        self.latencies_ms.append((time.perf_counter() - t0) * 1000.0)
+        self.retries += client.retries - before
+        self.outcomes.append((op, outcome))
+
+    def run(self):
+        with ServiceClient(
+            self.host, self.port, retry=CLIENT_RETRY
+        ) as client:
+            for i in range(LOADS_PER_WORKER):
+                name = f"w{self.index}-{i}"
+                self._record(
+                    client,
+                    "load",
+                    lambda n=name: client.load(n, source=program(n.replace("-", "_"))),
+                )
+            for i in range(CHECKS_PER_WORKER):
+                name = f"w{self.index}-{i % LOADS_PER_WORKER}"
+                checker = ("Taint", "Null", None)[i % 3]
+                self._record(
+                    client,
+                    "check",
+                    lambda n=name, c=checker: client.check(n, checker=c),
+                )
+            # Re-load over a corrupted store entry: the daemon must
+            # degrade to a cold recompute, not fail the request.
+            self._record(
+                client,
+                "degraded-load",
+                lambda: client.load(
+                    self.degrade_name,
+                    source=program(self.degrade_name.replace("-", "_")),
+                ),
+            )
+
+
+def test_service_chaos():
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="closure-chaos-") as tmp:
+        store_root = Path(tmp) / "store"
+
+        # -- phase 1: injected crash mid-load --------------------------
+        # A raise-mode injected crash reports a typed ``crashed``
+        # response and then stops the daemon, leaving the store entry
+        # interrupted mid-journal.
+        crash_plan = FaultPlan(crash_after_commit=3)
+        doomed = ClosureDaemon(
+            store_root,
+            max_edges_per_partition=64,
+            fault_injector=FaultInjector(crash_plan),
+            crash_mode="raise",
+        )
+        doomed_server = ServiceThread(doomed)
+        crash_t0 = time.perf_counter()
+        host, port = doomed_server.start()
+        crashed_response = None
+        try:
+            with ServiceClient(host, port, retry=CLIENT_RETRY) as client:
+                try:
+                    client.load("crashy", source=program("crashy"))
+                except ServiceError as exc:
+                    crashed_response = exc.response
+        finally:
+            doomed_server.stop()
+        assert crashed_response is not None, (
+            "the scheduled crash_after_commit fault never fired"
+        )
+        assert crashed_response.get("crashed") is True
+
+        # -- phase 2: restart on the same store ------------------------
+        # Scheduled transient I/O errors ride along (absorbed by the
+        # store's retry policy); the crashy reload must resume from the
+        # committed watermark, not fail.
+        plan = FaultPlan(
+            errno_at_write={5: errno.EIO, 17: errno.ENOSPC},
+            errno_at_read={9: errno.EIO},
+        )
+        daemon = ClosureDaemon(
+            store_root,
+            max_edges_per_partition=64,
+            num_workers=CLIENT_WORKERS,
+            fault_injector=FaultInjector(plan),
+            max_inflight=MAX_INFLIGHT,
+        )
+        server = ServiceThread(daemon)
+        host, port = server.start()
+        try:
+            with ServiceClient(host, port, retry=CLIENT_RETRY) as client:
+                reloaded = client.load("crashy", source=program("crashy"))
+                assert reloaded["ok"] is True
+                crash_recovery_s = time.perf_counter() - crash_t0
+                status = client.status()
+                assert "crashy" in status["programs"]
+
+                # -- corrupt everything committed so far ---------------
+                corrupted = corrupt_entry(store_root)
+                assert corrupted > 0
+
+                # -- the storm -----------------------------------------
+                workers = [
+                    Worker(i, host, port, degrade_name="crashy")
+                    for i in range(CLIENT_WORKERS)
+                ]
+                storm_t0 = time.perf_counter()
+                for w in workers:
+                    w.thread.start()
+                for w in workers:
+                    w.thread.join()
+                storm_wall_s = time.perf_counter() - storm_t0
+
+                health = client.health()
+                daemon_counters = {
+                    "shed": health["shed"],
+                    "deadline_hits": health["deadline_hits"],
+                    "oversized_frames": health["oversized_frames"],
+                    "degraded_to_cold": health["degraded_to_cold"],
+                    "requests_served": health["requests_served"],
+                }
+
+            # -- graceful drain under a live socket --------------------
+            drain_t0 = time.perf_counter()
+            daemon.request_drain()
+            server._thread.join(timeout=60)
+            assert not server._thread.is_alive(), "drain did not stop the server"
+            drain_s = time.perf_counter() - drain_t0
+        finally:
+            server.stop()
+
+        # -- the accounting contract -----------------------------------
+        issued_per_worker = LOADS_PER_WORKER + CHECKS_PER_WORKER + 1
+        all_outcomes = [o for w in workers for o in w.outcomes]
+        assert len(all_outcomes) == CLIENT_WORKERS * issued_per_worker, (
+            "a request vanished without an outcome"
+        )
+        untyped = [o for o in all_outcomes if o[1].startswith("UNTYPED")]
+        assert not untyped, f"untyped failures: {untyped}"
+        tally = {}
+        for _, outcome in all_outcomes:
+            tally[outcome] = tally.get(outcome, 0) + 1
+        # Everything lands in the closed taxonomy.
+        assert set(tally) <= {"ok", "ok-retried", "unavailable"} | {
+            k for k in tally if k.startswith("typed:")
+        }
+        # The corrupted entries were healed, not fatal: every worker's
+        # degraded-load succeeded.
+        degraded_loads = [
+            o for op, o in all_outcomes if op == "degraded-load"
+        ]
+        assert all(o in ("ok", "ok-retried") for o in degraded_loads)
+        assert daemon_counters["degraded_to_cold"] >= 1
+        # Eight simultaneous clients against three slots: backpressure
+        # must have engaged, and the retry layer must have absorbed it.
+        assert daemon_counters["shed"] >= 1
+        assert tally.get("ok-retried", 0) + tally.get("ok", 0) > 0
+
+        latencies = [ms for w in workers for ms in w.latencies_ms]
+        total_retries = sum(w.retries for w in workers)
+        p50 = float(np.percentile(latencies, 50))
+        p99 = float(np.percentile(latencies, 99))
+
+        results = {
+            "client_workers": CLIENT_WORKERS,
+            "max_inflight": MAX_INFLIGHT,
+            "requests_issued": len(all_outcomes),
+            "storm_wall_s": storm_wall_s,
+            "latency_p50_ms": p50,
+            "latency_p99_ms": p99,
+            "outcomes": tally,
+            "client_retries": total_retries,
+            "crash_recovery_s": crash_recovery_s,
+            "drain_s": drain_s,
+            "fault_plan": {**crash_plan.to_env(), **plan.to_env()},
+            **daemon_counters,
+        }
+
+    rows = [
+        {"metric": "requests issued", "value": results["requests_issued"]},
+        {
+            "metric": "outcomes",
+            "value": " ".join(f"{k}={v}" for k, v in sorted(tally.items())),
+        },
+        {
+            "metric": "latency",
+            "value": f"p50 {p50:.1f}ms p99 {p99:.1f}ms",
+        },
+        {
+            "metric": "daemon sheds / client retries",
+            "value": f"{daemon_counters['shed']} / {total_retries}",
+        },
+        {
+            "metric": "store degradations to cold",
+            "value": daemon_counters["degraded_to_cold"],
+        },
+        {
+            "metric": "crash recovery / drain",
+            "value": (
+                f"{results['crash_recovery_s']:.2f}s / "
+                f"{results['drain_s']:.2f}s"
+            ),
+        },
+    ]
+    text = render_table(
+        "Service chaos: retrying clients vs a fault-injected daemon",
+        ["metric", "value"],
+        rows_from_dicts(rows, ["metric", "value"]),
+        note=f"{CLIENT_WORKERS} clients vs max_inflight={MAX_INFLIGHT}; "
+        "zero silently-lost requests required",
+    )
+    save_and_print(text, results_path("service_chaos.txt"))
+
+    bench_path = results_path("BENCH_service.json")
+    merged = {}
+    if os.path.exists(bench_path):
+        with open(bench_path) as fh:
+            merged = json.load(fh)
+    merged["chaos"] = results
+    with open(bench_path, "w") as fh:
+        json.dump(merged, fh, indent=2)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
-Five subcommands cover the system's main entry points:
+Seven subcommands cover the system's main entry points:
 
 ``analyze``
     Run the pointer/alias + dataflow analyses and the checkers on a
@@ -31,7 +31,16 @@ Five subcommands cover the system's main entry points:
     Closure-as-a-service: start the daemon over a persistent closure
     store.  Programs loaded through it resolve as cache hits or
     incremental delta re-closures when possible; checker queries are
-    served concurrently against pinned-resident closures.
+    served concurrently against pinned-resident closures, with bounded
+    in-flight admission, optional per-request deadlines, and graceful
+    ``SIGTERM`` drain.
+
+``fuzz``
+    Seeded differential fuzzing: generate adversarial MiniC programs
+    and degenerate raw graphs, close them under every engine
+    configuration in the matrix, compare against the Datalog oracle,
+    re-run composed with seeded fault plans, and shrink any failure to
+    a minimal repro artifact.
 """
 
 from __future__ import annotations
@@ -266,9 +275,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_injector=injector,
         crash_mode="exit",
         announce=True,
+        max_inflight=args.max_inflight,
+        request_timeout=args.request_timeout,
+        drain_grace=args.drain_grace,
     )
     daemon.serve_forever()
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.fuzz import DEFAULT_CONFIGS, FULL_CONFIGS, fuzz
+
+    if args.seed_list:
+        seeds = [int(s) for s in args.seed_list.split(",") if s.strip()]
+    else:
+        seeds = list(range(args.first_seed, args.first_seed + args.seeds))
+    configs = FULL_CONFIGS if args.full else DEFAULT_CONFIGS
+    if args.configs:
+        wanted = {name.strip() for name in args.configs.split(",")}
+        configs = tuple(c for c in FULL_CONFIGS if c.name in wanted)
+        unknown = wanted - {c.name for c in configs}
+        if unknown:
+            known = ", ".join(c.name for c in FULL_CONFIGS)
+            print(
+                f"error: unknown config(s) {sorted(unknown)}; known: {known}",
+                file=sys.stderr,
+            )
+            return 2
+    fault_offset = args.fault_seed
+    if fault_offset is None:
+        fault_offset = int(os.environ.get("REPRO_FAULT_SEED", "0") or "0")
+    artifact_dir = Path(args.artifacts) if args.artifacts else None
+
+    def progress(result) -> None:
+        mark = "ok" if result.status == "ok" else "FAIL"
+        print(
+            f"{mark} seed {result.seed} {result.case_name} "
+            f"({result.seconds:.2f}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    report = fuzz(
+        seeds,
+        configs=configs,
+        artifact_dir=artifact_dir,
+        fault=not args.no_fault,
+        fault_offset=fault_offset,
+        shrink=not args.no_shrink,
+        on_result=progress,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_workload(args: argparse.Namespace) -> int:
@@ -432,7 +492,87 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="concurrent query worker threads",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        dest="max_inflight",
+        help="blocking requests admitted at once; the excess is shed "
+        "with a typed 'overloaded' response",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        dest="request_timeout",
+        help="per-request deadline in seconds (default: none)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        dest="drain_grace",
+        help="seconds SIGTERM waits for in-flight requests before stopping",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzzing of the engine vs the Datalog oracle",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=25, help="number of consecutive seeds"
+    )
+    fuzz.add_argument(
+        "--first-seed",
+        type=int,
+        default=1,
+        dest="first_seed",
+        help="first seed of the consecutive range",
+    )
+    fuzz.add_argument(
+        "--seed-list",
+        default=None,
+        dest="seed_list",
+        help="explicit comma-separated seeds (overrides --seeds)",
+    )
+    fuzz.add_argument(
+        "--full",
+        action="store_true",
+        help="widen the config matrix with the process pool and "
+        "degenerate-partition configurations",
+    )
+    fuzz.add_argument(
+        "--configs",
+        default=None,
+        help="comma-separated config names to run (subset of the matrix)",
+    )
+    fuzz.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        dest="fault_seed",
+        help="offset for the per-case fault plans (default: "
+        "REPRO_FAULT_SEED or 0)",
+    )
+    fuzz.add_argument(
+        "--no-fault",
+        action="store_true",
+        dest="no_fault",
+        help="skip the fault-composed re-run of each case",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        dest="no_shrink",
+        help="skip ddmin shrinking of failing MiniC cases",
+    )
+    fuzz.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for minimized repro artifacts of failing cases",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     workload = sub.add_parser("workload", help="generate an evaluation codebase")
     workload.add_argument("name", choices=("linux", "postgresql", "httpd"))

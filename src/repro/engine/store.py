@@ -46,6 +46,7 @@ import os
 import shutil
 import threading
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -53,6 +54,7 @@ import numpy as np
 
 from repro.engine.checkpoint import (
     MANIFEST_NAME,
+    CheckpointError,
     RunJournal,
     grammar_fingerprint,
     graph_fingerprint,
@@ -67,8 +69,15 @@ from repro.graph.graph import MemGraph
 from repro.grammar.grammar import FrozenGrammar
 from repro.partition.preprocess import planned_partition_table
 from repro.partition.pset import PartitionSet
-from repro.partition.storage import PartitionStore
+from repro.partition.storage import PartitionCorruptError, PartitionStore
 from repro.util.retry import RetryPolicy
+
+#: Exceptions that mean "this entry's on-disk state is unusable" — a
+#: corrupt partition payload or an inconsistent manifest.  The store
+#: degrades these to a cold recompute instead of failing the request;
+#: :class:`~repro.util.faults.InjectedCrash` is *not* in this set (it is
+#: a ``BaseException`` precisely so recovery paths cannot absorb it).
+_ENTRY_UNUSABLE = (PartitionCorruptError, CheckpointError)
 
 PathLike = Union[str, Path]
 
@@ -197,6 +206,10 @@ class ClosureStore:
         self.fault_injector = fault_injector
         self.retry = retry
         self._lock = threading.RLock()
+        #: Requests that found their entry (or its incremental base)
+        #: corrupt and fell back to a cold recompute.
+        self.degraded_to_cold = 0
+        self._warned_degraded = False
 
     # ------------------------------------------------------------------
     # keys and entries
@@ -254,6 +267,14 @@ class ClosureStore:
         cold run.  ``stats.closure_source`` on the returned computation
         records which path was taken (``"cache"``, ``"cold"``, or
         ``"incremental"``), and the ``delta_*`` stats size the diff.
+
+        A cache / resume / incremental path that trips over corrupt
+        on-disk state (checksum mismatch, truncated payload, manifest
+        inconsistency) *degrades to a cold run* instead of failing the
+        request: the bad entry is discarded, a one-shot warning is
+        emitted (mirroring the join backend's ``_degrade``), and
+        ``degraded_to_cold`` counts every occurrence for the daemon's
+        health report.  Injected crashes are never absorbed here.
         """
         graph = align_graph_labels(graph, grammar)
         grammar_crc, graph_crc = self.graph_key(grammar, graph)
@@ -261,13 +282,23 @@ class ClosureStore:
         with self._lock:
             engine = self._engine_for(grammar, entry)
             if (entry / META_NAME).exists():
-                computation = engine.run(graph, resume=True)
+                try:
+                    computation = engine.run(graph, resume=True)
+                except _ENTRY_UNUSABLE as exc:
+                    return self._degraded_cold(
+                        grammar, graph, grammar_crc, graph_crc, entry, exc
+                    )
                 computation.stats.closure_source = "cache"
                 return computation
             if (entry / MANIFEST_NAME).exists():
                 # Interrupted cold or incremental run: resume it from the
                 # committed watermark (the daemon's crash-recovery path).
-                computation = engine.run(graph, resume=True)
+                try:
+                    computation = engine.run(graph, resume=True)
+                except _ENTRY_UNUSABLE as exc:
+                    return self._degraded_cold(
+                        grammar, graph, grammar_crc, graph_crc, entry, exc
+                    )
                 self._save_entry(
                     entry, graph, grammar_crc, graph_crc, computation, "cold"
                 )
@@ -275,16 +306,23 @@ class ClosureStore:
             plan = self._find_base(grammar_crc, graph)
             if plan is not None:
                 base_dir, added_src, added_keys = plan
-                return self._incremental(
-                    grammar,
-                    graph,
-                    grammar_crc,
-                    graph_crc,
-                    entry,
-                    base_dir,
-                    added_src,
-                    added_keys,
-                )
+                try:
+                    return self._incremental(
+                        grammar,
+                        graph,
+                        grammar_crc,
+                        graph_crc,
+                        entry,
+                        base_dir,
+                        added_src,
+                        added_keys,
+                    )
+                except _ENTRY_UNUSABLE as exc:
+                    # The base entry's files (hard-linked into this one)
+                    # are bad: shed the incremental plan entirely.
+                    return self._degraded_cold(
+                        grammar, graph, grammar_crc, graph_crc, entry, exc
+                    )
             computation = engine.run(graph)
             self._save_entry(
                 entry, graph, grammar_crc, graph_crc, computation, "cold"
@@ -294,6 +332,35 @@ class ClosureStore:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _degraded_cold(
+        self,
+        grammar: FrozenGrammar,
+        graph: MemGraph,
+        grammar_crc: int,
+        graph_crc: int,
+        entry: Path,
+        exc: Exception,
+    ) -> GraspanComputation:
+        """Discard an unusable entry and recompute from scratch."""
+        self.degraded_to_cold += 1
+        if not self._warned_degraded:
+            self._warned_degraded = True
+            warnings.warn(
+                f"closure store entry {entry.name} is unusable "
+                f"({type(exc).__name__}: {exc}); degrading to a cold "
+                "recompute. Further degradations in this store will not "
+                "be reported individually.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        shutil.rmtree(entry, ignore_errors=True)
+        engine = self._engine_for(grammar, entry)
+        computation = engine.run(graph)
+        self._save_entry(
+            entry, graph, grammar_crc, graph_crc, computation, "cold"
+        )
+        return computation
+
     def _engine_for(self, grammar: FrozenGrammar, entry: Path) -> GraspanEngine:
         entry.mkdir(parents=True, exist_ok=True)
         return GraspanEngine(

@@ -1,0 +1,63 @@
+"""Differential fuzzing and chaos testing for the closure engine.
+
+Seeded case generation (:mod:`repro.fuzz.cases`), engine-vs-Datalog
+differential checking across the configuration matrix
+(:mod:`repro.fuzz.diff`), ddmin test-case shrinking
+(:mod:`repro.fuzz.shrink`), and the campaign driver behind
+``python -m repro fuzz`` (:mod:`repro.fuzz.runner`).
+"""
+
+from repro.fuzz.cases import (
+    GRAPH_BUILDERS,
+    CaseBuildError,
+    FuzzCase,
+    build_graph,
+    case_for_seed,
+    minic_case,
+    raw_case,
+    rebuild,
+)
+from repro.fuzz.diff import (
+    DEFAULT_CONFIGS,
+    FULL_CONFIGS,
+    DifferentialMismatch,
+    EngineConfig,
+    RunOutcome,
+    check_case,
+    oracle_closure,
+    run_config,
+)
+from repro.fuzz.runner import CaseResult, FuzzReport, fuzz, run_seed
+from repro.fuzz.shrink import (
+    ddmin,
+    shrink_sources,
+    split_toplevel,
+    write_artifact,
+)
+
+__all__ = [
+    "GRAPH_BUILDERS",
+    "CaseBuildError",
+    "FuzzCase",
+    "build_graph",
+    "case_for_seed",
+    "minic_case",
+    "raw_case",
+    "rebuild",
+    "DEFAULT_CONFIGS",
+    "FULL_CONFIGS",
+    "DifferentialMismatch",
+    "EngineConfig",
+    "RunOutcome",
+    "check_case",
+    "oracle_closure",
+    "run_config",
+    "CaseResult",
+    "FuzzReport",
+    "fuzz",
+    "run_seed",
+    "ddmin",
+    "shrink_sources",
+    "split_toplevel",
+    "write_artifact",
+]

@@ -1,0 +1,340 @@
+"""Seeded generation of differential-fuzzing cases.
+
+A :class:`FuzzCase` is one (graph, grammar) input the engine and the
+Datalog oracle must agree on.  Two families are generated, both fully
+deterministic in the seed:
+
+**MiniC cases** reuse the evaluation-workload machinery
+(:class:`~repro.workloads.synthetic.WorkloadSpec` /
+:class:`~repro.workloads.synthetic.SyntheticProgramBuilder`) with small
+randomized gadget mixes, then append *adversarial* shapes the curated
+workloads never produce — deep alias chains (long ``p = q`` relays plus
+heap store/load laundering) and wide NULL fan-ins — and compile the
+result through the real frontend into one of the three analysis graphs
+(pointer / NULL dataflow / taint).  Because the sources ride along on
+the case, a failing MiniC case can be *shrunk* back to a minimal repro
+(:mod:`repro.fuzz.shrink`).
+
+**Raw cases** skip the frontend and hit the engine with degenerate graph
+topologies directly: empty graphs, isolated vertices, all-self-loop
+graphs, dense random multigraphs, and long label-alternating cycles —
+under seed-permuted grammars (same productions, shuffled label interning
+and production order) so no accidental dependence on label-id layout
+survives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.grammar.grammar import FrozenGrammar, Grammar
+from repro.graph.graph import MemGraph
+from repro.workloads.synthetic import SyntheticProgramBuilder, WorkloadSpec
+
+#: Which frontend extractor builds the case's input graph.
+GRAPH_BUILDERS = ("pointer", "nullflow", "taint")
+
+
+@dataclass
+class FuzzCase:
+    """One differential input: a graph, the grammar to close it under,
+    and (for MiniC cases) the sources it was compiled from."""
+
+    name: str
+    seed: int
+    grammar: FrozenGrammar
+    graph: MemGraph
+    #: MiniC provenance, shrinkable; ``None`` for raw graph cases.
+    sources: Optional[List[Tuple[str, str]]] = None
+    #: Extractor used to turn sources into the graph (MiniC cases only).
+    graph_builder: Optional[str] = None
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def is_minic(self) -> bool:
+        return self.sources is not None
+
+
+class CaseBuildError(RuntimeError):
+    """The sources no longer compile into a usable graph (shrinking may
+    produce these; the shrinker treats them as uninteresting)."""
+
+
+# ---------------------------------------------------------------------------
+# MiniC cases
+# ---------------------------------------------------------------------------
+
+def _adversarial_alias_chain(rng: random.Random, k: int) -> str:
+    """A deep alias relay with heap laundering: one allocation flowing
+    through ``depth`` copies, stored through one pointer and loaded back
+    through an alias of an alias.  Long single-strand VF chains are the
+    worst case for per-superstep delta propagation."""
+    depth = rng.randint(6, 14)
+    lines = [f"void adv_chain_{k}(void) {{", "    int *c0;"]
+    for i in range(1, depth + 1):
+        lines.append(f"    int *c{i};")
+    lines += ["    int *cell;", "    int *mirror;", "    int out;"]
+    lines.append("    c0 = malloc(8);")
+    for i in range(1, depth + 1):
+        lines.append(f"    c{i} = c{i - 1};")
+    lines.append("    cell = malloc(8);")
+    lines.append("    mirror = cell;")
+    lines.append(f"    *cell = *c{depth};")
+    lines.append("    out = *mirror;")
+    lines.append("    if (out) { *c0 = out; }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _adversarial_null_fan(rng: random.Random, k: int) -> str:
+    """A wide NULL fan-in: many producers merging into one consumer —
+    stresses the dataflow closure's dedup rather than its depth."""
+    width = rng.randint(3, 6)
+    parts = []
+    for i in range(width):
+        parts.append(
+            f"void *adv_src_{k}_{i}(int n) {{\n"
+            "    int *p;\n"
+            "    p = NULL;\n"
+            f"    if (n > {i}) {{ p = malloc(8); }}\n"
+            "    return p;\n"
+            "}\n"
+        )
+    body = ["    int *m;"]
+    for i in range(width):
+        body.append(f"    m = adv_src_{k}_{i}({i});")
+        body.append("    if (m) { *m = 1; }")
+    parts.append(
+        f"void adv_fan_{k}(void) {{\n" + "\n".join(body) + "\n}\n"
+    )
+    return "".join(parts)
+
+
+def _adversarial_taint_relay(rng: random.Random, k: int) -> str:
+    """Taint bounced through the heap twice, with a sanitizer decoy on a
+    sibling path — adversarial for the TT closure's edge-break rule."""
+    return (
+        f"void adv_taint_{k}(void) {{\n"
+        "    int *box;\n"
+        "    int *lid;\n"
+        "    int raw;\n"
+        "    int hop;\n"
+        "    int clean;\n"
+        "    int fin;\n"
+        "    box = malloc(8);\n"
+        "    lid = box;\n"
+        "    raw = input();\n"
+        "    *box = raw;\n"
+        "    hop = *lid;\n"
+        "    clean = sanitize(hop);\n"
+        "    *lid = hop;\n"
+        "    fin = *box;\n"
+        "    query(fin);\n"
+        "    exec(clean);\n"
+        "}\n"
+    )
+
+
+def _random_spec(
+    seed: int, rng: random.Random, small: bool = False
+) -> WorkloadSpec:
+    """A tiny randomized workload spec: every gadget family rolls 0-2
+    instances, the call DAG stays shallow so the oracle remains cheap.
+
+    ``small`` shrinks everything further (single root, one layer, 0-1 of
+    each gadget) — used for pointer cases, whose extended points-to
+    grammar makes the pure-Python Datalog oracle by far the most
+    expensive leg of the differential check.
+    """
+    spec = WorkloadSpec(
+        name=f"fuzz-{seed}",
+        seed=seed,
+        num_roots=1 if small else rng.randint(1, 3),
+        layers=1 if small else rng.randint(1, 3),
+        fanout=1 if small else rng.randint(1, 2),
+        layer_width=2 if small else rng.randint(2, 4),
+        pointer_chain=rng.randint(1, 4),
+        base_null_return_rate=rng.choice([0.0, 0.25, 0.75]),
+    )
+    gadget_cap = 1 if small else 2
+    for name in (
+        "null_deep", "null_decoys", "null_shallow_decoys", "null_safe",
+        "untest", "untest_negative", "free_alias", "free_decoys",
+        "lock_alias", "lock_decoys", "block_fp", "block_wrapper",
+        "range_deep", "range_decoys", "size_direct", "size_flow",
+        "size_decoys", "pnull_bugs", "pnull_decoys", "race_unguarded",
+        "race_heap", "race_guarded_decoys", "taint_direct", "taint_flow",
+        "taint_heap", "taint_sanitizer_decoys", "async_direct",
+        "async_deep", "async_safe_decoys", "recursion_gadgets",
+    ):
+        setattr(spec, name, rng.randint(0, gadget_cap))
+    spec.null_deep_chain = rng.randint(1, 3)
+    spec.taint_flow_chain = rng.randint(1, 3)
+    return spec
+
+
+def build_graph(
+    sources: Sequence[Tuple[str, str]], builder: str
+) -> Tuple[MemGraph, FrozenGrammar]:
+    """Compile MiniC ``sources`` and extract the ``builder`` graph.
+
+    Raises :class:`CaseBuildError` when the sources no longer form a
+    compilable program (the shrinker's probe path).
+    """
+    from repro.frontend import (
+        compile_program,
+        dataflow_graph,
+        pointer_graph,
+        taint_graph,
+    )
+    from repro.grammar.builtin import (
+        nullflow_grammar,
+        pointsto_grammar_extended,
+        taint_grammar,
+    )
+
+    try:
+        pg = compile_program(list(sources))
+    except Exception as exc:  # parse/lower/inline failures alike
+        raise CaseBuildError(f"sources do not compile: {exc}") from exc
+    if builder == "pointer":
+        return pointer_graph(pg), pointsto_grammar_extended()
+    if builder == "nullflow":
+        return dataflow_graph(pg), nullflow_grammar()
+    if builder == "taint":
+        return taint_graph(pg), taint_grammar()
+    raise ValueError(f"unknown graph builder {builder!r}")
+
+
+def minic_case(seed: int) -> FuzzCase:
+    """The seeded MiniC case: randomized workload + adversarial shapes."""
+    rng = random.Random(("minic", seed).__repr__())
+    builder = rng.choice(GRAPH_BUILDERS)
+    spec = _random_spec(seed, rng, small=builder == "pointer")
+    workload = SyntheticProgramBuilder(spec).build()
+    sources = list(workload.sources)
+    notes = [f"spec layers={spec.layers} fanout={spec.fanout}"]
+    extras = []
+    if rng.random() < 0.8:
+        extras.append(_adversarial_alias_chain(rng, seed))
+        notes.append("adversarial: deep alias chain")
+    if rng.random() < 0.5:
+        extras.append(_adversarial_null_fan(rng, seed))
+        notes.append("adversarial: wide NULL fan-in")
+    if rng.random() < 0.5:
+        extras.append(_adversarial_taint_relay(rng, seed))
+        notes.append("adversarial: heap taint relay")
+    if extras:
+        sources.append(("adversarial", "".join(extras)))
+    notes.append(f"graph builder: {builder}")
+    graph, grammar = build_graph(sources, builder)
+    return FuzzCase(
+        name=f"minic-{seed}-{builder}",
+        seed=seed,
+        grammar=grammar,
+        graph=graph,
+        sources=sources,
+        graph_builder=builder,
+        notes=notes,
+    )
+
+
+def rebuild(case: FuzzCase, sources: Sequence[Tuple[str, str]]) -> FuzzCase:
+    """The same case over different (typically shrunk) sources."""
+    assert case.graph_builder is not None
+    graph, grammar = build_graph(sources, case.graph_builder)
+    return replace(
+        case, graph=graph, grammar=grammar, sources=list(sources)
+    )
+
+
+# ---------------------------------------------------------------------------
+# raw graph cases under permuted grammars
+# ---------------------------------------------------------------------------
+
+def _permuted_dyck(rng: random.Random) -> FrozenGrammar:
+    """Dyck-1 with seed-shuffled label interning and production order."""
+    g = Grammar()
+    for name in rng.sample(["OP", "CL", "S"], 3):
+        g.label(name)
+    prods = [
+        lambda: g.add_constraint("S", "OP", "CL"),
+        lambda: g.add_rule("S", ["OP", "S", "CL"]),
+        lambda: g.add_constraint("S", "S", "S"),
+    ]
+    rng.shuffle(prods)
+    for add in prods:
+        add()
+    return g.freeze()
+
+
+def _permuted_reach(rng: random.Random) -> FrozenGrammar:
+    g = Grammar()
+    for name in rng.sample(["E", "R"], 2):
+        g.label(name)
+    prods = [
+        lambda: g.add_constraint("R", "E"),
+        lambda: g.add_constraint("R", "R", "E"),
+    ]
+    rng.shuffle(prods)
+    for add in prods:
+        add()
+    return g.freeze()
+
+
+#: Terminal labels the raw topologies draw edges from, per grammar.
+_RAW_TERMINALS = {"dyck": ["OP", "CL"], "reach": ["E"]}
+
+
+def raw_case(seed: int) -> FuzzCase:
+    """The seeded raw-topology case: degenerate shapes, permuted grammar."""
+    rng = random.Random(("raw", seed).__repr__())
+    which = rng.choice(["dyck", "reach"])
+    grammar = _permuted_dyck(rng) if which == "dyck" else _permuted_reach(rng)
+    terminals = _RAW_TERMINALS[which]
+    shape = rng.choice(
+        ["empty", "selfloops", "dense", "alternating-cycle", "star"]
+    )
+    n = rng.randint(1, 12)
+    edges: List[Tuple[int, int, int]] = []
+    if shape == "empty":
+        pass
+    elif shape == "selfloops":
+        for v in range(n):
+            for li in range(len(terminals)):
+                edges.append((v, v, li))
+    elif shape == "dense":
+        for _ in range(rng.randint(1, 4 * n)):
+            edges.append(
+                (
+                    rng.randrange(n),
+                    rng.randrange(n),
+                    rng.randrange(len(terminals)),
+                )
+            )
+    elif shape == "alternating-cycle":
+        for v in range(n):
+            edges.append(((v), (v + 1) % n, v % len(terminals)))
+    elif shape == "star":
+        hub = rng.randrange(n)
+        for v in range(n):
+            if v != hub:
+                edges.append((hub, v, rng.randrange(len(terminals))))
+                if rng.random() < 0.5:
+                    edges.append((v, hub, rng.randrange(len(terminals))))
+    graph = MemGraph.from_edges(edges, num_vertices=n, label_names=terminals)
+    return FuzzCase(
+        name=f"raw-{seed}-{which}-{shape}",
+        seed=seed,
+        grammar=grammar,
+        graph=graph,
+        notes=[f"shape: {shape} over {n} vertices, grammar {which} (permuted)"],
+    )
+
+
+def case_for_seed(seed: int) -> FuzzCase:
+    """The canonical per-seed case: raw topologies on every 3rd seed,
+    compiled MiniC programs otherwise."""
+    return raw_case(seed) if seed % 3 == 0 else minic_case(seed)

@@ -1,0 +1,173 @@
+"""Test-case shrinking: a failing MiniC case down to a minimal repro.
+
+A differential failure on a generated workload is useless at 2000 lines;
+the debugging loop wants the smallest program that still disagrees.  The
+shrinker works at the granularity the frontend understands — *top-level
+units* (function definitions and global declarations), recovered from
+the generated source by brace counting — and runs the classic ddmin
+reduction: try removing large chunks first, re-check the failure
+predicate, halve the chunk size on failure to reduce.  The result is
+1-minimal: removing any single remaining unit makes the failure
+disappear (or the program uncompilable, which counts as disappearing).
+
+The predicate is supplied by the caller (typically "rebuild the case
+from these sources and re-run the failing config against the oracle"),
+so the same machinery shrinks genuine engine bugs and the deliberately
+broken oracles the test suite uses to prove minimality.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+Unit = Tuple[str, str]  # (module, top-level source chunk)
+
+
+def split_toplevel(source: str) -> List[str]:
+    """Split MiniC source into top-level units by brace depth.
+
+    A unit is one function definition (depth returns to zero on its
+    closing ``}``) or one brace-free statement run (globals).  Blank
+    lines attach to the preceding unit; the concatenation of the units
+    reproduces the source.
+    """
+    units: List[str] = []
+    current: List[str] = []
+    depth = 0
+    saw_brace = False
+    for line in source.splitlines(keepends=True):
+        current.append(line)
+        depth += line.count("{") - line.count("}")
+        if depth > 0:
+            saw_brace = True
+            continue
+        stripped = line.strip()
+        closes = saw_brace and stripped.endswith("}")
+        plain_stmt = not saw_brace and stripped.endswith(";")
+        if closes or plain_stmt:
+            units.append("".join(current))
+            current = []
+            saw_brace = False
+    if "".join(current).strip():
+        units.append("".join(current))
+    return units
+
+
+def to_units(sources: Sequence[Tuple[str, str]]) -> List[Unit]:
+    """Flatten (module, source) pairs into an ordered unit list."""
+    units: List[Unit] = []
+    for module, source in sources:
+        for chunk in split_toplevel(source):
+            units.append((module, chunk))
+    return units
+
+
+def to_sources(units: Sequence[Unit]) -> List[Tuple[str, str]]:
+    """Reassemble a unit list into (module, source) pairs.
+
+    Module order follows first appearance; modules whose units were all
+    removed vanish entirely.
+    """
+    by_module: Dict[str, List[str]] = {}
+    order: List[str] = []
+    for module, chunk in units:
+        if module not in by_module:
+            by_module[module] = []
+            order.append(module)
+        by_module[module].append(chunk)
+    return [(m, "".join(by_module[m])) for m in order]
+
+
+def ddmin(
+    units: List[Unit],
+    still_fails: Callable[[List[Unit]], bool],
+    max_probes: int = 2000,
+) -> List[Unit]:
+    """Classic delta debugging over the unit list.
+
+    ``still_fails(units)`` must be True for the input list; the return
+    value is a 1-minimal sublist for which it is still True.  The probe
+    budget bounds pathological cases; the reduction so far is returned
+    when it runs out.
+    """
+    assert still_fails(units), "ddmin needs a failing input to shrink"
+    probes = 0
+    n = 2
+    while len(units) >= 2:
+        chunk = max(1, len(units) // n)
+        subsets = [units[i : i + chunk] for i in range(0, len(units), chunk)]
+        reduced = False
+        for i, subset in enumerate(subsets):
+            complement = [
+                u for j, s in enumerate(subsets) if j != i for u in s
+            ]
+            if not complement:
+                continue
+            probes += 1
+            if probes > max_probes:
+                return units
+            if still_fails(complement):
+                units = complement
+                n = max(2, n - 1)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(units):
+                break
+            n = min(len(units), n * 2)
+    return units
+
+
+def shrink_sources(
+    sources: Sequence[Tuple[str, str]],
+    still_fails: Callable[[List[Tuple[str, str]]], bool],
+    max_probes: int = 2000,
+) -> List[Tuple[str, str]]:
+    """Shrink (module, source) pairs under a source-level predicate."""
+    units = to_units(sources)
+    minimal = ddmin(
+        units,
+        lambda us: still_fails(to_sources(us)),
+        max_probes=max_probes,
+    )
+    return to_sources(minimal)
+
+
+def write_artifact(
+    directory: Path,
+    *,
+    seed: int,
+    case_name: str,
+    config_name: str,
+    message: str,
+    sources: Sequence[Tuple[str, str]] = (),
+    notes: Sequence[str] = (),
+    original_loc: int = 0,
+) -> Path:
+    """Persist a minimized repro: the MiniC modules plus ``repro.json``.
+
+    Returns the artifact directory (created if needed).  Raw-graph cases
+    pass no sources; the JSON alone carries the seed to replay with
+    ``python -m repro fuzz --seeds <seed> ...``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    shrunk_loc = 0
+    for module, source in sources:
+        (directory / f"{module}.c").write_text(source)
+        shrunk_loc += source.count("\n") + 1
+    meta = {
+        "seed": seed,
+        "case": case_name,
+        "config": config_name,
+        "error": message,
+        "notes": list(notes),
+        "modules": [m for m, _ in sources],
+        "original_loc": original_loc,
+        "shrunk_loc": shrunk_loc,
+        "replay": f"python -m repro fuzz --seeds {seed} --artifacts <dir>",
+    }
+    (directory / "repro.json").write_text(json.dumps(meta, indent=2))
+    return directory

@@ -12,9 +12,23 @@ socket protocol.
 ``python -m repro serve --store DIR`` starts one; :class:`ServiceClient`
 talks to it; :class:`ServiceThread` embeds one in-process for tests and
 benchmarks.
+
+The tier is hardened for hostile conditions: the daemon bounds its
+in-flight work and sheds the excess with typed ``overloaded`` responses,
+enforces per-request deadlines, drains gracefully on ``SIGTERM``,
+answers ``health`` probes even while saturated, and survives oversized
+frames without dropping the connection; the store degrades corrupt cache
+entries to cold recomputes with a one-shot warning; the client retries
+transient failures under a bounded backoff-with-jitter policy and
+surfaces :class:`ServiceUnavailable` only when the budget is spent.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    DEFAULT_CLIENT_RETRY,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
 from repro.service.daemon import ClosureDaemon, ServiceThread
 from repro.service.protocol import (
     MAX_MESSAGE_BYTES,
@@ -28,6 +42,8 @@ __all__ = [
     "ServiceThread",
     "ServiceClient",
     "ServiceError",
+    "ServiceUnavailable",
+    "DEFAULT_CLIENT_RETRY",
     "ProtocolError",
     "encode_message",
     "decode_message",

@@ -21,11 +21,39 @@ and an asyncio socket server speaking the JSON-lines protocol:
     per-request.
 ``status``
     Programs loaded, per-closure residency/pinning, store entries.
+``health``
+    Cheap liveness + load report: in-flight count, shed/deadline
+    counters, drain state, store degradations.  Never shed, never
+    queued — safe to poll from orchestrators while the daemon is busy.
 ``shutdown``
     Stop the server after responding.
 
 Blocking work (compile + closure + checking) runs on a
-``ThreadPoolExecutor`` so the event loop stays responsive.  A planned
+``ThreadPoolExecutor`` so the event loop stays responsive.  Three
+hardening layers keep an overloaded or dying daemon *predictable*:
+
+**Bounded in-flight queue.**  At most ``max_inflight`` blocking requests
+are admitted at once; the next one is answered immediately with a typed
+``kind: "overloaded"`` error (plus a ``retry_after`` hint) instead of
+queueing without bound or dropping the connection.  Clients with a
+retry policy back off and try again; counters surface in ``health``.
+
+**Per-request deadlines.**  With ``request_timeout`` set, a blocking
+request that exceeds it is answered with ``kind: "deadline"``.  The
+worker thread finishes in the background (Python threads cannot be
+killed) and still holds its in-flight slot until it does, so deadline
+storms shed load rather than stacking invisible work.
+
+**Graceful drain.**  ``SIGTERM`` (when the loop runs on the main
+thread) or :meth:`request_drain` stops admitting blocking work — new
+requests get ``kind: "draining"`` — waits up to ``drain_grace`` seconds
+for in-flight requests to finish, then stops the server.
+
+Oversized frames no longer kill the connection either: the daemon
+drains the over-limit payload to its terminating newline, answers with
+``kind: "protocol-error"``, and keeps serving the same socket.
+
+A planned
 :class:`~repro.util.faults.InjectedCrash` during a request is the
 daemon's simulated power loss: with ``crash_mode="exit"`` (the ``serve``
 CLI) the process hard-exits like a SIGKILL, leaving the store entry
@@ -39,6 +67,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -78,11 +107,17 @@ class ClosureDaemon:
         fault_injector=None,
         crash_mode: str = "raise",
         announce: bool = False,
+        max_inflight: int = 32,
+        request_timeout: Optional[float] = None,
+        drain_grace: float = 10.0,
+        max_message_bytes: int = MAX_MESSAGE_BYTES,
     ) -> None:
         from repro.engine.store import ClosureStore  # local: heavy import
 
         if crash_mode not in ("raise", "exit"):
             raise ValueError(f"unknown crash_mode {crash_mode!r}")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.store = ClosureStore(
             store_root,
             max_edges_per_partition=max_edges_per_partition,
@@ -97,8 +132,17 @@ class ClosureDaemon:
         self.num_workers = num_workers
         self.crash_mode = crash_mode
         self.announce = announce
+        self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
+        self.drain_grace = drain_grace
+        self.max_message_bytes = max_message_bytes
         self.address: Optional[Tuple[str, int]] = None
         self.crashed: Optional[str] = None
+        self.shed_count = 0
+        self.deadline_count = 0
+        self.oversized_count = 0
+        self._inflight = 0
+        self._draining = False
         self._programs: Dict[str, Any] = {}  # name -> AnalysisContext
         self._pinned: Dict[str, Dict[str, List[int]]] = {}
         self._programs_lock = threading.Lock()
@@ -132,6 +176,39 @@ class ClosureDaemon:
             # server is already down, which is what was asked for.
             pass
 
+    def request_drain(self) -> None:
+        """Begin a graceful drain; safe from any thread.
+
+        Stops admitting blocking work (new ``load``/``check`` requests
+        are answered ``kind: "draining"``), waits up to ``drain_grace``
+        seconds for in-flight requests to complete, then stops the
+        server.  This is also the ``SIGTERM`` behavior when the daemon
+        owns the main thread (the ``serve`` CLI).
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._begin_drain)
+        except RuntimeError:
+            pass
+
+    def _begin_drain(self) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        assert self._loop is not None
+        self._loop.create_task(self._drain_then_stop())
+
+    async def _drain_then_stop(self) -> None:
+        deadline = asyncio.get_running_loop().time() + self.drain_grace
+        while self._inflight > 0:
+            if asyncio.get_running_loop().time() >= deadline:
+                break
+            await asyncio.sleep(0.05)
+        if self._stop is not None:
+            self._stop.set()
+
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
@@ -139,8 +216,15 @@ class ClosureDaemon:
             self._handle_client,
             host=self.host,
             port=self.port,
-            limit=MAX_MESSAGE_BYTES,
+            limit=self.max_message_bytes,
         )
+        try:
+            # SIGTERM drains gracefully when the loop owns the main
+            # thread; in-process ServiceThread daemons use
+            # request_drain() instead (signals stay with the host app).
+            self._loop.add_signal_handler(signal.SIGTERM, self._begin_drain)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
         self.address = server.sockets[0].getsockname()[:2]
         if self.announce:
             import sys
@@ -160,22 +244,65 @@ class ClosureDaemon:
     # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
+    async def _read_frame(self, reader) -> Tuple[Optional[bytes], bool]:
+        """One newline-terminated frame; ``(line, oversized)``.
+
+        ``line`` is ``None`` at EOF.  An over-limit frame is *discarded
+        through its terminating newline* — consuming exactly the scanned
+        bytes each round, so no byte of the next request is lost — and
+        reported as ``oversized`` with the connection still framed.
+        """
+        try:
+            return await reader.readuntil(b"\n"), False
+        except asyncio.IncompleteReadError as exc:
+            return (exc.partial or None), False
+        except asyncio.LimitOverrunError as exc:
+            consumed = exc.consumed
+            while True:
+                if consumed:
+                    try:
+                        await reader.readexactly(consumed)
+                    except asyncio.IncompleteReadError:
+                        return None, True
+                try:
+                    await reader.readuntil(b"\n")
+                    return b"", True
+                except asyncio.IncompleteReadError:
+                    return None, True
+                except asyncio.LimitOverrunError as again:
+                    consumed = again.consumed
+
     async def _handle_client(self, reader, writer) -> None:
         try:
             while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(encode_message(error_response("frame too large")))
+                line, oversized = await self._read_frame(reader)
+                if oversized:
+                    # The frame is gone but the stream is intact: answer
+                    # with a typed protocol error and keep serving.
+                    self.oversized_count += 1
+                    writer.write(
+                        encode_message(
+                            error_response(
+                                f"frame exceeds the "
+                                f"{self.max_message_bytes}-byte limit",
+                                kind="protocol-error",
+                                limit=self.max_message_bytes,
+                            )
+                        )
+                    )
                     await writer.drain()
-                    break
+                    if line is None:
+                        break
+                    continue
                 if not line:
                     break
                 request: Dict[str, Any] = {}
                 try:
                     request = decode_message(line)
                 except ProtocolError as exc:
-                    response: Dict[str, Any] = error_response(str(exc))
+                    response: Dict[str, Any] = error_response(
+                        str(exc), kind="protocol-error"
+                    )
                 else:
                     response = await self._dispatch(request)
                 writer.write(encode_message(response))
@@ -193,6 +320,8 @@ class ClosureDaemon:
         self._requests_served += 1
         if op == "ping":
             return {"ok": True, "op": "ping"}
+        if op == "health":
+            return self._health()
         if op == "status":
             return self._status()
         if op == "shutdown":
@@ -204,9 +333,47 @@ class ClosureDaemon:
         return error_response(f"unknown op {op!r}")
 
     async def _run_blocking(self, fn, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._draining:
+            return error_response(
+                "daemon is draining; not admitting new work",
+                kind="draining",
+            )
+        if self._inflight >= self.max_inflight:
+            # Typed backpressure: the client learns *why* and when to
+            # come back, instead of a dropped connection or an unbounded
+            # queue hiding the overload.
+            self.shed_count += 1
+            return error_response(
+                f"daemon is overloaded ({self._inflight} requests in "
+                f"flight, limit {self.max_inflight})",
+                kind="overloaded",
+                inflight=self._inflight,
+                max_inflight=self.max_inflight,
+                retry_after=0.05,
+            )
         loop = asyncio.get_running_loop()
+        self._inflight += 1
+        future = loop.run_in_executor(self._executor, fn, request)
+        future.add_done_callback(self._note_request_done)
         try:
-            return await loop.run_in_executor(self._executor, fn, request)
+            if self.request_timeout is not None:
+                try:
+                    return await asyncio.wait_for(
+                        asyncio.shield(future), self.request_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # The worker thread cannot be killed; it keeps its
+                    # in-flight slot until it actually finishes (see
+                    # _note_request_done), so deadline storms shed load
+                    # instead of silently stacking background work.
+                    self.deadline_count += 1
+                    return error_response(
+                        f"request exceeded the {self.request_timeout}s "
+                        "deadline",
+                        kind="deadline",
+                        timeout=self.request_timeout,
+                    )
+            return await future
         except InjectedCrash as exc:
             if self.crash_mode == "exit":
                 # A simulated power loss: no cleanup, no goodbye — the
@@ -221,6 +388,44 @@ class ClosureDaemon:
             return error_response("injected crash", detail=str(exc), crashed=True)
         except Exception as exc:  # surface, don't kill the server
             return error_response(f"{type(exc).__name__}: {exc}")
+
+    def _note_request_done(self, future) -> None:
+        """Release the in-flight slot when the worker actually finishes.
+
+        Runs on the event loop (asyncio executor futures schedule their
+        callbacks there), so the admission check never races it.  The
+        exception of a deadline-abandoned future must be retrieved here
+        — and an InjectedCrash in exit mode still hard-kills the process
+        even if its request already got a deadline response.
+        """
+        self._inflight -= 1
+        if future.cancelled():
+            return
+        exc = None
+        try:
+            exc = future.exception()
+        except asyncio.CancelledError:
+            return
+        if isinstance(exc, InjectedCrash) and self.crash_mode == "exit":
+            os._exit(CRASH_EXIT_STATUS)
+
+    def _health(self) -> Dict[str, Any]:
+        """The cheap load/liveness report; never shed, never queued."""
+        return {
+            "ok": True,
+            "op": "health",
+            "draining": self._draining,
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
+            "workers": self.num_workers,
+            "request_timeout": self.request_timeout,
+            "requests_served": self._requests_served,
+            "shed": self.shed_count,
+            "deadline_hits": self.deadline_count,
+            "oversized_frames": self.oversized_count,
+            "degraded_to_cold": self.store.degraded_to_cold,
+            "crashed": self.crashed,
+        }
 
     # ------------------------------------------------------------------
     # blocking op bodies (executor threads)

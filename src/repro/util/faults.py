@@ -71,6 +71,14 @@ def _parse_errno_schedule(text: str) -> Dict[int, int]:
     return schedule
 
 
+def _format_errno_schedule(schedule: Mapping[int, int]) -> str:
+    """Render ``{2: errno.EIO}`` back into ``"2:EIO"`` (sorted by index)."""
+    return ",".join(
+        f"{index}:{errno.errorcode[code]}"
+        for index, code in sorted(schedule.items())
+    )
+
+
 def _env_int(env: Mapping[str, str], key: str) -> Optional[int]:
     raw = env.get(key, "").strip()
     return int(raw) if raw else None
@@ -123,6 +131,34 @@ class FaultPlan:
         if kind == "errno_write":
             return cls(errno_at_write={index: rng.choice([errno.EIO, errno.ENOSPC])})
         return cls(errno_at_read={index: errno.EIO})
+
+    def to_env(self) -> Dict[str, str]:
+        """The plan as ``REPRO_FAULT_*`` variables; inverse of
+        :meth:`from_env` (modulo ``torn_bytes``, which has no knob).
+
+        Only set faults appear, so the dict can be merged into a child
+        process environment without clearing unrelated knobs.
+        """
+        env: Dict[str, str] = {}
+        if self.crash_at_write is not None:
+            env["REPRO_FAULT_CRASH_WRITE"] = str(self.crash_at_write)
+        if self.flip_byte_at_write is not None:
+            env["REPRO_FAULT_FLIP_WRITE"] = str(self.flip_byte_at_write)
+        if self.errno_at_write:
+            env["REPRO_FAULT_ERRNO_WRITE"] = _format_errno_schedule(
+                self.errno_at_write
+            )
+        if self.errno_at_read:
+            env["REPRO_FAULT_ERRNO_READ"] = _format_errno_schedule(
+                self.errno_at_read
+            )
+        if self.crash_before_commit is not None:
+            env["REPRO_FAULT_CRASH_PRECOMMIT"] = str(self.crash_before_commit)
+        if self.crash_after_commit is not None:
+            env["REPRO_FAULT_CRASH_COMMIT"] = str(self.crash_after_commit)
+        if self.kill_worker_at_dispatch is not None:
+            env["REPRO_FAULT_KILL_WORKER"] = str(self.kill_worker_at_dispatch)
+        return env
 
     def empty(self) -> bool:
         return self == FaultPlan(torn_bytes=self.torn_bytes)

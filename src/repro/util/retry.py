@@ -13,6 +13,7 @@ after the last attempt, propagates unchanged.
 from __future__ import annotations
 
 import errno
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Callable, FrozenSet, Iterator, Optional, TypeVar
@@ -33,16 +34,24 @@ class RetryPolicy:
 
     ``attempts`` counts *total* tries (1 = no retry).  The delay before
     retry ``i`` (0-based) is ``base_delay * multiplier**i``, capped at
-    ``max_delay``.  Only :class:`OSError`s whose errno is in
-    ``transient_errnos`` are retried; everything else — including
-    ``FileNotFoundError`` and checksum failures — is re-raised on first
-    sight, because retrying a deterministic failure only hides it.
+    ``max_delay``.  ``jitter`` (a fraction in ``[0, 1]``) randomizes each
+    delay by ``±jitter`` of its value, so a fleet of clients retrying the
+    same overloaded daemon does not stampede back in lockstep; the base
+    schedule from :meth:`delays` stays deterministic for tests.  Only
+    :class:`OSError`s whose errno is in ``transient_errnos`` are retried
+    by default; everything else — including ``FileNotFoundError`` and
+    checksum failures — is re-raised on first sight, because retrying a
+    deterministic failure only hides it.  Callers with a different notion
+    of "transient" (the service client: connection resets, typed
+    ``overloaded`` responses) pass their own ``retryable`` predicate to
+    :meth:`call`.
     """
 
     attempts: int = 3
     base_delay: float = 0.01
     multiplier: float = 2.0
     max_delay: float = 1.0
+    jitter: float = 0.0
     transient_errnos: FrozenSet[int] = field(default=TRANSIENT_ERRNOS)
 
     def __post_init__(self) -> None:
@@ -50,6 +59,8 @@ class RetryPolicy:
             raise ValueError("attempts must be >= 1")
         if self.base_delay < 0 or self.max_delay < 0:
             raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
 
     def delays(self) -> Iterator[float]:
         """The backoff delay before each retry (``attempts - 1`` values)."""
@@ -57,6 +68,16 @@ class RetryPolicy:
         for _ in range(self.attempts - 1):
             yield min(delay, self.max_delay)
             delay *= self.multiplier
+
+    def jittered_delays(
+        self, rng: Optional[random.Random] = None
+    ) -> Iterator[float]:
+        """:meth:`delays` with the ``jitter`` fraction applied."""
+        pick = (rng or random).uniform
+        for delay in self.delays():
+            if self.jitter:
+                delay *= 1.0 + pick(-self.jitter, self.jitter)
+            yield max(0.0, delay)
 
     def is_transient(self, exc: BaseException) -> bool:
         return (
@@ -70,19 +91,23 @@ class RetryPolicy:
         fn: Callable[[], T],
         on_retry: Optional[Callable[[BaseException, int], None]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        retryable: Optional[Callable[[BaseException], bool]] = None,
     ) -> T:
         """Run ``fn`` under the policy; returns its result.
 
         ``on_retry(exc, attempt)`` is invoked before each backoff sleep —
         the store uses it to count retries for the engine's telemetry.
+        ``retryable`` overrides :meth:`is_transient` as the predicate
+        deciding which exceptions are worth another attempt.
         """
-        last_delay_iter = self.delays()
+        should_retry = retryable if retryable is not None else self.is_transient
+        last_delay_iter = self.jittered_delays()
         attempt = 0
         while True:
             try:
                 return fn()
             except BaseException as exc:
-                if not self.is_transient(exc):
+                if not should_retry(exc):
                     raise
                 try:
                     delay = next(last_delay_iter)

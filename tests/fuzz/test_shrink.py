@@ -1,0 +1,148 @@
+"""Shrinking: ddmin reduces failing cases to 1-minimal MiniC repros.
+
+The acceptance test plants a deliberately broken oracle under a real
+generated workload and proves the shrinker hands back a *minimal*
+failing program — the mismatch persists on the shrunk sources, the
+artifact directory replays it, and no smaller unit set still fails.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    ddmin,
+    minic_case,
+    oracle_closure,
+    run_seed,
+    shrink_sources,
+    split_toplevel,
+)
+from repro.fuzz.cases import CaseBuildError, rebuild
+from repro.fuzz.diff import DEFAULT_CONFIGS, DifferentialMismatch, check_case
+from repro.fuzz.shrink import to_sources, to_units
+
+SAMPLE = """int *g;
+int other;
+
+void f(void) {
+    int x;
+    x = 1;
+    if (x) { x = 2; }
+}
+
+void h(void) {
+    f();
+}
+"""
+
+
+class TestSplitting:
+    def test_units_concatenate_back_to_the_source(self):
+        units = split_toplevel(SAMPLE)
+        assert "".join(units) == SAMPLE
+
+    def test_functions_and_globals_are_separate_units(self):
+        units = split_toplevel(SAMPLE)
+        bodies = [u for u in units if "{" in u]
+        globals_ = [u for u in units if "{" not in u]
+        assert len(bodies) == 2
+        assert any("int *g;" in u for u in globals_)
+
+    def test_sources_roundtrip(self):
+        sources = [("a", SAMPLE), ("b", "int y;\n")]
+        assert to_sources(to_units(sources)) == sources
+
+
+class TestDdmin:
+    def test_finds_the_two_culprit_units(self):
+        units = [("m", f"u{i};") for i in range(12)]
+        culprits = {("m", "u2;"), ("m", "u9;")}
+        probes = []
+
+        def fails(us):
+            probes.append(len(us))
+            return culprits <= set(us)
+
+        minimal = ddmin(units, fails)
+        assert set(minimal) == culprits
+        # 1-minimality by construction: dropping either culprit passes.
+        for unit in minimal:
+            assert not fails([u for u in minimal if u != unit])
+
+    def test_always_failing_predicate_reduces_to_one_unit(self):
+        units = [("m", f"u{i};") for i in range(9)]
+        minimal = ddmin(units, lambda us: True)
+        assert len(minimal) == 1
+
+    def test_requires_a_failing_input(self):
+        with pytest.raises(AssertionError, match="failing input"):
+            ddmin([("m", "u;")], lambda us: False)
+
+    def test_probe_budget_returns_progress(self):
+        units = [("m", f"u{i};") for i in range(16)]
+        minimal = ddmin(units, lambda us: True, max_probes=3)
+        assert 1 <= len(minimal) <= len(units)
+
+
+class TestBrokenOracleShrink:
+    """The end-to-end acceptance: a wrong oracle on a real generated
+    workload shrinks to a minimal failing MiniC repro artifact."""
+
+    SEED = 2
+
+    @staticmethod
+    def broken_oracle(case):
+        return oracle_closure(case) | {(10**6, 10**6, 0)}
+
+    def test_shrinks_to_minimal_repro_artifact(self, tmp_path):
+        result = run_seed(
+            self.SEED,
+            configs=DEFAULT_CONFIGS[:1],
+            artifact_dir=tmp_path / "artifacts",
+            fault=False,
+            oracle_fn=self.broken_oracle,
+        )
+        assert result.status == "fail"
+        assert result.artifact is not None and result.artifact.is_dir()
+
+        meta = json.loads((result.artifact / "repro.json").read_text())
+        assert meta["seed"] == self.SEED
+        assert meta["config"] == "serial"
+        assert 0 < meta["shrunk_loc"] < meta["original_loc"]
+
+        # The artifact's sources reduce to a single top-level unit: with
+        # an always-wrong oracle every compilable unit still fails, so
+        # 1-minimality means exactly one unit survives.
+        sources = [
+            (name, (result.artifact / f"{name}.c").read_text())
+            for name in meta["modules"]
+        ]
+        assert len(to_units(sources)) == 1
+
+        # And that minimal program still reproduces the mismatch.
+        case = minic_case(self.SEED)
+        shrunk = rebuild(case, sources)
+        with pytest.raises(DifferentialMismatch):
+            check_case(
+                shrunk,
+                DEFAULT_CONFIGS[:1],
+                tmp_path / "replay",
+                oracle=self.broken_oracle(shrunk),
+            )
+
+    def test_shrink_probe_rejects_uncompilable_candidates(self):
+        case = minic_case(self.SEED)
+        with pytest.raises(CaseBuildError):
+            rebuild(case, [("m", "void broken( {")])
+
+    def test_shrink_sources_respects_predicate(self):
+        sources = [("a", "int x;\nint y;\n"), ("b", "int z;\n")]
+
+        def fails(ss):
+            return any("int z;" in s for _, s in ss)
+
+        minimal = shrink_sources(sources, fails)
+        assert minimal == [("b", "int z;\n")]

@@ -1,0 +1,324 @@
+"""Hardened service tier: backpressure, deadlines, drain, degradation.
+
+These tests drive the daemon over real sockets in hostile conditions —
+oversized frames, saturation, corrupt store entries, mid-request
+restarts — and assert the failure modes are *typed and bounded*: every
+request ends in a result, a typed shed (``overloaded`` / ``draining`` /
+``deadline`` / ``protocol-error``), or a :class:`ServiceUnavailable`
+after the client's retry budget, never a silently dropped connection or
+a wrong answer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine.checkpoint import MANIFEST_NAME
+from repro.engine.store import ClosureStore
+from repro.grammar.builtin import reachability_grammar
+from repro.graph.graph import MemGraph
+from repro.service import (
+    ServiceClient,
+    ServiceError,
+    ServiceThread,
+    ServiceUnavailable,
+    decode_message,
+    encode_message,
+)
+from repro.util.retry import RetryPolicy
+
+from tests.service.test_daemon import SERVICE_SOURCE, make_daemon
+
+def _variant(i):
+    source = SERVICE_SOURCE
+    for name in ("shared", "make", "risky", "handle"):
+        source = source.replace(name, f"{name}_{i}")
+    return source
+
+
+#: A load that takes long enough (~0.4s) to observably occupy the
+#: daemon: many modules, each a renamed copy of the service program so
+#: the linked graph stays collision-free.
+SLOW_SOURCES = [(f"mod{i}", _variant(i)) for i in range(16)]
+
+#: No retries: the typed first response is the assertion target.
+ONE_SHOT = RetryPolicy(attempts=1)
+
+
+def wait_for(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# oversized frames
+# ---------------------------------------------------------------------------
+
+
+class TestOversizedFrames:
+    def test_typed_error_and_connection_survives(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_message_bytes=2048)
+        with ServiceThread(daemon) as (host, port):
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b"x" * 5000 + b"\n")
+                fh.flush()
+                response = decode_message(fh.readline())
+                assert response["ok"] is False
+                assert response["kind"] == "protocol-error"
+                assert response["limit"] == 2048
+                # The same connection keeps working: the daemon drained
+                # the oversized payload instead of desyncing or closing.
+                fh.write(encode_message({"op": "ping"}))
+                fh.flush()
+                assert decode_message(fh.readline())["ok"] is True
+            assert daemon.oversized_count == 1
+
+    def test_two_oversized_frames_back_to_back(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_message_bytes=1024)
+        with ServiceThread(daemon) as (host, port):
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                for _ in range(2):
+                    fh.write(b"y" * 3000 + b"\n")
+                    fh.flush()
+                    assert (
+                        decode_message(fh.readline())["kind"]
+                        == "protocol-error"
+                    )
+                fh.write(encode_message({"op": "health"}))
+                fh.flush()
+                health = decode_message(fh.readline())
+                assert health["ok"] and health["oversized_frames"] == 2
+
+
+# ---------------------------------------------------------------------------
+# backpressure and deadlines
+# ---------------------------------------------------------------------------
+
+
+class TestBackpressure:
+    def test_excess_load_is_shed_with_typed_response(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_inflight=1, num_workers=2)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port, retry=ONE_SHOT) as probe:
+                slow = threading.Thread(
+                    target=lambda: ServiceClient(host, port).load(
+                        "slow", sources=SLOW_SOURCES
+                    )
+                )
+                slow.start()
+                try:
+                    assert wait_for(
+                        lambda: probe.health()["inflight"] >= 1
+                    ), "the slow load never became in-flight"
+                    with pytest.raises(ServiceUnavailable) as err:
+                        probe.load("extra", source=SERVICE_SOURCE)
+                    assert err.value.response["kind"] == "overloaded"
+                    assert err.value.response["max_inflight"] == 1
+                finally:
+                    slow.join()
+                health = probe.health()
+                assert health["shed"] >= 1
+                assert health["inflight"] == 0
+            assert daemon.shed_count >= 1
+
+    def test_health_is_never_shed(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_inflight=1)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                health = client.health()
+                assert health["ok"] is True
+                assert health["inflight"] == 0
+                assert health["draining"] is False
+                assert health["shed"] == 0
+                assert health["deadline_hits"] == 0
+                assert health["degraded_to_cold"] == 0
+                assert health["max_inflight"] == 1
+
+    def test_client_retry_absorbs_transient_overload(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_inflight=1, num_workers=2)
+        patient = RetryPolicy(
+            attempts=10, base_delay=0.2, multiplier=1.5, max_delay=2.0,
+            jitter=0.2,
+        )
+        with ServiceThread(daemon) as (host, port):
+            slow = threading.Thread(
+                target=lambda: ServiceClient(host, port).load(
+                    "slow", sources=SLOW_SOURCES
+                )
+            )
+            with ServiceClient(host, port, retry=ONE_SHOT) as probe:
+                slow.start()
+                try:
+                    assert wait_for(lambda: probe.health()["inflight"] >= 1)
+                    with ServiceClient(host, port, retry=patient) as client:
+                        # Shed at first, admitted once the slot frees:
+                        # the bounded backoff rides out the overload.
+                        reports = client.check("slow", checker="Taint")
+                        assert reports
+                        assert client.retries >= 1
+                finally:
+                    slow.join()
+
+
+class TestDeadlines:
+    def test_deadline_exceeded_is_typed_and_counted(self, tmp_path):
+        daemon = make_daemon(tmp_path, request_timeout=0.05)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port, retry=ONE_SHOT) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.load("svc", sources=SLOW_SOURCES)
+                assert not isinstance(err.value, ServiceUnavailable)
+                assert err.value.response["kind"] == "deadline"
+                assert daemon.deadline_count == 1
+                # The worker thread finishes in the background and the
+                # in-flight slot is released — no load is silently lost
+                # to a leaked slot.
+                assert wait_for(lambda: client.health()["inflight"] == 0)
+
+
+# ---------------------------------------------------------------------------
+# graceful drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_sheds_new_work(self, tmp_path):
+        daemon = make_daemon(tmp_path, max_inflight=4, drain_grace=60.0)
+        thread = ServiceThread(daemon)
+        host, port = thread.start()
+        slow_result = {}
+
+        def run_slow():
+            with ServiceClient(host, port) as c:
+                slow_result["response"] = c.load("slow", sources=SLOW_SOURCES)
+
+        try:
+            with ServiceClient(host, port, retry=ONE_SHOT) as probe:
+                slow = threading.Thread(target=run_slow)
+                slow.start()
+                assert wait_for(lambda: probe.health()["inflight"] >= 1)
+                daemon.request_drain()
+                assert wait_for(lambda: probe.health()["draining"])
+                # New blocking work is refused with the draining kind...
+                with pytest.raises(ServiceUnavailable) as err:
+                    probe.load("late", source=SERVICE_SOURCE)
+                assert err.value.response["kind"] == "draining"
+                slow.join()
+            # ...but the in-flight load ran to completion before the
+            # server stopped.
+            assert slow_result["response"]["ok"] is True
+        finally:
+            thread.stop()
+
+    def test_drain_with_no_inflight_stops_promptly(self, tmp_path):
+        daemon = make_daemon(tmp_path, drain_grace=60.0)
+        thread = ServiceThread(daemon)
+        host, port = thread.start()
+        with ServiceClient(host, port) as client:
+            assert client.ping()
+        daemon.request_drain()
+        thread._thread.join(timeout=30)
+        assert not thread._thread.is_alive()
+
+
+# ---------------------------------------------------------------------------
+# client retry surface
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetry:
+    def test_service_unavailable_after_daemon_stops(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        thread = ServiceThread(daemon)
+        host, port = thread.start()
+        quick = RetryPolicy(attempts=2, base_delay=0.01)
+        client = ServiceClient(host, port, retry=quick)
+        assert client.ping()
+        thread.stop()
+        with pytest.raises(ServiceUnavailable, match="after 2 attempts"):
+            client.ping()
+        assert client.retries >= 1
+        client.close()
+
+    def test_definitive_errors_are_not_retried(self, tmp_path):
+        daemon = make_daemon(tmp_path)
+        with ServiceThread(daemon) as (host, port):
+            with ServiceClient(host, port) as client:
+                before = client.retries
+                with pytest.raises(ServiceError, match="unknown op"):
+                    client.request({"op": "nope"})
+                with pytest.raises(ServiceError, match="not loaded"):
+                    client.check("ghost")
+                assert client.retries == before
+
+
+# ---------------------------------------------------------------------------
+# store degradation
+# ---------------------------------------------------------------------------
+
+
+class TestStoreDegradation:
+    GRAPH = [(0, 1, 0), (1, 2, 0), (2, 3, 0)]
+
+    def make_store(self, tmp_path):
+        store = ClosureStore(tmp_path / "store", max_edges_per_partition=2)
+        grammar = reachability_grammar()
+        graph = MemGraph.from_edges(
+            self.GRAPH, num_vertices=4, label_names=["E"]
+        )
+        return store, grammar, graph
+
+    def corrupt_entry(self, store, grammar, graph):
+        from repro.engine.engine import align_graph_labels
+
+        aligned = align_graph_labels(graph, grammar)
+        entry = store.entry_dir(*store.graph_key(grammar, aligned))
+        (entry / MANIFEST_NAME).write_text("{ not json")
+        return entry
+
+    def test_corrupt_entry_degrades_to_cold_with_one_shot_warning(
+        self, tmp_path
+    ):
+        store, grammar, graph = self.make_store(tmp_path)
+        first = store.closure(grammar, graph)
+        reference = frozenset(first.pset.iter_all_edges())
+        assert first.stats.closure_source == "cold"
+
+        self.corrupt_entry(store, grammar, graph)
+        with pytest.warns(RuntimeWarning, match="degrading to a cold"):
+            second = store.closure(grammar, graph)
+        assert store.degraded_to_cold == 1
+        assert second.stats.closure_source == "cold"
+        assert frozenset(second.pset.iter_all_edges()) == reference
+        srt = second.to_memgraph()
+        frt = first.to_memgraph()
+        assert np.array_equal(srt.src, frt.src)
+        assert np.array_equal(srt.keys, frt.keys)
+
+        # The warning is one-shot; the counter keeps counting.
+        self.corrupt_entry(store, grammar, graph)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            third = store.closure(grammar, graph)
+        assert not [w for w in caught if w.category is RuntimeWarning]
+        assert store.degraded_to_cold == 2
+        assert frozenset(third.pset.iter_all_edges()) == reference
+
+    def test_healthy_entries_still_hit_the_cache(self, tmp_path):
+        store, grammar, graph = self.make_store(tmp_path)
+        store.closure(grammar, graph)
+        again = store.closure(grammar, graph)
+        assert again.stats.closure_source == "cache"
+        assert store.degraded_to_cold == 0
