@@ -1,0 +1,190 @@
+"""Distributed superstep scaling: coordinator/worker leases at 1/2/4 workers.
+
+The distributed tier (DESIGN.md §16) moves superstep compute off the
+coordinator onto share-nothing workers that pull pair leases and ship
+back new-edge deltas.  On a single box the wall clock cannot beat the
+serial engine — every joined edge is still joined once — so the number
+that matters is **compute fan-out**: how evenly the per-lease compute
+seconds (measured on the workers) spread across the fleet,
+
+    fan_out = sum(lease compute seconds) / busiest worker's sum.
+
+A perfectly balanced pull schedule gives ``fan_out == workers``; with
+real partition-size skew the dense-reach workload must still clear 1.7x
+at 4 workers — the acceptance bar for the lease scheduler not
+serializing behind one hot worker.  Closures are asserted byte-identical
+to the serial engine at every worker count before any number is
+reported.
+
+Machine-readable rows land in ``results/BENCH_distributed.json``.
+"""
+
+import json
+import tempfile
+from collections import defaultdict
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import results_path
+from repro.bench import render_table, rows_from_dicts, save_and_print
+from repro.engine.engine import GraspanEngine
+from repro.grammar import reachability_grammar
+from repro.grammar.builtin import pointsto_grammar_extended
+from repro.graph import MemGraph
+
+#: Partition cap for the dense graph: small enough that the closure
+#: spreads over many pairs (many leases to balance), large enough that
+#: each lease does real work.
+DENSE_MAX_EDGES = 4000
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def dense_reach_graph():
+    """The same random digraph the matmul benchmark uses (dense closure)."""
+    rng = np.random.default_rng(42)
+    n, m = 350, 1750
+    edges = list(
+        {(int(rng.integers(n)), int(rng.integers(n)), 0) for _ in range(m)}
+    )
+    return MemGraph.from_edges(edges, label_names=["E"])
+
+
+def run_serial(graph, grammar, max_edges):
+    with tempfile.TemporaryDirectory() as workdir:
+        computation = GraspanEngine(
+            grammar, max_edges_per_partition=max_edges, workdir=Path(workdir)
+        ).run(graph)
+        mem = computation.to_memgraph()
+        return computation.stats, (
+            np.asarray(mem.src).copy(),
+            np.asarray(mem.keys).copy(),
+        )
+
+
+def run_distributed(graph, grammar, max_edges, workers):
+    with tempfile.TemporaryDirectory() as workdir:
+        computation = GraspanEngine(
+            grammar,
+            max_edges_per_partition=max_edges,
+            workdir=Path(workdir),
+            parallel_backend="distributed",
+            distributed={"workers": workers},
+        ).run(graph)
+        mem = computation.to_memgraph()
+        return computation.stats, (
+            np.asarray(mem.src).copy(),
+            np.asarray(mem.keys).copy(),
+        )
+
+
+def fan_out(stats):
+    """Summed per-lease compute seconds over the busiest worker's share."""
+    per_worker = defaultdict(float)
+    for record in stats.supersteps:
+        per_worker[record.worker] += record.seconds
+    total = sum(per_worker.values())
+    busiest = max(per_worker.values())
+    return total / busiest if busiest > 0 else 1.0, len(per_worker)
+
+
+def workload_rows(name, graph, grammar, max_edges):
+    serial_stats, serial_closure = run_serial(graph, grammar, max_edges)
+    rows = []
+    for workers in WORKER_COUNTS:
+        stats, closure = run_distributed(graph, grammar, max_edges, workers)
+        # Equal closures or the scaling numbers are meaningless.
+        assert np.array_equal(serial_closure[0], closure[0]), (name, workers)
+        assert np.array_equal(serial_closure[1], closure[1]), (name, workers)
+        summary = stats.distributed_summary()
+        spread, active = fan_out(stats)
+        rows.append(
+            {
+                "workload": name,
+                "workers": workers,
+                "active_workers": active,
+                "supersteps": stats.num_supersteps,
+                "final_edges": int(stats.final_edges),
+                "leases_issued": summary["leases_issued"],
+                "leases_reissued": summary["leases_reissued"],
+                "compute_s": round(
+                    sum(r.seconds for r in stats.supersteps), 3
+                ),
+                "busiest_worker_s": round(
+                    max(
+                        sum(
+                            r.seconds
+                            for r in stats.supersteps
+                            if r.worker == w
+                        )
+                        for w in {r.worker for r in stats.supersteps}
+                    ),
+                    3,
+                ),
+                "fan_out": round(spread, 2),
+            }
+        )
+    # Identity against serial is already asserted; record the baseline.
+    baseline = {
+        "workload": name,
+        "serial_supersteps": serial_stats.num_supersteps,
+        "serial_compute_s": round(serial_stats.timers.get("compute"), 3),
+        "final_edges": int(serial_stats.final_edges),
+    }
+    return rows, baseline
+
+
+def collect(postgresql):
+    dense_rows, dense_base = workload_rows(
+        "dense-reach", dense_reach_graph(), reachability_grammar(),
+        DENSE_MAX_EDGES,
+    )
+    pointer_graph = postgresql.pointer
+    pointer_rows, pointer_base = workload_rows(
+        "postgresql-pointer",
+        pointer_graph,
+        pointsto_grammar_extended(),
+        max(100, pointer_graph.num_edges // 2),
+    )
+    return dense_rows + pointer_rows, [dense_base, pointer_base]
+
+
+def test_distributed_supersteps(benchmark, postgresql):
+    rows, baselines = benchmark.pedantic(
+        collect, args=(postgresql,), rounds=1, iterations=1
+    )
+
+    # The acceptance bar: at 4 workers the dense-reach superstep compute
+    # fans out at least 1.7x over the busiest worker, at equal closures
+    # (byte-identity was asserted inside collect()).
+    dense = {r["workers"]: r for r in rows if r["workload"] == "dense-reach"}
+    assert dense[1]["fan_out"] == 1.0
+    assert dense[4]["fan_out"] >= 1.7, dense[4]
+    # Scaling is real: more workers never concentrates the compute.
+    assert dense[4]["fan_out"] > dense[2]["fan_out"] >= 1.0
+    # Every configured worker actually pulled leases.
+    assert all(r["active_workers"] == r["workers"] for r in rows)
+
+    columns = [
+        "workload",
+        "workers",
+        "supersteps",
+        "leases_issued",
+        "compute_s",
+        "busiest_worker_s",
+        "fan_out",
+    ]
+    text = render_table(
+        "Distributed supersteps: lease fan-out at equal closures",
+        ["workload", "workers", "steps", "leases", "compute (s)",
+         "busiest (s)", "fan-out"],
+        rows_from_dicts(rows, columns),
+        note=(
+            "fan-out = total per-lease compute over the busiest worker's "
+            "share; closures byte-identical to serial at every row"
+        ),
+    )
+    save_and_print(text, results_path("distributed_supersteps.txt"))
+    with open(results_path("BENCH_distributed.json"), "w") as f:
+        json.dump({"rows": rows, "serial_baselines": baselines}, f, indent=2)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <subcommand>``.
 
-Seven subcommands cover the system's main entry points:
+Nine subcommands cover the system's main entry points:
 
 ``analyze``
     Run the pointer/alias + dataflow analyses and the checkers on a
@@ -27,6 +27,15 @@ Seven subcommands cover the system's main entry points:
     Generate one of the evaluation codebases to a directory (MiniC
     sources per module plus the ground-truth JSON).
 
+``coordinator`` / ``worker``
+    Distributed supersteps (DESIGN.md §16): the coordinator owns the
+    scheduler, DDM, and checkpoint manifest for one closure and hands
+    out pair leases over TCP; each worker shares nothing with it but
+    the partition files in the workdir, joins its leased pair locally,
+    and ships the new-edge delta back.  ``closure --backend
+    distributed`` runs the same protocol self-contained with in-process
+    workers.
+
 ``serve``
     Closure-as-a-service: start the daemon over a persistent closure
     store.  Programs loaded through it resolve as cache hits or
@@ -50,6 +59,32 @@ import json
 import sys
 from pathlib import Path
 from typing import List, Optional
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer strictly greater than zero."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a finite float strictly greater than zero."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0 or value != value or value == float("inf"):
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {text}"
+        )
+    return value
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -105,6 +140,13 @@ def _cmd_closure(args: argparse.Namespace) -> int:
     if not fault_plan.empty():
         injector = FaultInjector(fault_plan)
         print(f"fault injection active: {fault_plan}", file=sys.stderr)
+    distributed = None
+    if args.backend == "distributed":
+        distributed = {
+            "workers": args.workers or args.threads,
+            "lease_timeout": args.lease_timeout,
+            "max_inflight": args.max_inflight,
+        }
     engine = GraspanEngine(
         grammar,
         max_edges_per_partition=args.max_edges_per_partition,
@@ -115,6 +157,7 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         checkpoint=False if args.no_checkpoint else None,
         pipeline=args.pipeline,
         fault_injector=injector,
+        distributed=distributed,
     )
     computation = engine.run(graph, resume=args.resume)
     try:
@@ -140,6 +183,20 @@ def _cmd_closure(args: argparse.Namespace) -> int:
         f"(~{par['speedup_estimate']}x)",
         file=sys.stderr,
     )
+    if args.backend == "distributed":
+        dist = stats.distributed_summary()
+        print(
+            f"distributed: {dist['workers']} workers, "
+            f"{dist['leases_issued']} leases issued / "
+            f"{dist['leases_completed']} completed, "
+            f"{dist['leases_reissued']} reissued "
+            f"({dist['reissue_fraction']:.1%}), "
+            f"{dist['worker_deaths']} worker deaths, "
+            f"{dist['delta_edges_applied']} delta edges applied, "
+            f"{dist['duplicate_deltas_suppressed']} duplicates suppressed, "
+            f"{dist['stale_deltas_rejected']} stale rejected",
+            file=sys.stderr,
+        )
     if str(par["backend"]).startswith("matmul"):
         mm = stats.matmul_summary()
         print(
@@ -280,6 +337,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_grace=args.drain_grace,
     )
     daemon.serve_forever()
+    return 0
+
+
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.distributed import DistributedCoordinator
+    from repro.engine import GraspanEngine
+    from repro.grammar import parse_grammar_file
+    from repro.graph import read_text, write_text
+    from repro.util.faults import FaultInjector, FaultPlan
+    from repro.util.memory import parse_memory_size
+
+    grammar = parse_grammar_file(args.grammar)
+    graph = read_text(args.graph)
+    fault_plan = FaultPlan.from_env()
+    injector = None
+    if not fault_plan.empty():
+        injector = FaultInjector(fault_plan)
+        print(f"fault injection active: {fault_plan}", file=sys.stderr)
+    engine = GraspanEngine(
+        grammar,
+        max_edges_per_partition=args.max_edges_per_partition,
+        workdir=args.workdir,
+        parallel_backend="distributed",
+        memory_budget=(
+            parse_memory_size(args.memory_budget) if args.memory_budget else None
+        ),
+        checkpoint=False if args.no_checkpoint else None,
+        fault_injector=injector,
+    )
+    with engine.session(graph, resume=args.resume) as session:
+        coordinator = DistributedCoordinator(
+            session,
+            host=args.host,
+            port=args.port,
+            lease_timeout=args.lease_timeout,
+            max_inflight=args.max_inflight,
+            worker_backend=args.worker_backend,
+        )
+        coordinator.start()
+        print(
+            f"coordinator listening on {coordinator.host}:{coordinator.port}",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            # Wait for the *drain*, not the first "done": stopping the
+            # instant one worker sees the fixpoint races the others'
+            # in-flight lease polls into connection-refused failures.
+            while not coordinator.drained() and coordinator.failure is None:
+                time.sleep(0.05)
+        finally:
+            coordinator.stop()
+        if coordinator.failure is not None:
+            raise coordinator.failure
+        stats = session.stats
+        dist = stats.distributed_summary()
+        print(
+            f"closure complete: {stats.num_supersteps} supersteps over "
+            f"{dist['workers']} workers; {dist['leases_issued']} leases "
+            f"issued, {dist['leases_reissued']} reissued, "
+            f"{dist['worker_deaths']} worker deaths",
+            file=sys.stderr,
+        )
+        if args.out:
+            write_text(session.pset.to_memgraph(), args.out)
+            print(f"full closure written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distributed import DistributedWorker
+    from repro.util.faults import FaultPlan
+    from repro.util.memory import parse_memory_size
+
+    fault_plan = FaultPlan.from_env()
+    if fault_plan.empty():
+        fault_plan = None
+    else:
+        print(f"fault injection active: {fault_plan}", file=sys.stderr)
+    worker = DistributedWorker(
+        args.host,
+        args.port,
+        workdir=args.workdir,
+        worker_id=args.worker_id,
+        memory_budget=(
+            parse_memory_size(args.memory_budget) if args.memory_budget else None
+        ),
+        fault_plan=fault_plan,
+        hard_kill=True,
+    )
+    completed = worker.run()
+    print(f"{args.worker_id}: {completed} leases completed", file=sys.stderr)
     return 0
 
 
@@ -424,11 +575,33 @@ def build_parser() -> argparse.ArgumentParser:
     closure.add_argument("--threads", type=int, default=1)
     closure.add_argument(
         "--backend",
-        choices=("serial", "thread", "process", "matmul"),
+        choices=("serial", "thread", "process", "matmul", "distributed"),
         default=None,
         help="join data plane (default: thread when --threads > 1, else "
         "serial; process = shared-memory worker pool; matmul = per-label "
-        "boolean sparse matrix products, needs scipy)",
+        "boolean sparse matrix products, needs scipy; distributed = "
+        "coordinator + in-process lease workers, requires --workdir)",
+    )
+    closure.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="lease workers for --backend distributed (default: --threads)",
+    )
+    closure.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=30.0,
+        dest="lease_timeout",
+        help="seconds before an unrenewed pair lease is reissued "
+        "(--backend distributed)",
+    )
+    closure.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        dest="max_inflight",
+        help="cap on concurrently leased pairs (--backend distributed)",
     )
     closure.set_defaults(func=_cmd_closure)
 
@@ -457,6 +630,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound inlining depth (default: fully context-sensitive)",
     )
     taint.set_defaults(func=_cmd_taint)
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="distributed supersteps: serve pair leases for one closure",
+    )
+    coordinator.add_argument("--graph", required=True, help="text edge-list file")
+    coordinator.add_argument("--grammar", required=True, help="grammar text file")
+    coordinator.add_argument(
+        "--workdir",
+        required=True,
+        help="partition directory shared with the workers",
+    )
+    coordinator.add_argument("--host", default="127.0.0.1")
+    coordinator.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (announced on stderr)"
+    )
+    coordinator.add_argument(
+        "--max-edges-per-partition",
+        type=int,
+        default=None,
+        dest="max_edges_per_partition",
+    )
+    coordinator.add_argument(
+        "--memory-budget",
+        default=None,
+        dest="memory_budget",
+        help="coordinator-side resident-partition byte budget, e.g. 64M",
+    )
+    coordinator.add_argument(
+        "--lease-timeout",
+        type=_positive_float,
+        default=30.0,
+        dest="lease_timeout",
+        help="seconds before an unrenewed pair lease is reissued",
+    )
+    coordinator.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=None,
+        dest="max_inflight",
+        help="cap on concurrently leased pairs",
+    )
+    coordinator.add_argument(
+        "--worker-backend",
+        choices=("serial", "thread", "matmul"),
+        default=None,
+        dest="worker_backend",
+        help="join backend each worker runs locally (default serial)",
+    )
+    coordinator.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the last committed checkpoint in --workdir",
+    )
+    coordinator.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        dest="no_checkpoint",
+        help="disable the run journal + manifest",
+    )
+    coordinator.add_argument("--out", default=None, help="write full closure here")
+    coordinator.set_defaults(func=_cmd_coordinator)
+
+    worker = sub.add_parser(
+        "worker",
+        help="distributed supersteps: pull and compute pair leases",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=_positive_int, required=True)
+    worker.add_argument(
+        "--workdir",
+        required=True,
+        help="partition directory shared with the coordinator",
+    )
+    worker.add_argument(
+        "--worker-id", default="worker", dest="worker_id", help="name in telemetry"
+    )
+    worker.add_argument(
+        "--memory-budget",
+        default=None,
+        dest="memory_budget",
+        help="worker-side partition-cache byte budget, e.g. 64M",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     serve = sub.add_parser(
         "serve", help="closure-as-a-service daemon over a persistent store"
@@ -488,13 +745,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--workers",
-        type=int,
+        type=_positive_int,
         default=8,
         help="concurrent query worker threads",
     )
     serve.add_argument(
         "--max-inflight",
-        type=int,
+        type=_positive_int,
         default=32,
         dest="max_inflight",
         help="blocking requests admitted at once; the excess is shed "

@@ -1,0 +1,43 @@
+"""Distributed supersteps: coordinator/worker pair-leases (DESIGN.md §16).
+
+The coordinator owns all closure state — scheduler, DDM, checkpoint
+manifest — and leases partition *pairs* to share-nothing workers that
+see only the ``GRSPART2`` files in the common workdir.  Workers join
+their pair locally and ship new-edge deltas back; per-lease idempotency
+tokens and epochs make delta application at-most-once, so worker death
+costs a reissued lease and never a lost or doubled edge.
+"""
+
+from repro.distributed.coordinator import DistributedCoordinator, run_distributed
+from repro.distributed.messages import (
+    DELTA_CHUNK_EDGES,
+    Lease,
+    LeaseError,
+    LeasePartition,
+    decode_array,
+    delta_chunks,
+    encode_array,
+    grammar_from_payload,
+    grammar_payload,
+    join_delta_chunks,
+    partition_fingerprint,
+)
+from repro.distributed.worker import DistributedWorker, WorkerKilled
+
+__all__ = [
+    "DELTA_CHUNK_EDGES",
+    "DistributedCoordinator",
+    "DistributedWorker",
+    "Lease",
+    "LeaseError",
+    "LeasePartition",
+    "WorkerKilled",
+    "decode_array",
+    "delta_chunks",
+    "encode_array",
+    "grammar_from_payload",
+    "grammar_payload",
+    "join_delta_chunks",
+    "partition_fingerprint",
+    "run_distributed",
+]

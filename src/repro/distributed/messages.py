@@ -1,0 +1,247 @@
+"""Lease-protocol messages: pair leases and packed deltas on JSON lines.
+
+The coordinator and its workers talk the same newline-framed JSON the
+closure daemon uses (:mod:`repro.service.protocol`), with five verbs:
+
+``hello``
+    Handshake.  The worker announces itself; the coordinator replies
+    with the grammar (as a label-table + production payload — workers
+    share *nothing* with the coordinator but the partition files, and
+    packed keys encode label ids, so the numbering must travel intact),
+    the join backend to use, and the mid-superstep edge limit.
+
+``lease``
+    The pull-model work request.  The coordinator answers with a
+    :class:`Lease` (pair + per-partition file/fingerprint entries + the
+    lease epoch and idempotency token), with ``status: "wait"`` when all
+    remaining pairs overlap in-flight leases, or ``status: "done"`` at
+    the fixed point.
+
+``delta`` / ``complete``
+    The result path.  New-edge deltas travel as packed ``(src, key)``
+    int64 arrays, base64-encoded so they ride inside JSON frames; deltas
+    larger than one frame are split into numbered ``delta`` chunks and
+    sealed by the ``complete`` message carrying the chunk count,
+    iteration/completion flags, and the worker's compute seconds.
+
+``heartbeat`` / ``release``
+    Liveness and early surrender: a heartbeat renews the lease deadline,
+    a release hands an unfinishable lease (fingerprint mismatch, local
+    failure) straight back to the queue without waiting for expiry.
+
+Every lease carries a fresh ``lease_id`` token; a reissued pair gets a
+new token and a bumped epoch, and the coordinator applies at most one
+delta per pair-issue — the token is the idempotency key, the epoch the
+tiebreaker for messages from the living dead.
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.grammar.grammar import FrozenGrammar, Production
+from repro.graph import packed
+
+PathLike = Union[str, Path]
+
+#: Mirror of the partition store's 48-byte header (GRSPART2): magic,
+#: version, payload crc32, interval lo/hi, vertex and edge counts.
+_HEADER_STRUCT = struct.Struct("<8sIIqqqq")
+
+_PARTITION_MAGIC = b"GRSPART2"
+
+#: Edges per ``delta`` chunk.  16 raw bytes/edge becomes ~21.4 base64
+#: bytes/edge, so 1.5 M edges stays far inside the 64 MiB frame limit.
+DELTA_CHUNK_EDGES = 1_500_000
+
+
+class LeaseError(ValueError):
+    """A malformed or unusable lease message."""
+
+
+def encode_array(arr: np.ndarray) -> str:
+    """One int64 array as base64 of its little-endian bytes."""
+    data = np.ascontiguousarray(arr, dtype="<i8")
+    return base64.b64encode(data.tobytes()).decode("ascii")
+
+
+def decode_array(text: str) -> np.ndarray:
+    """Inverse of :func:`encode_array`; always returns native int64."""
+    raw = base64.b64decode(text.encode("ascii"), validate=True)
+    if len(raw) % 8:
+        raise LeaseError(f"array payload of {len(raw)} bytes is not int64-aligned")
+    return np.frombuffer(raw, dtype="<i8").astype(np.int64, copy=False)
+
+
+def grammar_payload(grammar: FrozenGrammar) -> Dict[str, Any]:
+    """A frozen grammar as a JSON-plain dict, *faithful to label ids*.
+
+    The human-readable grammar text is not a safe wire format here: it
+    enumerates productions only, so labels that appear in no production
+    are dropped and the re-parse re-interns labels in first-appearance
+    order.  Packed edge keys encode label *ids*, and every worker joins
+    the coordinator's partitions — the numbering must survive exactly.
+    """
+    return {
+        "labels": list(grammar.names),
+        "productions": [
+            [p.lhs, p.rhs1, p.rhs2] for p in grammar.productions
+        ],
+    }
+
+
+def grammar_from_payload(payload: Dict[str, Any]) -> FrozenGrammar:
+    """Inverse of :func:`grammar_payload`; id-for-id identical grammar."""
+    try:
+        names = tuple(str(name) for name in payload["labels"])
+        productions = tuple(
+            Production(
+                lhs=int(lhs),
+                rhs1=int(rhs1),
+                rhs2=None if rhs2 is None else int(rhs2),
+            )
+            for lhs, rhs1, rhs2 in payload["productions"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise LeaseError(f"malformed grammar payload: {exc}") from exc
+    return FrozenGrammar(names, productions)
+
+
+def partition_fingerprint(path: PathLike) -> int:
+    """The partition file's payload CRC32, read from its header.
+
+    The store writes partition files once and never mutates them, so the
+    header checksum identifies the *content* a lease refers to: a worker
+    compares it against its cache and against the file it reads, and a
+    mismatch means the lease is talking about bytes the worker cannot
+    see (torn copy, wrong workdir) — grounds for a ``release``.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(_HEADER_STRUCT.size)
+    if len(head) < _HEADER_STRUCT.size:
+        raise LeaseError(f"{path}: truncated partition header")
+    magic, _, crc, _, _, _, _ = _HEADER_STRUCT.unpack(head)
+    if magic != _PARTITION_MAGIC:
+        raise LeaseError(f"{path}: not a GRSPART2 partition file")
+    return int(crc)
+
+
+@dataclass(frozen=True)
+class LeasePartition:
+    """One partition of a leased pair, addressed by file + fingerprint."""
+
+    pid: int
+    path: str  # file name relative to the shared workdir
+    fingerprint: int  # payload crc32 from the GRSPART2 header
+    edges: int
+    lo: int  # interval lower bound (inclusive)
+    hi: int  # interval upper bound (exclusive)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "edges": self.edges,
+            "lo": self.lo,
+            "hi": self.hi,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "LeasePartition":
+        try:
+            return cls(
+                pid=int(payload["pid"]),
+                path=str(payload["path"]),
+                fingerprint=int(payload["fingerprint"]),
+                edges=int(payload["edges"]),
+                lo=int(payload["lo"]),
+                hi=int(payload["hi"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LeaseError(f"malformed lease partition: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One pair lease: the idempotency token plus everything a worker needs.
+
+    ``lease_id`` is unique per issue (a reissue of the same pair gets a
+    fresh token); ``epoch`` counts issues of this pair, so completions
+    from a superseded holder are recognizably stale even if the token
+    set were ever pruned.
+    """
+
+    lease_id: str
+    epoch: int
+    pair: Tuple[int, int]
+    partitions: Tuple[LeasePartition, ...]
+    deadline_seconds: float  # how long before the coordinator reissues
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "lease_id": self.lease_id,
+            "epoch": self.epoch,
+            "pair": list(self.pair),
+            "partitions": [part.to_payload() for part in self.partitions],
+            "deadline_seconds": self.deadline_seconds,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "Lease":
+        try:
+            pair = tuple(int(x) for x in payload["pair"])
+            if len(pair) != 2:
+                raise LeaseError(f"lease pair must have 2 members, got {pair!r}")
+            return cls(
+                lease_id=str(payload["lease_id"]),
+                epoch=int(payload["epoch"]),
+                pair=(pair[0], pair[1]),
+                partitions=tuple(
+                    LeasePartition.from_payload(part)
+                    for part in payload["partitions"]
+                ),
+                deadline_seconds=float(payload["deadline_seconds"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LeaseError(f"malformed lease: {exc}") from exc
+
+
+def delta_chunks(
+    added_src: np.ndarray,
+    added_keys: np.ndarray,
+    chunk_edges: int = DELTA_CHUNK_EDGES,
+) -> List[Tuple[str, str]]:
+    """Split a delta into frame-sized base64 ``(src, keys)`` chunk pairs."""
+    if len(added_src) == 0:
+        return []
+    chunks: List[Tuple[str, str]] = []
+    for start in range(0, len(added_src), chunk_edges):
+        stop = start + chunk_edges
+        chunks.append(
+            (
+                encode_array(added_src[start:stop]),
+                encode_array(added_keys[start:stop]),
+            )
+        )
+    return chunks
+
+
+def join_delta_chunks(
+    chunks: List[Tuple[np.ndarray, np.ndarray]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reassemble decoded ``delta`` chunks into one ``(src, keys)`` pair."""
+    if not chunks:
+        return packed.EMPTY, packed.EMPTY
+    if len(chunks) == 1:
+        return chunks[0]
+    return (
+        np.concatenate([src for src, _ in chunks]),
+        np.concatenate([keys for _, keys in chunks]),
+    )

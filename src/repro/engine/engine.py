@@ -162,7 +162,10 @@ class GraspanEngine:
         is created once per :meth:`run` and reused across supersteps;
         ``process`` falls back to ``thread`` when shared memory is
         unavailable and ``matmul`` falls back to ``serial`` when scipy
-        is not installed.  Every backend produces the byte-identical
+        is not installed.  ``"distributed"`` (DESIGN.md §16) fans the
+        pair schedule out over ``num_threads`` coordinator-leased worker
+        threads sharing only the workdir's partition files — it requires
+        a ``workdir``.  Every backend produces the byte-identical
         closure.
     memory_budget:
         Resident-partition byte budget (requires ``workdir``).  The
@@ -195,6 +198,15 @@ class GraspanEngine:
     retry:
         :class:`repro.util.retry.RetryPolicy` for transient store I/O
         errors; defaults to 3 attempts with exponential backoff.
+    distributed:
+        Options for the ``"distributed"`` backend (ignored otherwise):
+        ``workers`` (lease-worker count, default ``num_threads``),
+        ``lease_timeout`` (seconds before an unrenewed lease is
+        reissued, default 30), ``max_inflight`` (cap on concurrent
+        leases), ``worker_backend``/``worker_threads`` (the join
+        backend each worker runs locally), and
+        ``worker_memory_budget`` (per-worker residency budget in
+        bytes, default the engine's ``memory_budget``).
     """
 
     def __init__(
@@ -213,11 +225,17 @@ class GraspanEngine:
         pipeline: Optional[bool] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry: Optional[RetryPolicy] = None,
+        distributed: Optional[Dict[str, object]] = None,
     ) -> None:
         if parallel_backend is not None and parallel_backend not in BACKENDS:
             raise ValueError(
                 f"unknown parallel_backend {parallel_backend!r}; "
                 f"choose from {BACKENDS}"
+            )
+        if parallel_backend == "distributed" and workdir is None:
+            raise ValueError(
+                "the distributed backend requires a workdir: coordinator "
+                "and workers share nothing but the partition files in it"
             )
         if memory_budget is not None:
             if memory_budget <= 0:
@@ -251,6 +269,7 @@ class GraspanEngine:
         self.pipeline = pipeline
         self.fault_injector = fault_injector
         self.retry = retry
+        self.distributed = dict(distributed) if distributed else {}
 
     # ------------------------------------------------------------------
     def session(self, graph: MemGraph, resume: bool = False, **kwargs):

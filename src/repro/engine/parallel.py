@@ -49,7 +49,11 @@ from repro.graph import packed
 from repro.grammar.grammar import FrozenGrammar
 
 #: The valid values of ``GraspanEngine(parallel_backend=...)``.
-BACKENDS = ("serial", "thread", "process", "matmul")
+#: ``distributed`` fans the pair schedule out across coordinator/worker
+#: processes (DESIGN.md §16) — it operates *above* the JoinBackend seam
+#: (each worker runs its own local backend), so :func:`make_backend`
+#: maps it to the serial inline join for any coordinator-side compute.
+BACKENDS = ("serial", "thread", "process", "matmul", "distributed")
 
 #: Left joins smaller than this run inline even on pooled backends; the
 #: dispatch overhead would dwarf the join itself.
@@ -109,6 +113,13 @@ class JoinTelemetry:
     matmul_blocks_reused: int = 0
     matmul_products: int = 0
     matmul_nnz: int = 0
+    # Distributed-lease counters (repro.distributed, DESIGN.md §16): the
+    # lease epoch the delta arrived under, how many times that pair's
+    # lease had to be reissued before this apply, and the shipped delta
+    # size in edges.  Zero everywhere except coordinator-applied leases.
+    lease_epoch: int = 0
+    lease_reissues: int = 0
+    delta_edges: int = 0
 
     @property
     def chunk_balance(self) -> float:
@@ -798,6 +809,11 @@ def make_backend(
             )
             return SerialJoinBackend(grammar, 1, head_mask, requested="matmul")
         return MatmulJoinBackend(grammar, num_workers, head_mask)
+    if name == "distributed":
+        # The distributed plane lives above this seam (repro.distributed
+        # drives worker processes over pair leases); whatever compute the
+        # coordinator-side session still does inline is serial.
+        return SerialJoinBackend(grammar, 1, head_mask, requested="distributed")
     if name == "serial":
         return SerialJoinBackend(grammar, 1, head_mask)
     if name == "thread":

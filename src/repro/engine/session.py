@@ -193,7 +193,9 @@ class ClosureSession:
                     workdir=engine.workdir,
                     timers=stats.timers,
                     retry=(
-                        engine.retry if engine.retry is not None else RetryPolicy()
+                        engine.retry
+                        if engine.retry is not None
+                        else RetryPolicy.for_store()
                     ),
                     injector=engine.fault_injector,
                 )
@@ -259,11 +261,17 @@ class ClosureSession:
                 self._commit_checkpoint()
 
         self._mid_limit = engine.mid_superstep_limit()
-        pipeline_on = (
-            engine.workdir is not None and pset.store.disk_backed
-            if engine.pipeline is None
-            else bool(engine.pipeline)
-        )
+        if engine.parallel_backend == "distributed":
+            # Workers overlap their own reads with the coordinator's
+            # applies; the coordinator itself commits synchronously per
+            # superstep so every lease leaves a durable resume point.
+            pipeline_on = False
+        else:
+            pipeline_on = (
+                engine.workdir is not None and pset.store.disk_backed
+                if engine.pipeline is None
+                else bool(engine.pipeline)
+            )
         self._io = IoPipeline() if pipeline_on else None
         stats.pipeline_enabled = self._io is not None
         if self._io is not None:
@@ -322,8 +330,13 @@ class ClosureSession:
         if self._computation is not None:
             return self._computation
         try:
-            while self.step():
-                pass
+            if self.engine.parallel_backend == "distributed":
+                from repro.distributed.coordinator import run_distributed
+
+                run_distributed(self)
+            else:
+                while self.step():
+                    pass
             if self.journal is not None and self._io is not None:
                 self._drain_commit()
         finally:

@@ -47,6 +47,13 @@ class SuperstepRecord:
     prefetch_wasted: int = 0  # mispredicted loads cancelled or evicted
     load_wait_seconds: float = 0.0  # engine blocked joining in-flight loads
     flush_wait_seconds: float = 0.0  # engine blocked draining write-backs
+    # Distributed-lease telemetry (DESIGN.md §16): which worker computed
+    # this superstep, under which lease epoch, after how many reissues,
+    # and how many delta edges it shipped back.
+    worker: str = ""  # empty on non-distributed supersteps
+    lease_epoch: int = 0
+    lease_reissues: int = 0
+    delta_edges: int = 0
 
     @property
     def speedup_estimate(self) -> float:
@@ -103,6 +110,21 @@ class EngineStats:
     io_busy_seconds: float = 0.0  # wall time the I/O thread moved bytes
     io_hidden_seconds: float = 0.0  # I/O that ran fully under compute
     overlap_fraction: float = 0.0  # hidden / busy (0.0 when pipeline off)
+    # Distributed-superstep counters (DESIGN.md §16): the coordinator's
+    # lease ledger.  ``leases_issued`` counts every lease handed out
+    # (including reissues); completions, reissues after worker death or
+    # deadline expiry, and the idempotency rejections are tracked
+    # separately so the at-most-once property is directly assertable.
+    distributed_workers: int = 0  # workers that ever completed a handshake
+    leases_issued: int = 0  # leases handed out (incl. reissues)
+    leases_completed: int = 0  # deltas applied to the closure
+    leases_reissued: int = 0  # leases re-queued after death/expiry/release
+    leases_expired: int = 0  # deadline expiries among the reissues
+    worker_deaths: int = 0  # connections lost holding a live lease
+    duplicate_deltas_suppressed: int = 0  # same lease delivered twice
+    stale_deltas_rejected: int = 0  # completions under a superseded epoch
+    delta_edges_applied: int = 0  # edges shipped by workers and merged
+    heartbeats_received: int = 0  # deadline renewals
     # Closure-store provenance (DESIGN.md §14): how this closure was
     # obtained and, for delta re-closures, how big the input diff was.
     closure_source: str = "cold"  # "cold" | "cache" | "incremental"
@@ -275,6 +297,30 @@ class EngineStats:
             "io_busy_s": round(self.io_busy_seconds, 3),
             "io_hidden_s": round(self.io_hidden_seconds, 3),
             "overlap_fraction": round(self.overlap_fraction, 3),
+        }
+
+    def distributed_summary(self) -> Dict[str, object]:
+        """The coordinator's lease ledger as one row (CLI + tests).
+
+        ``reissue_fraction`` is the share of issued leases that had to be
+        handed out again; under fault-free runs it is 0.0 and every
+        issued lease completes exactly once.
+        """
+        issued = self.leases_issued
+        return {
+            "workers": self.distributed_workers,
+            "leases_issued": issued,
+            "leases_completed": self.leases_completed,
+            "leases_reissued": self.leases_reissued,
+            "leases_expired": self.leases_expired,
+            "worker_deaths": self.worker_deaths,
+            "duplicate_deltas_suppressed": self.duplicate_deltas_suppressed,
+            "stale_deltas_rejected": self.stale_deltas_rejected,
+            "delta_edges_applied": self.delta_edges_applied,
+            "heartbeats_received": self.heartbeats_received,
+            "reissue_fraction": (
+                round(self.leases_reissued / issued, 3) if issued else 0.0
+            ),
         }
 
     def durability_summary(self) -> Dict[str, object]:

@@ -72,11 +72,14 @@ DEFAULT_CONFIGS: Tuple[EngineConfig, ...] = (
     ),
 )
 
-#: The widened matrix for the CLI / CI sweep: adds the process pool and
-#: a degenerate-partition configuration (every partition near-minimal).
+#: The widened matrix for the CLI / CI sweep: adds the process pool, a
+#: degenerate-partition configuration (every partition near-minimal),
+#: and the coordinator/worker lease protocol with two in-process workers
+#: (``workers`` defaults to ``num_threads`` for the distributed tier).
 FULL_CONFIGS: Tuple[EngineConfig, ...] = DEFAULT_CONFIGS + (
     EngineConfig("process", backend="process", num_threads=2),
     EngineConfig("degenerate-partitions", max_edges_per_partition=2),
+    EngineConfig("distributed-2w", backend="distributed", num_threads=2),
 )
 
 

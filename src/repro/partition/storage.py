@@ -296,12 +296,13 @@ class PartitionStore:
         injector: Optional[FaultInjector] = None,
         durable: bool = True,
         verify_reads: bool = True,
+        scrub: bool = True,
     ) -> None:
         self.workdir = Path(workdir) if workdir is not None else None
         if self.workdir is not None:
             self.workdir.mkdir(parents=True, exist_ok=True)
         self.timers = timers if timers is not None else TimeBreakdown()
-        self.retry = retry if retry is not None else RetryPolicy()
+        self.retry = retry if retry is not None else RetryPolicy.for_store()
         self.injector = injector
         self.durable = durable
         self.verify_reads = verify_reads
@@ -321,18 +322,22 @@ class PartitionStore:
         self.tmp_scrubbed = 0
         self.files_purged = 0
         if self.workdir is not None:
-            self._scrub()
+            # Read-only sharers of a live workdir (distributed lease
+            # workers) must not scrub: an owner's in-flight *.tmp write
+            # is not an orphan.
+            self._scrub(remove_tmp=scrub)
 
     @property
     def disk_backed(self) -> bool:
         return self.workdir is not None
 
-    def _scrub(self) -> None:
+    def _scrub(self, remove_tmp: bool = True) -> None:
         """Remove torn ``*.tmp`` orphans and resume the file-id counter."""
         assert self.workdir is not None
-        for tmp in self.workdir.glob("*.tmp"):
-            tmp.unlink(missing_ok=True)
-            self.tmp_scrubbed += 1
+        if remove_tmp:
+            for tmp in self.workdir.glob("*.tmp"):
+                tmp.unlink(missing_ok=True)
+                self.tmp_scrubbed += 1
         for existing in self.workdir.glob("partition-*.gp"):
             try:
                 file_id = int(existing.stem.split("-")[1])

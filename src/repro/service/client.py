@@ -47,9 +47,10 @@ RETRYABLE_KINDS = frozenset({"overloaded", "draining"})
 
 #: The default client policy: five attempts, 50 ms doubling backoff with
 #: ±25 % jitter so retrying clients don't stampede back in lockstep.
-DEFAULT_CLIENT_RETRY = RetryPolicy(
-    attempts=5, base_delay=0.05, multiplier=2.0, max_delay=2.0, jitter=0.25
-)
+#: One shared constructor (``RetryPolicy.for_client``) feeds this, the
+#: distributed worker's reconnect path, and any future network caller —
+#: the backoff defaults live in exactly one place.
+DEFAULT_CLIENT_RETRY = RetryPolicy.for_client()
 
 
 class ServiceClient:

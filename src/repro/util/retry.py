@@ -54,6 +54,35 @@ class RetryPolicy:
     jitter: float = 0.0
     transient_errnos: FrozenSet[int] = field(default=TRANSIENT_ERRNOS)
 
+    @classmethod
+    def for_store(cls) -> "RetryPolicy":
+        """The disk-facing policy: 3 quick attempts, no jitter.
+
+        One store talks to one disk — there is no thundering herd to
+        de-synchronize, and the deterministic schedule is what the
+        fault-injection tests replay against.  Shared by
+        :class:`~repro.partition.storage.PartitionStore` and the
+        session's default store wiring, so the two can never drift.
+        """
+        return cls(attempts=3, base_delay=0.01, multiplier=2.0, max_delay=1.0)
+
+    @classmethod
+    def for_client(cls) -> "RetryPolicy":
+        """The network-facing policy: 5 attempts, 50 ms backoff, ±25 % jitter.
+
+        Many clients retry against one daemon (or one coordinator), so
+        jitter keeps them from stampeding back in lockstep.  Shared by
+        :class:`~repro.service.client.ServiceClient` and the distributed
+        worker's coordinator reconnect path.
+        """
+        return cls(
+            attempts=5,
+            base_delay=0.05,
+            multiplier=2.0,
+            max_delay=2.0,
+            jitter=0.25,
+        )
+
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError("attempts must be >= 1")

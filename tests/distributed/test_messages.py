@@ -1,0 +1,226 @@
+"""Unit tests for the lease-protocol wire helpers (DESIGN.md §16)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.messages import (
+    DELTA_CHUNK_EDGES,
+    Lease,
+    LeaseError,
+    LeasePartition,
+    decode_array,
+    delta_chunks,
+    encode_array,
+    grammar_from_payload,
+    grammar_payload,
+    join_delta_chunks,
+    partition_fingerprint,
+)
+from repro.graph import MemGraph
+from repro.partition.preprocess import preprocess
+from repro.partition.storage import PartitionStore
+
+
+class TestArrayCodec:
+    def test_roundtrip(self):
+        arr = np.array([0, 1, -5, 2**62, -(2**62)], dtype=np.int64)
+        assert np.array_equal(decode_array(encode_array(arr)), arr)
+
+    def test_empty_roundtrip(self):
+        out = decode_array(encode_array(np.empty(0, dtype=np.int64)))
+        assert out.dtype == np.int64 and len(out) == 0
+
+    def test_casts_to_int64(self):
+        out = decode_array(encode_array(np.array([1, 2, 3], dtype=np.int32)))
+        assert out.dtype == np.int64
+        assert np.array_equal(out, [1, 2, 3])
+
+    def test_misaligned_payload_rejected(self):
+        import base64
+
+        text = base64.b64encode(b"12345").decode("ascii")
+        with pytest.raises(LeaseError, match="not int64-aligned"):
+            decode_array(text)
+
+    def test_garbage_base64_rejected(self):
+        with pytest.raises(Exception):
+            decode_array("!!! not base64 !!!")
+
+
+class TestPartitionFingerprint:
+    @pytest.fixture()
+    def partition_file(self, tmp_path):
+        graph = MemGraph.from_edges(
+            [(0, 1, 0), (1, 2, 0), (2, 0, 0)], label_names=["E"]
+        )
+        pset = preprocess(
+            graph, store=PartitionStore(tmp_path), max_edges_per_partition=2
+        )
+        pset.flush_dirty()
+        path = pset.slot_state(0)["path"]
+        assert path is not None
+        return path
+
+    def test_fingerprint_is_header_crc(self, partition_file):
+        fp = partition_fingerprint(partition_file)
+        assert isinstance(fp, int)
+        # Stable across reads of the same write-once file.
+        assert partition_fingerprint(partition_file) == fp
+
+    def test_different_content_different_fingerprint(self, tmp_path):
+        store = PartitionStore(tmp_path)
+        fps = set()
+        for seed in (1, 2):
+            graph = MemGraph.from_edges(
+                [(0, seed, 0), (seed, 2, 0)], label_names=["E"]
+            )
+            pset = preprocess(graph, store=store, max_edges_per_partition=100)
+            pset.flush_dirty()
+            fps.add(partition_fingerprint(pset.slot_state(0)["path"]))
+        assert len(fps) == 2
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "fake.gp"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 48)
+        with pytest.raises(LeaseError, match="not a GRSPART2"):
+            partition_fingerprint(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / "short.gp"
+        path.write_bytes(b"GRSPART2\x00\x00")
+        with pytest.raises(LeaseError, match="truncated"):
+            partition_fingerprint(path)
+
+
+class TestLeasePayload:
+    def lease(self):
+        return Lease(
+            lease_id="abc123",
+            epoch=3,
+            pair=(1, 4),
+            partitions=(
+                LeasePartition(
+                    pid=1, path="partition-000001.gp", fingerprint=17,
+                    edges=100, lo=0, hi=32,
+                ),
+                LeasePartition(
+                    pid=4, path="partition-000009.gp", fingerprint=23,
+                    edges=250, lo=96, hi=128,
+                ),
+            ),
+            deadline_seconds=30.0,
+        )
+
+    def test_roundtrip(self):
+        lease = self.lease()
+        assert Lease.from_payload(lease.to_payload()) == lease
+
+    def test_payload_is_json_plain(self):
+        import json
+
+        # The payload must survive the service-tier JSON framing as-is.
+        assert Lease.from_payload(
+            json.loads(json.dumps(self.lease().to_payload()))
+        ) == self.lease()
+
+    def test_malformed_pair_rejected(self):
+        payload = self.lease().to_payload()
+        payload["pair"] = [1, 2, 3]
+        with pytest.raises(LeaseError):
+            Lease.from_payload(payload)
+
+    def test_missing_field_rejected(self):
+        payload = self.lease().to_payload()
+        del payload["lease_id"]
+        with pytest.raises(LeaseError, match="malformed lease"):
+            Lease.from_payload(payload)
+
+    def test_malformed_partition_rejected(self):
+        payload = self.lease().to_payload()
+        del payload["partitions"][0]["fingerprint"]
+        with pytest.raises(LeaseError, match="malformed lease"):
+            Lease.from_payload(payload)
+
+
+class TestGrammarPayload:
+    """The handshake grammar must survive id-for-id — packed keys encode
+    label ids, so first-appearance re-interning (what the text format
+    does) silently mislabels every edge on the worker."""
+
+    def grammars(self):
+        from repro.grammar.builtin import (
+            pointsto_grammar_extended,
+            reachability_grammar,
+        )
+
+        return [reachability_grammar(), pointsto_grammar_extended()]
+
+    def test_roundtrip_preserves_label_table(self):
+        import json
+
+        for grammar in self.grammars():
+            restored = grammar_from_payload(
+                json.loads(json.dumps(grammar_payload(grammar)))
+            )
+            assert restored.names == grammar.names
+            assert restored.productions == grammar.productions
+            assert np.array_equal(
+                restored.binary_index, grammar.binary_index
+            )
+            assert restored.unary_closure == grammar.unary_closure
+
+    def test_text_format_is_not_faithful_for_extended_grammar(self):
+        # The regression the payload format exists for: text drops
+        # production-free labels and renumbers the rest.
+        from repro.grammar import grammar_to_text, parse_grammar_text
+        from repro.grammar.builtin import pointsto_grammar_extended
+
+        grammar = pointsto_grammar_extended()
+        reparsed = parse_grammar_text(grammar_to_text(grammar))
+        assert reparsed.names != grammar.names
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(LeaseError, match="malformed grammar"):
+            grammar_from_payload({"labels": ["A"]})
+        with pytest.raises(LeaseError, match="malformed grammar"):
+            grammar_from_payload(
+                {"labels": ["A"], "productions": [["A", None]]}
+            )
+
+
+class TestDeltaChunks:
+    def test_empty_delta_no_chunks(self):
+        assert delta_chunks(np.empty(0, np.int64), np.empty(0, np.int64)) == []
+
+    def test_join_of_nothing_is_empty(self):
+        src, keys = join_delta_chunks([])
+        assert len(src) == 0 and len(keys) == 0
+
+    def test_single_chunk_roundtrip(self):
+        src = np.arange(10, dtype=np.int64)
+        keys = np.arange(10, 20, dtype=np.int64)
+        chunks = delta_chunks(src, keys)
+        assert len(chunks) == 1
+        decoded = [(decode_array(a), decode_array(b)) for a, b in chunks]
+        out_src, out_keys = join_delta_chunks(decoded)
+        assert np.array_equal(out_src, src)
+        assert np.array_equal(out_keys, keys)
+
+    def test_chunking_preserves_order_and_content(self):
+        src = np.arange(25, dtype=np.int64)
+        keys = src * 7
+        chunks = delta_chunks(src, keys, chunk_edges=10)
+        assert len(chunks) == 3  # 10 + 10 + 5
+        decoded = [(decode_array(a), decode_array(b)) for a, b in chunks]
+        assert len(decoded[0][0]) == 10 and len(decoded[2][0]) == 5
+        out_src, out_keys = join_delta_chunks(decoded)
+        assert np.array_equal(out_src, src)
+        assert np.array_equal(out_keys, keys)
+
+    def test_default_chunk_limit_fits_frame(self):
+        # ~21.4 base64 bytes per (src, key) edge; the default chunk size
+        # must stay far inside the 64 MiB service frame limit.
+        from repro.service.protocol import MAX_MESSAGE_BYTES
+
+        per_edge_b64 = 2 * 8 * 4 / 3
+        assert DELTA_CHUNK_EDGES * per_edge_b64 < MAX_MESSAGE_BYTES * 0.75

@@ -138,3 +138,103 @@ class TestVectorizedScoring:
             ps, qs, scores = ddm.pair_scores()
             got = list(zip(ps.tolist(), qs.tolist(), scores.tolist()))
             assert got == expected
+
+
+class TestExcludePids:
+    """The coordinator's disjoint-lease filter (`exclude_pids`)."""
+
+    def counts(self):
+        return [
+            [0, 9, 0, 0],
+            [0, 0, 0, 0],
+            [0, 0, 0, 7],
+            [0, 0, 0, 0],
+        ]
+
+    def test_no_exclusions_is_the_plain_policy(self):
+        ddm = ddm_from(self.counts())
+        s = Scheduler(slack=0.0)
+        assert s.choose_pair(ddm, [], exclude_pids=()) == s.choose_pair(ddm, [])
+
+    def test_excluding_best_pair_yields_next_disjoint_pair(self):
+        ddm = ddm_from(self.counts())
+        s = Scheduler(slack=0.0)
+        first = s.choose_pair(ddm, [])
+        assert first == (0, 1)
+        second = s.choose_pair(ddm, [], exclude_pids=first)
+        assert second == (2, 3)
+        assert not set(first) & set(second)
+
+    def test_all_pairs_busy_returns_none_without_finishing(self):
+        # Every dirty pair overlaps an in-flight lease: the scheduler
+        # answers None (the coordinator's "wait"), but the same call
+        # without exclusions still sees the work.
+        ddm = ddm_from(self.counts())
+        s = Scheduler(slack=0.0)
+        assert s.choose_pair(ddm, [], exclude_pids=(0, 2)) is None
+        assert s.choose_pair(ddm, []) is not None
+
+    def test_self_pair_excluded_by_its_single_pid(self):
+        ddm = ddm_from([[5, 0], [0, 0]])
+        s = Scheduler(slack=0.0)
+        assert s.choose_pair(ddm, []) == (0, 0)
+        assert s.choose_pair(ddm, [], exclude_pids=(0,)) is None
+
+    def test_exclusion_does_not_mutate_future_choices(self):
+        # choose_pair is stateless: an excluded call in between must not
+        # perturb the unexcluded sequence (RoundRobin's cursor is why the
+        # coordinator records fixpoint verdicts itself).
+        ddm = ddm_from(self.counts())
+        s = Scheduler(slack=0.0)
+        before = s.choose_pair(ddm, [])
+        s.choose_pair(ddm, [], exclude_pids=(0, 1, 2, 3))
+        assert s.choose_pair(ddm, []) == before
+
+
+class TestPeekChooseOutOfOrder:
+    """peek_pair and choose_pair must agree when leases complete out of
+    issue order — the distributed coordinator issues pair B while pair A
+    is still in flight, and B may finish (and sync) first."""
+
+    def counts(self):
+        return [
+            [0, 9, 0, 0, 0],
+            [0, 0, 0, 0, 0],
+            [0, 0, 0, 7, 0],
+            [0, 0, 0, 0, 5],
+            [0, 0, 0, 0, 0],
+        ]
+
+    def test_peek_predicts_choice_after_out_of_order_sync(self):
+        ddm = ddm_from(self.counts())
+        s = Scheduler(slack=0.0)
+        first = s.choose_pair(ddm, [])
+        second = s.choose_pair(ddm, [], exclude_pids=first)
+        assert first == (0, 1) and second == (2, 3)
+        # The *second* lease completes first.  Peek's simulation of that
+        # sync must match the real choice after the DDM actually syncs.
+        predicted = s.peek_pair(ddm, [], assume_synced=second)
+        ddm.mark_synced(second)
+        assert s.choose_pair(ddm, []) == predicted
+
+    def test_agreement_holds_for_every_completion_order(self):
+        s = Scheduler(slack=0.0)
+        for completes_first in ((0, 1), (2, 3)):
+            ddm = ddm_from(self.counts())
+            predicted = s.peek_pair(ddm, [], assume_synced=completes_first)
+            ddm.mark_synced(completes_first)
+            assert s.choose_pair(ddm, []) == predicted
+
+    def test_later_choices_independent_of_completion_order(self):
+        # Two in-flight leases; whichever completes first, the set of
+        # pairs the scheduler hands out next is the same (confluence at
+        # the scheduling level, with deterministic per-state choices).
+        s = Scheduler(slack=0.0)
+        orders = [((0, 1), (2, 3)), ((2, 3), (0, 1))]
+        chosen = []
+        for first_done, second_done in orders:
+            ddm = ddm_from(self.counts())
+            ddm.mark_synced(first_done)
+            ddm.mark_synced(second_done)
+            chosen.append(s.choose_pair(ddm, []))
+        assert chosen[0] == chosen[1] == (3, 4)
